@@ -1,0 +1,257 @@
+//! Hierarchical recovery escalation.
+//!
+//! The paper's lineage (the 5ESS maintenance software, §2) restores
+//! operation "by making localized repairs whenever possible and
+//! escalat[ing] to more global actions only if necessary". The
+//! individual elements already perform localized repairs; this policy
+//! watches the *history* of findings and escalates when localized
+//! repair is evidently not holding:
+//!
+//! * a table that keeps producing findings cycle after cycle is
+//!   reloaded wholesale from the golden disk image (its dynamic state
+//!   is sacrificed — dropped calls — to stop churn);
+//! * if churn persists across the whole database, the policy requests
+//!   a controller-level restart, which the manager executes.
+
+use std::collections::HashMap;
+
+use wtnc_db::{Database, TaintFate, TableId};
+use wtnc_sim::SimTime;
+
+use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+
+/// Escalation thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationConfig {
+    /// Consecutive cycles with findings in the same table before that
+    /// table is reloaded from disk.
+    pub table_cycles: u32,
+    /// Consecutive table reload escalations before a controller
+    /// restart is requested.
+    pub restart_after_reloads: u32,
+}
+
+impl Default for EscalationConfig {
+    fn default() -> Self {
+        EscalationConfig {
+            table_cycles: 3,
+            restart_after_reloads: 3,
+        }
+    }
+}
+
+impl EscalationConfig {
+    /// A configuration that never escalates. This is the audit
+    /// process's initial state: escalation is an extension beyond the
+    /// paper's evaluation setup and must be opted into with
+    /// `AuditProcess::set_escalation`, so the baseline experiments stay
+    /// paper-faithful.
+    pub fn disabled() -> Self {
+        EscalationConfig {
+            table_cycles: u32::MAX,
+            restart_after_reloads: u32::MAX,
+        }
+    }
+}
+
+/// The escalation policy state machine.
+#[derive(Debug, Clone, Default)]
+pub struct EscalationPolicy {
+    config: EscalationConfig,
+    /// Consecutive finding-cycles per table.
+    streaks: HashMap<TableId, u32>,
+    /// Table reload escalations since the last quiet cycle.
+    recent_reloads: u32,
+    /// Total table reloads performed.
+    pub table_reloads: u64,
+    /// Total controller restarts requested.
+    pub restarts_requested: u64,
+}
+
+impl EscalationPolicy {
+    /// Creates the policy.
+    pub fn new(config: EscalationConfig) -> Self {
+        EscalationPolicy {
+            config,
+            ..EscalationPolicy::default()
+        }
+    }
+
+    /// Digests one cycle's findings, performing escalations. Returns
+    /// `true` when a controller restart is requested (the caller — the
+    /// manager — owns process-level recovery).
+    pub fn observe_cycle(
+        &mut self,
+        db: &mut Database,
+        findings: &mut Vec<Finding>,
+        at: SimTime,
+    ) -> bool {
+        // Count data-corruption findings per table this cycle (process
+        // recoveries — lock releases, terminations — do not indicate
+        // storage churn).
+        let mut hit: HashMap<TableId, u32> = HashMap::new();
+        for f in findings.iter() {
+            if matches!(
+                f.action,
+                RecoveryAction::ReloadedRange { .. }
+                    | RecoveryAction::ResetField { .. }
+                    | RecoveryAction::RebuiltHeader { .. }
+                    | RecoveryAction::FreedRecord { .. }
+                    | RecoveryAction::ReloadedDatabase
+            ) {
+                if let Some(t) = f.table {
+                    *hit.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Update streaks.
+        let tables: Vec<TableId> = db.catalog().tables().map(|t| t.id).collect();
+        let mut escalated_this_cycle = false;
+        for table in tables {
+            if hit.contains_key(&table) {
+                let streak = self.streaks.entry(table).or_insert(0);
+                *streak += 1;
+                if *streak >= self.config.table_cycles {
+                    // Escalate: reload this table's whole extent.
+                    let (offset, len) = {
+                        let tm = db.catalog().table(table).expect("id valid");
+                        (tm.offset, tm.data_len())
+                    };
+                    db.reload_range(offset, len).expect("table extent valid");
+                    let caught =
+                        db.taint_mut()
+                            .resolve_range(offset, len, TaintFate::Caught { at });
+                    self.table_reloads += 1;
+                    self.recent_reloads += 1;
+                    escalated_this_cycle = true;
+                    *self.streaks.get_mut(&table).expect("just inserted") = 0;
+                    findings.push(Finding {
+                        element: AuditElementKind::Structural,
+                        at,
+                        table: Some(table),
+                        record: None,
+                        detail: format!(
+                            "escalation: table {} produced findings for {} consecutive cycles; \
+                             reloaded from disk",
+                            table.0, self.config.table_cycles
+                        ),
+                        action: RecoveryAction::ReloadedRange { offset, len },
+                        caught,
+                    });
+                }
+            } else {
+                self.streaks.insert(table, 0);
+            }
+        }
+        if !escalated_this_cycle && hit.is_empty() {
+            // A fully quiet cycle de-escalates.
+            self.recent_reloads = 0;
+        }
+
+        if self.recent_reloads >= self.config.restart_after_reloads {
+            self.recent_reloads = 0;
+            self.restarts_requested += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtnc_db::{schema, RecordRef};
+
+    fn finding(table: TableId) -> Finding {
+        Finding {
+            element: AuditElementKind::Range,
+            at: SimTime::ZERO,
+            table: Some(table),
+            record: Some(0),
+            detail: "test".into(),
+            action: RecoveryAction::ResetField { table, record: 0, field: 1 },
+            caught: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn persistent_findings_escalate_to_table_reload() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let mut policy = EscalationPolicy::new(EscalationConfig::default());
+        let table = schema::CONNECTION_TABLE;
+        // Put live state in the table so the reload is observable.
+        let idx = db.alloc_record_raw(table).unwrap();
+        assert!(db.is_active(RecordRef::new(table, idx)).unwrap());
+
+        for cycle in 0..2 {
+            let mut fs = vec![finding(table)];
+            assert!(!policy.observe_cycle(&mut db, &mut fs, SimTime::from_secs(cycle)));
+            assert_eq!(fs.len(), 1, "no escalation yet");
+        }
+        let mut fs = vec![finding(table)];
+        assert!(!policy.observe_cycle(&mut db, &mut fs, SimTime::from_secs(3)));
+        assert_eq!(fs.len(), 2, "escalation finding appended");
+        assert_eq!(policy.table_reloads, 1);
+        // The reload wiped the dynamic record (dropped call).
+        assert!(!db.is_active(RecordRef::new(table, idx)).unwrap());
+    }
+
+    #[test]
+    fn quiet_cycles_reset_streaks() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let mut policy = EscalationPolicy::new(EscalationConfig::default());
+        let table = schema::CONNECTION_TABLE;
+        for cycle in 0..2 {
+            let mut fs = vec![finding(table)];
+            policy.observe_cycle(&mut db, &mut fs, SimTime::from_secs(cycle));
+        }
+        // Quiet cycle.
+        let mut fs = Vec::new();
+        policy.observe_cycle(&mut db, &mut fs, SimTime::from_secs(2));
+        // Two more finding cycles: still below the threshold.
+        for cycle in 3..5 {
+            let mut fs = vec![finding(table)];
+            policy.observe_cycle(&mut db, &mut fs, SimTime::from_secs(cycle));
+            assert_eq!(fs.len(), 1);
+        }
+        assert_eq!(policy.table_reloads, 0);
+    }
+
+    #[test]
+    fn sustained_churn_requests_controller_restart() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let mut policy = EscalationPolicy::new(EscalationConfig {
+            table_cycles: 1,
+            restart_after_reloads: 3,
+        });
+        let table = schema::CONNECTION_TABLE;
+        let mut restarted = false;
+        for cycle in 0..3 {
+            let mut fs = vec![finding(table)];
+            restarted = policy.observe_cycle(&mut db, &mut fs, SimTime::from_secs(cycle));
+        }
+        assert!(restarted, "three straight escalations must request a restart");
+        assert_eq!(policy.restarts_requested, 1);
+    }
+
+    #[test]
+    fn process_level_recoveries_do_not_count_as_churn() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let mut policy = EscalationPolicy::new(EscalationConfig {
+            table_cycles: 1,
+            restart_after_reloads: 1,
+        });
+        let mut fs = vec![Finding {
+            element: AuditElementKind::Progress,
+            at: SimTime::ZERO,
+            table: None,
+            record: None,
+            detail: "lock release".into(),
+            action: RecoveryAction::ReleasedLock { pid: wtnc_sim::Pid(1) },
+            caught: Vec::new(),
+        }];
+        assert!(!policy.observe_cycle(&mut db, &mut fs, SimTime::ZERO));
+        assert_eq!(policy.table_reloads, 0);
+    }
+}

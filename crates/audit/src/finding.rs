@@ -1,0 +1,169 @@
+//! Findings, recovery actions and audit reports.
+
+use serde::{Deserialize, Serialize};
+use wtnc_db::{TableId, TaintEntry};
+use wtnc_sim::{Pid, SimTime};
+
+/// Which element produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AuditElementKind {
+    /// Liveness probe of the audit process itself.
+    Heartbeat,
+    /// Deadlock / stale-lock detection from API activity messages.
+    Progress,
+    /// Golden-checksum audit of catalog and static configuration data.
+    StaticData,
+    /// Record-header audit at computed offsets.
+    Structural,
+    /// Catalog min/max range rules on dynamic fields.
+    Range,
+    /// Referential-integrity loops across linked tables.
+    Semantic,
+    /// Runtime-inferred value invariants (selective monitoring).
+    Selective,
+}
+
+/// The recovery action attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// Bytes restored from the golden disk image.
+    ReloadedRange {
+        /// Start offset.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// The entire database image was reloaded (escalation for
+    /// multi-record structural damage).
+    ReloadedDatabase,
+    /// A field was reset to its catalog default.
+    ResetField {
+        /// Table of the repaired record.
+        table: TableId,
+        /// Record index.
+        record: u32,
+        /// Field index.
+        field: u16,
+    },
+    /// A record header was rebuilt from its computed offset.
+    RebuiltHeader {
+        /// Table of the repaired record.
+        table: TableId,
+        /// Record index.
+        record: u32,
+    },
+    /// A record was freed preemptively to stop error propagation.
+    FreedRecord {
+        /// Table of the freed record.
+        table: TableId,
+        /// Record index.
+        record: u32,
+    },
+    /// A client process was terminated (zombie-record owner or stale
+    /// lock holder).
+    TerminatedClient {
+        /// The terminated client.
+        pid: Pid,
+    },
+    /// A stale lock was released.
+    ReleasedLock {
+        /// The previous holder.
+        pid: Pid,
+    },
+    /// No repair — the value was only flagged for follow-up (selective
+    /// monitoring suspects).
+    Flagged,
+}
+
+/// One detected anomaly and what was done about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The element that detected it.
+    pub element: AuditElementKind,
+    /// When it was detected.
+    pub at: SimTime,
+    /// Affected table, when applicable.
+    pub table: Option<TableId>,
+    /// Affected record, when applicable.
+    pub record: Option<u32>,
+    /// Human-readable description.
+    pub detail: String,
+    /// The recovery performed.
+    pub action: RecoveryAction,
+    /// Ground-truth corruptions the repair removed (empty when the
+    /// anomaly was a false positive or had no injected cause, e.g. a
+    /// record wedged by a crashed client).
+    pub caught: Vec<TaintEntry>,
+}
+
+/// The outcome of one audit cycle.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Everything detected this cycle.
+    pub findings: Vec<Finding>,
+    /// Records examined this cycle.
+    pub records_checked: u64,
+    /// Tables examined this cycle.
+    pub tables_checked: u64,
+    /// The escalation policy concluded that localized repair is not
+    /// holding: the manager should restart the controller.
+    pub restart_requested: bool,
+}
+
+impl AuditReport {
+    /// Findings from one element.
+    pub fn by_element(&self, kind: AuditElementKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.element == kind)
+    }
+
+    /// Total injected corruptions removed this cycle.
+    pub fn caught_count(&self) -> usize {
+        self.findings.iter().map(|f| f.caught.len()).sum()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.findings.extend(other.findings);
+        self.records_checked += other.records_checked;
+        self.tables_checked += other.tables_checked;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(kind: AuditElementKind) -> Finding {
+        Finding {
+            element: kind,
+            at: SimTime::ZERO,
+            table: Some(TableId(1)),
+            record: Some(0),
+            detail: "test".into(),
+            action: RecoveryAction::Flagged,
+            caught: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_filters_and_merges() {
+        let mut a = AuditReport {
+            findings: vec![finding(AuditElementKind::Range), finding(AuditElementKind::Semantic)],
+            records_checked: 10,
+            tables_checked: 2,
+            restart_requested: false,
+        };
+        let b = AuditReport {
+            findings: vec![finding(AuditElementKind::Range)],
+            records_checked: 5,
+            tables_checked: 1,
+            restart_requested: false,
+        };
+        a.merge(b);
+        assert_eq!(a.findings.len(), 3);
+        assert_eq!(a.by_element(AuditElementKind::Range).count(), 2);
+        assert_eq!(a.records_checked, 15);
+        assert_eq!(a.tables_checked, 3);
+        assert_eq!(a.caught_count(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The heartbeat element and the manager (§4.1).
+//!
+//! "Periodically, the manager process sends a heartbeat message to the
+//! heartbeat element in the audit process and waits for a reply. If the
+//! entire audit process has crashed or hung … the manager times out and
+//! restarts the audit process."
+
+use serde::{Deserialize, Serialize};
+use wtnc_sim::{Pid, ProcessRegistry, SimDuration, SimTime};
+
+/// The heartbeat element living inside the audit process: replies to
+/// manager queries while the process is alive.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatElement {
+    queries: u64,
+    last_query: Option<SimTime>,
+}
+
+impl HeartbeatElement {
+    /// Creates the element.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles one heartbeat query, returning the reply payload (the
+    /// query counter echoes back so the manager can match replies to
+    /// queries).
+    pub fn query(&mut self, at: SimTime) -> u64 {
+        self.queries += 1;
+        self.last_query = Some(at);
+        self.queries
+    }
+
+    /// Queries served so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// Manager configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManagerConfig {
+    /// Interval between heartbeat queries.
+    pub interval: SimDuration,
+    /// Consecutive missed replies before the audit process is declared
+    /// dead and restarted.
+    pub miss_limit: u32,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            interval: SimDuration::from_secs(1),
+            miss_limit: 3,
+        }
+    }
+}
+
+/// The manager process: supervises the audit process by heartbeat and
+/// restarts it on failure. (In the real controller the manager runs
+/// duplicated; its own failover is outside the audit subsystem.)
+#[derive(Debug, Clone)]
+pub struct Manager {
+    config: ManagerConfig,
+    supervised: Pid,
+    misses: u32,
+    restarts: u32,
+}
+
+impl Manager {
+    /// Creates a manager supervising the audit process `supervised`.
+    pub fn new(config: ManagerConfig, supervised: Pid) -> Self {
+        Manager {
+            config,
+            supervised,
+            misses: 0,
+            restarts: 0,
+        }
+    }
+
+    /// The currently supervised audit-process pid (changes after a
+    /// restart).
+    pub fn supervised(&self) -> Pid {
+        self.supervised
+    }
+
+    /// Restarts performed so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// The heartbeat query interval.
+    pub fn interval(&self) -> SimDuration {
+        self.config.interval
+    }
+
+    /// One heartbeat round: query the element if the audit process is
+    /// alive; on `miss_limit` consecutive failures, restart it via the
+    /// process registry. Returns the new pid when a restart happened.
+    pub fn beat(
+        &mut self,
+        element: Option<&mut HeartbeatElement>,
+        registry: &mut ProcessRegistry,
+        now: SimTime,
+    ) -> Option<Pid> {
+        let alive = registry.is_alive(self.supervised);
+        let replied = match (alive, element) {
+            (true, Some(el)) => {
+                el.query(now);
+                true
+            }
+            _ => false,
+        };
+        if replied {
+            self.misses = 0;
+            return None;
+        }
+        self.misses += 1;
+        if self.misses < self.config.miss_limit {
+            return None;
+        }
+        // Declare dead and restart. If the registry still thinks the
+        // process is alive (hung rather than crashed), kill it first.
+        if registry.is_alive(self.supervised) {
+            registry.kill(self.supervised, now);
+        }
+        let new_pid = registry
+            .restart(self.supervised, now)
+            .expect("a dead process can be restarted");
+        self.supervised = new_pid;
+        self.misses = 0;
+        self.restarts += 1;
+        Some(new_pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_process_never_restarts() {
+        let mut registry = ProcessRegistry::new();
+        let audit = registry.spawn("audit", SimTime::ZERO);
+        let mut element = HeartbeatElement::new();
+        let mut manager = Manager::new(ManagerConfig::default(), audit);
+        for s in 0..10 {
+            assert_eq!(
+                manager.beat(Some(&mut element), &mut registry, SimTime::from_secs(s)),
+                None
+            );
+        }
+        assert_eq!(manager.restarts(), 0);
+        assert_eq!(element.queries(), 10);
+    }
+
+    #[test]
+    fn crashed_process_restarts_after_miss_limit() {
+        let mut registry = ProcessRegistry::new();
+        let audit = registry.spawn("audit", SimTime::ZERO);
+        let mut manager = Manager::new(ManagerConfig::default(), audit);
+        registry.crash(audit, SimTime::from_secs(1));
+        // Two misses: nothing yet.
+        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(2)), None);
+        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(3)), None);
+        // Third miss: restart.
+        let new_pid = manager
+            .beat(None, &mut registry, SimTime::from_secs(4))
+            .expect("restart expected");
+        assert_ne!(new_pid, audit);
+        assert!(registry.is_alive(new_pid));
+        assert_eq!(manager.supervised(), new_pid);
+        assert_eq!(manager.restarts(), 1);
+    }
+
+    #[test]
+    fn hung_process_is_killed_then_restarted() {
+        // The process is "alive" in the registry but its heartbeat
+        // element is unreachable (element = None models a hang or a
+        // scheduling anomaly).
+        let mut registry = ProcessRegistry::new();
+        let audit = registry.spawn("audit", SimTime::ZERO);
+        let mut manager = Manager::new(
+            ManagerConfig { interval: SimDuration::from_secs(1), miss_limit: 2 },
+            audit,
+        );
+        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(1)), None);
+        let new_pid = manager
+            .beat(None, &mut registry, SimTime::from_secs(2))
+            .expect("restart expected");
+        assert!(!registry.is_alive(audit));
+        assert!(registry.is_alive(new_pid));
+    }
+
+    #[test]
+    fn recovery_resets_miss_count() {
+        let mut registry = ProcessRegistry::new();
+        let audit = registry.spawn("audit", SimTime::ZERO);
+        let mut element = HeartbeatElement::new();
+        let mut manager = Manager::new(ManagerConfig::default(), audit);
+        // Two misses, then a reply: counter resets, no restart ever.
+        manager.beat(None, &mut registry, SimTime::from_secs(1));
+        manager.beat(None, &mut registry, SimTime::from_secs(2));
+        manager.beat(Some(&mut element), &mut registry, SimTime::from_secs(3));
+        manager.beat(None, &mut registry, SimTime::from_secs(4));
+        manager.beat(None, &mut registry, SimTime::from_secs(5));
+        assert_eq!(manager.restarts(), 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! The audit process: main thread, triggers, element registry.
+
+use std::collections::BTreeSet;
+
+use wtnc_db::{Database, DbApi, RecordRef, TableId, TaintEntry};
+use wtnc_sim::{ProcessRegistry, SimDuration, SimTime};
+
+use crate::finding::{AuditElementKind, AuditReport, Finding, RecoveryAction};
+use crate::heartbeat::HeartbeatElement;
+use crate::progress::{ProgressConfig, ProgressIndicator};
+use crate::ranged::RangeAudit;
+use crate::scheduler::{AuditScheduler, RoundRobinScheduler};
+use crate::semantic::SemanticAudit;
+use crate::static_data::StaticDataAudit;
+use crate::structural::StructuralAudit;
+
+/// How much of the database one periodic tick covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditScope {
+    /// Check every table each tick (the §5.1 experiments: "the entire
+    /// database is checked for errors periodically").
+    Full,
+    /// Check one scheduler-chosen table per tick (the §5.3 prioritized
+    /// experiments: "1 table every 5 seconds").
+    OneTable,
+}
+
+/// Extension point for custom audit techniques: "new error detection
+/// and recovery techniques can be implemented, encapsulated in new
+/// elements, and added to the system".
+pub trait AuditElement {
+    /// The element's identity in findings.
+    fn kind(&self) -> AuditElementKind;
+    /// Audits one table; records skipped when `locked` says a client
+    /// transaction is in flight. Returns the number of records
+    /// checked.
+    fn audit_table(
+        &mut self,
+        db: &mut Database,
+        table: TableId,
+        locked: &dyn Fn(RecordRef) -> bool,
+        at: SimTime,
+        out: &mut Vec<Finding>,
+    ) -> u64;
+}
+
+/// Audit-process configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditConfig {
+    /// Interval of the periodic trigger (the experiments use 10 s for
+    /// full audits and 5 s for one-table audits).
+    pub periodic_interval: SimDuration,
+    /// Progress-indicator timings.
+    pub progress: ProgressConfig,
+    /// Consecutive damaged headers that escalate to a full reload.
+    pub structural_escalation: u32,
+    /// Grace period before unlinked records are treated as orphans.
+    pub orphan_grace: SimDuration,
+    /// Per-tick coverage.
+    pub scope: AuditScope,
+    /// When true, write-class API events queue their table for an
+    /// immediate event-triggered audit on the next cycle.
+    pub event_triggered: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            periodic_interval: SimDuration::from_secs(10),
+            progress: ProgressConfig::default(),
+            structural_escalation: 3,
+            orphan_grace: SimDuration::from_secs(60),
+            scope: AuditScope::Full,
+            event_triggered: false,
+        }
+    }
+}
+
+/// The audit process of Figure 1: heartbeat, progress indicator, the
+/// audit elements, and the triggers that drive them.
+pub struct AuditProcess {
+    config: AuditConfig,
+    heartbeat: HeartbeatElement,
+    progress: ProgressIndicator,
+    static_audit: StaticDataAudit,
+    structural: StructuralAudit,
+    range: RangeAudit,
+    semantic: SemanticAudit,
+    scheduler: Box<dyn AuditScheduler + Send>,
+    extra: Vec<Box<dyn AuditElement + Send>>,
+    event_tables: BTreeSet<TableId>,
+    catch_log: Vec<(TaintEntry, AuditElementKind, SimTime)>,
+    escalation: crate::EscalationPolicy,
+    cycles: u64,
+}
+
+impl std::fmt::Debug for AuditProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditProcess")
+            .field("config", &self.config)
+            .field("cycles", &self.cycles)
+            .field("pending_event_tables", &self.event_tables.len())
+            .field("catches", &self.catch_log.len())
+            .finish()
+    }
+}
+
+impl AuditProcess {
+    /// Creates the audit process against a freshly built (pristine)
+    /// database — golden checksums are derived from its current image.
+    pub fn new(config: AuditConfig, db: &Database) -> Self {
+        AuditProcess {
+            config,
+            heartbeat: HeartbeatElement::new(),
+            progress: ProgressIndicator::new(config.progress),
+            static_audit: StaticDataAudit::new(db),
+            structural: StructuralAudit::new(config.structural_escalation),
+            range: RangeAudit::new(),
+            semantic: SemanticAudit::new(config.orphan_grace),
+            scheduler: Box::new(RoundRobinScheduler::new()),
+            extra: Vec::new(),
+            event_tables: BTreeSet::new(),
+            catch_log: Vec::new(),
+            escalation: crate::EscalationPolicy::new(crate::EscalationConfig::disabled()),
+            cycles: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
+    }
+
+    /// Replaces the table scheduler (round-robin by default).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn AuditScheduler + Send>) {
+        self.scheduler = scheduler;
+    }
+
+    /// Registers an additional custom element.
+    pub fn register_element(&mut self, element: Box<dyn AuditElement + Send>) {
+        self.extra.push(element);
+    }
+
+    /// The heartbeat element (the manager queries it).
+    pub fn heartbeat_mut(&mut self) -> &mut HeartbeatElement {
+        &mut self.heartbeat
+    }
+
+    /// Re-derives the static-data golden checksums from the current
+    /// database image. Must be called after a legitimate operator
+    /// reconfiguration (see `DbApi::reconfigure`), or the next cycle
+    /// would "repair" the new configuration away.
+    pub fn rebaseline_static(&mut self, db: &Database) {
+        self.static_audit.rebaseline(db);
+    }
+
+    /// Ground-truth corruptions removed so far, attributed to the
+    /// element that removed each.
+    pub fn catch_log(&self) -> &[(TaintEntry, AuditElementKind, SimTime)] {
+        &self.catch_log
+    }
+
+    /// Completed audit cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Drains the IPC message queue from the database API: feeds the
+    /// progress indicator and collects event triggers.
+    pub fn drain_events(&mut self, api: &mut DbApi) {
+        for event in api.events_mut().drain() {
+            self.progress.observe(&event);
+            if self.config.event_triggered && event.op.is_write() {
+                if let Some(table) = event.table {
+                    self.event_tables.insert(table);
+                }
+            }
+        }
+    }
+
+    /// Runs one audit cycle at `now`: progress check, then the audit
+    /// elements over the configured scope plus any event-triggered
+    /// tables, then recovery side effects (client terminations, lock
+    /// releases).
+    pub fn run_cycle(
+        &mut self,
+        db: &mut Database,
+        api: &mut DbApi,
+        registry: &mut ProcessRegistry,
+        now: SimTime,
+    ) -> AuditReport {
+        self.cycles += 1;
+        self.drain_events(api);
+        let mut findings: Vec<Finding> = Vec::new();
+
+        // Progress indicator first (it may free wedged locks, letting
+        // the data audits see consistent records).
+        self.progress
+            .check(api.locks_mut(), registry, now, &mut findings);
+
+        // Decide coverage.
+        let tables: Vec<TableId> = match self.config.scope {
+            AuditScope::Full => db.catalog().tables().map(|t| t.id).collect(),
+            AuditScope::OneTable => {
+                let mut set: BTreeSet<TableId> = std::mem::take(&mut self.event_tables);
+                set.insert(self.scheduler.next_table(db));
+                set.into_iter().collect()
+            }
+        };
+
+        let mut records_checked = 0u64;
+        // Static audit: whole static region once per full cycle, or the
+        // scoped chunks in one-table mode.
+        match self.config.scope {
+            AuditScope::Full => self.static_audit.audit(db, now, &mut findings),
+            AuditScope::OneTable => {
+                for &t in &tables {
+                    self.static_audit.audit_table(db, t, now, &mut findings);
+                }
+            }
+        }
+
+        for &table in &tables {
+            // Reset this table's per-cycle error counter now that the
+            // scheduler has consumed it.
+            db.reset_error_cycle_table(table);
+            records_checked += self
+                .structural
+                .audit_table(db, table, now, &mut findings);
+            let locked = |r: RecordRef| api.locks().holder(r).is_some();
+            records_checked +=
+                self.range
+                    .audit_table(db, table, &locked, now, &mut findings);
+            records_checked +=
+                self.semantic
+                    .audit_table(db, table, &locked, now, &mut findings);
+            for element in &mut self.extra {
+                records_checked += element.audit_table(db, table, &locked, now, &mut findings);
+            }
+        }
+
+        // Hierarchical escalation: repeated churn in a table reloads it
+        // wholesale; sustained churn requests a controller restart.
+        let restart_requested = self.escalation.observe_cycle(db, &mut findings, now);
+
+        // Apply process-level recovery actions.
+        for f in &findings {
+            if let RecoveryAction::TerminatedClient { pid } = f.action {
+                registry.kill(pid, now);
+                api.locks_mut().release_all(pid);
+            }
+        }
+
+        // Attribute removed ground-truth corruptions.
+        for f in &findings {
+            for &taint in &f.caught {
+                self.catch_log.push((taint, f.element, now));
+            }
+        }
+
+        AuditReport {
+            findings,
+            records_checked,
+            tables_checked: tables.len() as u64,
+            restart_requested,
+        }
+    }
+
+    /// Escalation statistics (table reloads performed, restarts
+    /// requested).
+    pub fn escalation(&self) -> &crate::EscalationPolicy {
+        &self.escalation
+    }
+
+    /// Replaces the escalation thresholds.
+    pub fn set_escalation(&mut self, config: crate::EscalationConfig) {
+        self.escalation = crate::EscalationPolicy::new(config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtnc_db::{schema, DbError, TaintKind};
+    use wtnc_sim::Pid;
+
+    fn setup() -> (Database, DbApi, ProcessRegistry, AuditProcess) {
+        let db = Database::build(schema::standard_schema()).unwrap();
+        let api = DbApi::new();
+        let registry = ProcessRegistry::new();
+        let audit = AuditProcess::new(AuditConfig::default(), &db);
+        (db, api, registry, audit)
+    }
+
+    #[test]
+    fn clean_cycle_produces_no_findings() {
+        let (mut db, mut api, mut registry, mut audit) = setup();
+        let report = audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(10));
+        assert!(report.findings.is_empty());
+        assert_eq!(report.tables_checked, 5);
+        assert_eq!(audit.cycles(), 1);
+    }
+
+    #[test]
+    fn full_cycle_catches_static_structural_and_range_errors() {
+        let (mut db, mut api, mut registry, mut audit) = setup();
+        let client = Pid(1);
+        api.init(client);
+        let at = SimTime::from_secs(1);
+
+        // Range setup first (the API needs a healthy catalog).
+        let idx = api.alloc_record(&mut db, client, schema::CONNECTION_TABLE, at).unwrap();
+        let crec = RecordRef::new(schema::CONNECTION_TABLE, idx);
+        db.write_field_raw(crec, schema::connection::STATE, 200).unwrap();
+        let (off, _) = db.field_extent(crec, schema::connection::STATE).unwrap();
+        db.taint_mut().insert(off, TaintEntry { id: 3, at, kind: TaintKind::DynamicRuled });
+
+        // Static: flip a catalog byte (all API operations would now
+        // fail until the audit repairs it).
+        db.flip_bit(6, 0).unwrap();
+        db.taint_mut().insert(6, TaintEntry { id: 1, at, kind: TaintKind::StaticData });
+
+        // Structural: damage a header.
+        let rec = RecordRef::new(schema::PROCESS_TABLE, 9);
+        let base = db.record_offset(rec).unwrap();
+        db.flip_bit(base, 3).unwrap();
+        db.taint_mut().insert(base, TaintEntry { id: 2, at, kind: TaintKind::Structural });
+
+        let report = audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(10));
+        let kinds: BTreeSet<AuditElementKind> =
+            report.findings.iter().map(|f| f.element).collect();
+        assert!(kinds.contains(&AuditElementKind::StaticData), "{kinds:?}");
+        assert!(kinds.contains(&AuditElementKind::Structural));
+        assert!(kinds.contains(&AuditElementKind::Range));
+        assert_eq!(report.caught_count(), 3);
+        assert_eq!(db.taint().latent_count(), 0);
+        assert_eq!(audit.catch_log().len(), 3);
+        // All three elements attributed.
+        let attributed: BTreeSet<AuditElementKind> =
+            audit.catch_log().iter().map(|&(_, k, _)| k).collect();
+        assert_eq!(attributed.len(), 3);
+    }
+
+    #[test]
+    fn event_triggered_tables_join_one_table_scope() {
+        let (mut db, mut api, mut registry, _) = setup();
+        let mut audit = AuditProcess::new(
+            AuditConfig {
+                scope: AuditScope::OneTable,
+                event_triggered: true,
+                ..AuditConfig::default()
+            },
+            &db,
+        );
+        let client = Pid(1);
+        api.init(client);
+        // A write to the resource table queues it for audit.
+        let idx = api
+            .alloc_record(&mut db, client, schema::RESOURCE_TABLE, SimTime::from_secs(1))
+            .unwrap();
+        api.write_fld(
+            &mut db,
+            client,
+            schema::RESOURCE_TABLE,
+            idx,
+            schema::resource::STATUS,
+            1,
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        let report = audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(5));
+        // Scheduler table (round-robin: table 0) + event table
+        // (resource) — at least 2.
+        assert!(report.tables_checked >= 2, "{}", report.tables_checked);
+    }
+
+    #[test]
+    fn semantic_termination_kills_client_and_releases_locks() {
+        let (mut db, mut api, mut registry, mut audit) = setup();
+        let client = registry.spawn("cp-thread", SimTime::ZERO);
+        api.init(client);
+        let at = SimTime::from_secs(1);
+        // Build a half-finished loop whose owner then "crashes".
+        let p = api.alloc_record(&mut db, client, schema::PROCESS_TABLE, at).unwrap();
+        api.write_fld(
+            &mut db,
+            client,
+            schema::PROCESS_TABLE,
+            p,
+            schema::process::CONNECTION_ID,
+            40_000, // broken link
+            at,
+        )
+        .unwrap();
+        api.lock(RecordRef::new(schema::RESOURCE_TABLE, 0), client, at).unwrap();
+
+        let report = audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(10));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.action == RecoveryAction::TerminatedClient { pid: client }));
+        assert!(!registry.is_alive(client));
+        assert!(api.locks().is_empty());
+    }
+
+    #[test]
+    fn custom_elements_participate() {
+        struct CountingElement(u64);
+        impl AuditElement for CountingElement {
+            fn kind(&self) -> AuditElementKind {
+                AuditElementKind::Selective
+            }
+            fn audit_table(
+                &mut self,
+                _db: &mut Database,
+                _table: TableId,
+                _locked: &dyn Fn(RecordRef) -> bool,
+                _at: SimTime,
+                _out: &mut Vec<Finding>,
+            ) -> u64 {
+                self.0 += 1;
+                0
+            }
+        }
+        let (mut db, mut api, mut registry, mut audit) = setup();
+        audit.register_element(Box::new(CountingElement(0)));
+        audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(10));
+        // The element ran once per table; indirect check via no panic —
+        // and the registry accepted it without changes elsewhere.
+    }
+
+    #[test]
+    fn progress_recovery_unwedges_the_database() {
+        let (mut db, mut api, mut registry, mut audit) = setup();
+        let wedged = registry.spawn("client", SimTime::ZERO);
+        let healthy = registry.spawn("client2", SimTime::ZERO);
+        api.init(wedged);
+        api.init(healthy);
+        let rec = RecordRef::new(schema::CONNECTION_TABLE, 0);
+        let idx = api
+            .alloc_record(&mut db, wedged, schema::CONNECTION_TABLE, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(idx, 0);
+        api.lock(rec, wedged, SimTime::from_secs(1)).unwrap();
+        api.crash_client(wedged);
+        // The healthy client is blocked.
+        assert!(matches!(
+            api.write_fld(
+                &mut db,
+                healthy,
+                schema::CONNECTION_TABLE,
+                0,
+                schema::connection::STATE,
+                1,
+                SimTime::from_secs(2)
+            ),
+            Err(DbError::LockHeld { .. })
+        ));
+        // Long silence, then an audit cycle.
+        let report = audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(200));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f.action, RecoveryAction::ReleasedLock { .. })));
+        // The wedged client's orphan record was also reclaimed by the
+        // semantic audit, so the slot is available again: the healthy
+        // client can allocate and use it.
+        let idx2 = api
+            .alloc_record(&mut db, healthy, schema::CONNECTION_TABLE, SimTime::from_secs(201))
+            .unwrap();
+        assert_eq!(idx2, 0, "the freed slot is reusable");
+        api.write_fld(
+            &mut db,
+            healthy,
+            schema::CONNECTION_TABLE,
+            idx2,
+            schema::connection::STATE,
+            1,
+            SimTime::from_secs(201),
+        )
+        .unwrap();
+    }
+}

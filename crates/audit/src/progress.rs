@@ -1,0 +1,220 @@
+//! The progress indicator element (§4.2).
+//!
+//! The database API "is a passive entity and is not capable of
+//! detecting and resolving deadlocks, so it is important to have
+//! deadlock detection as part of the audit process". Every API call
+//! posts a message on the IPC queue; the progress indicator counts
+//! them. If the counter stops moving for longer than the progress
+//! timeout, recovery kicks in: "the progress indicator element
+//! terminates the client process holding the lock for greater than a
+//! predetermined threshold duration, thereby releasing the lock".
+
+use serde::{Deserialize, Serialize};
+use wtnc_db::{DbEvent, LockTable};
+use wtnc_sim::{Pid, ProcessRegistry, SimDuration, SimTime};
+
+use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+
+/// Timing parameters. The paper's defaults: clients should hold a lock
+/// for at most ~100 ms, while the progress timeout is much larger
+/// (~100 s) "in order to reduce runtime overhead".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressConfig {
+    /// Maximum tolerated lock-holding duration.
+    pub lock_threshold: SimDuration,
+    /// How long the activity counter may stay unchanged before recovery
+    /// triggers.
+    pub progress_timeout: SimDuration,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig {
+            lock_threshold: SimDuration::from_millis(100),
+            progress_timeout: SimDuration::from_secs(100),
+        }
+    }
+}
+
+/// The progress-indicator element.
+#[derive(Debug, Clone)]
+pub struct ProgressIndicator {
+    config: ProgressConfig,
+    counter: u64,
+    last_change: SimTime,
+}
+
+impl ProgressIndicator {
+    /// Creates the element.
+    pub fn new(config: ProgressConfig) -> Self {
+        ProgressIndicator {
+            config,
+            counter: 0,
+            last_change: SimTime::ZERO,
+        }
+    }
+
+    /// Messages observed so far.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Feeds one API-activity message ("these messages are used to
+    /// increment a counter in the progress indicator element as they
+    /// indicate ongoing database activity").
+    pub fn observe(&mut self, event: &DbEvent) {
+        self.counter += 1;
+        self.last_change = event.at;
+    }
+
+    /// True when the counter has been still for longer than the
+    /// progress timeout.
+    pub fn timed_out(&self, now: SimTime) -> bool {
+        now.saturating_since(self.last_change) > self.config.progress_timeout
+    }
+
+    /// Runs the element: on timeout, terminates every client holding a
+    /// lock past the lock threshold and releases its locks.
+    pub fn check(
+        &mut self,
+        locks: &mut LockTable,
+        registry: &mut ProcessRegistry,
+        now: SimTime,
+        out: &mut Vec<Finding>,
+    ) {
+        if !self.timed_out(now) {
+            return;
+        }
+        let stale = locks.stale(now, self.config.lock_threshold);
+        if stale.is_empty() {
+            return;
+        }
+        let mut offenders: Vec<Pid> = stale.iter().map(|&(_, pid, _)| pid).collect();
+        offenders.sort_unstable();
+        offenders.dedup();
+        for pid in offenders {
+            let released = locks.release_all(pid);
+            registry.kill(pid, now);
+            out.push(Finding {
+                element: AuditElementKind::Progress,
+                at: now,
+                table: None,
+                record: None,
+                detail: format!(
+                    "no database activity for over {}; terminated {pid} and released {released} stale lock(s)",
+                    self.config.progress_timeout
+                ),
+                action: RecoveryAction::TerminatedClient { pid },
+                caught: Vec::new(),
+            });
+            out.push(Finding {
+                element: AuditElementKind::Progress,
+                at: now,
+                table: None,
+                record: None,
+                detail: format!("released {released} lock(s) held by {pid}"),
+                action: RecoveryAction::ReleasedLock { pid },
+                caught: Vec::new(),
+            });
+        }
+        // Recovery counts as progress.
+        self.last_change = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtnc_db::{DbOp, RecordRef, TableId};
+
+    fn event(at: SimTime) -> DbEvent {
+        DbEvent {
+            at,
+            pid: Pid(1),
+            op: DbOp::WriteFld,
+            table: Some(TableId(1)),
+            record: Some(0),
+        }
+    }
+
+    #[test]
+    fn activity_resets_the_timer() {
+        let mut p = ProgressIndicator::new(ProgressConfig::default());
+        p.observe(&event(SimTime::from_secs(50)));
+        assert_eq!(p.counter(), 1);
+        assert!(!p.timed_out(SimTime::from_secs(100)));
+        assert!(p.timed_out(SimTime::from_secs(151)));
+    }
+
+    #[test]
+    fn wedged_lock_holder_is_terminated_and_lock_released() {
+        let mut p = ProgressIndicator::new(ProgressConfig::default());
+        let mut locks = LockTable::new();
+        let mut registry = ProcessRegistry::new();
+        let wedged = registry.spawn("client", SimTime::ZERO);
+        locks
+            .acquire(RecordRef::new(TableId(2), 3), wedged, SimTime::from_secs(1))
+            .unwrap();
+        // Silence for 200 s.
+        let now = SimTime::from_secs(200);
+        let mut out = Vec::new();
+        p.check(&mut locks, &mut registry, now, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .any(|f| f.action == RecoveryAction::TerminatedClient { pid: wedged }));
+        assert!(locks.is_empty());
+        assert!(!registry.is_alive(wedged));
+    }
+
+    #[test]
+    fn no_recovery_while_activity_flows() {
+        let mut p = ProgressIndicator::new(ProgressConfig::default());
+        let mut locks = LockTable::new();
+        let mut registry = ProcessRegistry::new();
+        let pid = registry.spawn("client", SimTime::ZERO);
+        locks
+            .acquire(RecordRef::new(TableId(0), 0), pid, SimTime::ZERO)
+            .unwrap();
+        // Steady activity right up to the check.
+        for s in 0..100 {
+            p.observe(&event(SimTime::from_secs(s)));
+        }
+        let mut out = Vec::new();
+        p.check(&mut locks, &mut registry, SimTime::from_secs(100), &mut out);
+        assert!(out.is_empty());
+        assert!(registry.is_alive(pid));
+        assert_eq!(locks.len(), 1);
+    }
+
+    #[test]
+    fn timeout_without_stale_locks_is_benign() {
+        let mut p = ProgressIndicator::new(ProgressConfig::default());
+        let mut locks = LockTable::new();
+        let mut registry = ProcessRegistry::new();
+        let mut out = Vec::new();
+        p.check(&mut locks, &mut registry, SimTime::from_secs(500), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_locks_one_offender_one_termination() {
+        let mut p = ProgressIndicator::new(ProgressConfig::default());
+        let mut locks = LockTable::new();
+        let mut registry = ProcessRegistry::new();
+        let pid = registry.spawn("client", SimTime::ZERO);
+        for i in 0..5 {
+            locks
+                .acquire(RecordRef::new(TableId(1), i), pid, SimTime::ZERO)
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        p.check(&mut locks, &mut registry, SimTime::from_secs(200), &mut out);
+        let kills: Vec<_> = out
+            .iter()
+            .filter(|f| matches!(f.action, RecoveryAction::TerminatedClient { .. }))
+            .collect();
+        assert_eq!(kills.len(), 1);
+        assert!(locks.is_empty());
+    }
+}

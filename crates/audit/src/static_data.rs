@@ -1,0 +1,265 @@
+//! Static data integrity check (§4.3.1).
+//!
+//! "The audit element detects corruption in static data region by
+//! computing a golden checksum of all static data at startup and
+//! comparing it with a periodically computed checksum (32-bit Cyclic
+//! Redundancy Code). The standard recovery for static data corruption
+//! is to reload the affected portion from permanent storage."
+//!
+//! The static region set comprises the in-region system catalog (the
+//! descriptors referenced on every API call) and the data region of
+//! every table whose nature is `Config`. Each region is checksummed as
+//! its own chunk so recovery can reload only the affected portion.
+
+use wtnc_db::{crc32, Catalog, Database, TableId, TableNature, TaintFate};
+use wtnc_sim::SimTime;
+
+use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// Table behind this chunk (`None` for the catalog area).
+    table: Option<TableId>,
+    offset: usize,
+    len: usize,
+    golden: u32,
+}
+
+/// The static-data audit element.
+#[derive(Debug, Clone)]
+pub struct StaticDataAudit {
+    chunks: Vec<Chunk>,
+}
+
+impl StaticDataAudit {
+    /// Builds the element, computing golden checksums from the current
+    /// (assumed pristine) database image.
+    pub fn new(db: &Database) -> Self {
+        let catalog = db.catalog();
+        let mut chunks = vec![Chunk {
+            table: None,
+            offset: 0,
+            len: catalog.catalog_len(),
+            golden: crc32(&db.region()[..catalog.catalog_len()]),
+        }];
+        for tm in catalog.tables() {
+            if tm.def.nature == TableNature::Config {
+                let (offset, len) = (tm.offset, tm.data_len());
+                chunks.push(Chunk {
+                    table: Some(tm.id),
+                    offset,
+                    len,
+                    golden: crc32(&db.region()[offset..offset + len]),
+                });
+            }
+        }
+        StaticDataAudit { chunks }
+    }
+
+    /// Number of protected chunks (catalog + config tables).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Re-derives the golden checksums from the *current* image. Call
+    /// after a legitimate configuration change.
+    pub fn rebaseline(&mut self, db: &Database) {
+        for chunk in &mut self.chunks {
+            chunk.golden = crc32(&db.region()[chunk.offset..chunk.offset + chunk.len]);
+        }
+    }
+
+    /// Checks every chunk; on mismatch reloads the affected portion
+    /// from the golden disk image.
+    pub fn audit(&mut self, db: &mut Database, at: SimTime, out: &mut Vec<Finding>) {
+        for chunk in &self.chunks {
+            let bytes = &db.region()[chunk.offset..chunk.offset + chunk.len];
+            if crc32(bytes) == chunk.golden {
+                continue;
+            }
+            db.reload_range(chunk.offset, chunk.len)
+                .expect("chunk extents are within the region");
+            let caught = db.taint_mut().resolve_range(
+                chunk.offset,
+                chunk.len,
+                TaintFate::Caught { at },
+            );
+            if let Some(t) = chunk.table {
+                db.note_errors_detected(t, caught.len().max(1) as u64);
+            }
+            out.push(Finding {
+                element: AuditElementKind::StaticData,
+                at,
+                table: chunk.table,
+                record: None,
+                detail: match chunk.table {
+                    Some(t) => format!("checksum mismatch in config table {}", t.0),
+                    None => "checksum mismatch in system catalog".to_owned(),
+                },
+                action: RecoveryAction::ReloadedRange {
+                    offset: chunk.offset,
+                    len: chunk.len,
+                },
+                caught,
+            });
+        }
+    }
+
+    /// Checks only the chunk(s) belonging to `table` (prioritized
+    /// scheduling path). The catalog chunk is always included — it is
+    /// "the most important because it is referenced on every database
+    /// access".
+    pub fn audit_table(
+        &mut self,
+        db: &mut Database,
+        table: TableId,
+        at: SimTime,
+        out: &mut Vec<Finding>,
+    ) {
+        let indices: Vec<usize> = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.table.is_none() || c.table == Some(table))
+            .map(|(i, _)| i)
+            .collect();
+        for i in indices {
+            let chunk = self.chunks[i].clone();
+            let bytes = &db.region()[chunk.offset..chunk.offset + chunk.len];
+            if crc32(bytes) == chunk.golden {
+                continue;
+            }
+            db.reload_range(chunk.offset, chunk.len)
+                .expect("chunk extents are within the region");
+            let caught =
+                db.taint_mut()
+                    .resolve_range(chunk.offset, chunk.len, TaintFate::Caught { at });
+            if let Some(t) = chunk.table {
+                db.note_errors_detected(t, caught.len().max(1) as u64);
+            }
+            out.push(Finding {
+                element: AuditElementKind::StaticData,
+                at,
+                table: chunk.table,
+                record: None,
+                detail: "checksum mismatch".to_owned(),
+                action: RecoveryAction::ReloadedRange {
+                    offset: chunk.offset,
+                    len: chunk.len,
+                },
+                caught,
+            });
+        }
+    }
+
+    /// Convenience: is the given catalog the one this element was built
+    /// against (sanity check for callers wiring components together)?
+    pub fn matches_catalog(&self, catalog: &Catalog) -> bool {
+        self.chunks
+            .first()
+            .is_some_and(|c| c.len == catalog.catalog_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtnc_db::{schema, RecordRef, TaintEntry, TaintKind};
+
+    fn db() -> Database {
+        Database::build(schema::standard_schema()).unwrap()
+    }
+
+    #[test]
+    fn clean_database_has_no_findings() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        assert_eq!(audit.chunk_count(), 3); // catalog + 2 config tables
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn catalog_corruption_detected_and_repaired() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        let before = d.region()[4];
+        d.flip_bit(4, 1).unwrap();
+        d.taint_mut().insert(
+            4,
+            TaintEntry { id: 1, at: SimTime::ZERO, kind: TaintKind::StaticData },
+        );
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::from_secs(1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].table.is_none());
+        assert_eq!(out[0].caught.len(), 1);
+        assert_eq!(d.region()[4], before, "bytes restored");
+        assert_eq!(d.taint().latent_count(), 0);
+    }
+
+    #[test]
+    fn config_field_corruption_detected_per_chunk() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        let rec = RecordRef::new(schema::CHANNEL_CONFIG_TABLE, 3);
+        let (off, _) = d.field_extent(rec, schema::channel_config::FREQ_KHZ).unwrap();
+        d.flip_bit(off, 7).unwrap();
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::from_secs(1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].table, Some(schema::CHANNEL_CONFIG_TABLE));
+        assert_eq!(
+            d.read_field_raw(rec, schema::channel_config::FREQ_KHZ).unwrap(),
+            890_000
+        );
+        // Error history recorded for prioritization.
+        assert!(d.table_stats(schema::CHANNEL_CONFIG_TABLE).unwrap().errors_total >= 1);
+    }
+
+    #[test]
+    fn audit_table_scopes_to_one_table_plus_catalog() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        // Corrupt both config tables.
+        let r0 = RecordRef::new(schema::SYSCONFIG_TABLE, 0);
+        let r1 = RecordRef::new(schema::CHANNEL_CONFIG_TABLE, 0);
+        let (o0, _) = d.field_extent(r0, schema::sysconfig::N_CPUS).unwrap();
+        let (o1, _) = d.field_extent(r1, schema::channel_config::FREQ_KHZ).unwrap();
+        d.flip_bit(o0, 0).unwrap();
+        d.flip_bit(o1, 0).unwrap();
+        let mut out = Vec::new();
+        audit.audit_table(&mut d, schema::SYSCONFIG_TABLE, SimTime::ZERO, &mut out);
+        // Only sysconfig repaired; channel_config still corrupt.
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.read_field_raw(r0, schema::sysconfig::N_CPUS).unwrap(), 4);
+        assert_ne!(
+            d.read_field_raw(r1, schema::channel_config::FREQ_KHZ).unwrap(),
+            890_000
+        );
+    }
+
+    #[test]
+    fn rebaseline_accepts_reconfiguration() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        // Operator legitimately rewrites a config value (raw write +
+        // golden commit modelled by rebuilding both).
+        let rec = RecordRef::new(schema::SYSCONFIG_TABLE, 0);
+        d.write_field_raw(rec, schema::sysconfig::N_CPUS, 8).unwrap();
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1, "pre-rebaseline this looks like corruption");
+        // The reload undid the change; redo and rebaseline.
+        d.write_field_raw(rec, schema::sysconfig::N_CPUS, 8).unwrap();
+        audit.rebaseline(&d);
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::ZERO, &mut out);
+        // Note: golden *image* still disagrees, but checksums now match
+        // so no finding is raised. (Committing the golden image is the
+        // API's job.)
+        assert!(out.is_empty());
+        assert!(audit.matches_catalog(d.catalog()));
+    }
+}

@@ -1,0 +1,28 @@
+//! Ablation: cost of the prioritized scheduler's table-ranking
+//! decision vs plain round-robin, across database sizes. (The
+//! *quality* ablation — escapes under each weight setting — is the
+//! `ablation` binary; this measures the decision overhead the
+//! scheduler adds to every audit tick.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtnc::audit::{AuditScheduler, PriorityScheduler, PriorityWeights, RoundRobinScheduler};
+use wtnc::db::{schema, Database};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_priority");
+    for scale in [1u32, 8, 32] {
+        let db = Database::build(schema::six_table_schema(scale)).unwrap();
+        let mut rr = RoundRobinScheduler::new();
+        group.bench_with_input(BenchmarkId::new("round_robin", scale), &(), |b, ()| {
+            b.iter(|| rr.next_table(&db))
+        });
+        let mut pri = PriorityScheduler::new(PriorityWeights::default());
+        group.bench_with_input(BenchmarkId::new("prioritized", scale), &(), |b, ()| {
+            b.iter(|| pri.next_table(&db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Audit-cycle throughput: how fast one full audit sweep of the
+//! standard database runs, per element mix and database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wtnc::audit::{AuditConfig, AuditProcess};
+use wtnc::db::{schema, Database, DbApi};
+use wtnc::sim::{ProcessRegistry, SimTime};
+
+fn populated_db(slots: u32) -> Database {
+    let mut db = Database::build(schema::standard_schema_with_slots(slots)).unwrap();
+    // Fill ~70% of the dynamic tables with linked call loops.
+    let n = (slots as usize * 7 / 10) as u32;
+    for _ in 0..n {
+        let p = db.alloc_record_raw(schema::PROCESS_TABLE).unwrap();
+        let c = db.alloc_record_raw(schema::CONNECTION_TABLE).unwrap();
+        let r = db.alloc_record_raw(schema::RESOURCE_TABLE).unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::PROCESS_TABLE, p),
+            schema::process::CONNECTION_ID,
+            c as u64,
+        )
+        .unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::CONNECTION_TABLE, c),
+            schema::connection::CHANNEL_ID,
+            r as u64,
+        )
+        .unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::RESOURCE_TABLE, r),
+            schema::resource::PROCESS_ID,
+            p as u64,
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit_throughput");
+    for slots in [16u32, 64, 256] {
+        let mut db = populated_db(slots);
+        let mut api = DbApi::new();
+        let mut registry = ProcessRegistry::new();
+        let mut audit = AuditProcess::new(AuditConfig::default(), &db);
+        group.throughput(Throughput::Elements(slots as u64 * 3));
+        group.bench_with_input(BenchmarkId::new("full_cycle", slots), &(), |b, ()| {
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 10;
+                audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(tick))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Concurrent database API throughput: several OS threads share one
+//! controller database behind a `parking_lot::Mutex`, the deployment
+//! shape of the real controller (one shared memory region, many
+//! client processes). Measures aggregate operations per second,
+//! original vs audit-instrumented API, at different client counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parking_lot::Mutex;
+use wtnc::db::{schema, Database, DbApi};
+use wtnc::sim::{Pid, SimTime};
+
+const OPS_PER_THREAD: u64 = 400;
+
+fn run_threads(shared: &Mutex<(Database, DbApi)>, threads: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let pid = Pid(t as u32 + 1);
+                let now = SimTime::from_secs(1);
+                let conn = schema::CONNECTION_TABLE;
+                for i in 0..OPS_PER_THREAD {
+                    let mut guard = shared.lock();
+                    let (db, api) = &mut *guard;
+                    match i % 4 {
+                        0 => {
+                            let _ = api.read_rec(db, pid, conn, (i % 8) as u32, now);
+                        }
+                        1 => {
+                            let _ = api.write_fld(
+                                db,
+                                pid,
+                                conn,
+                                (i % 8) as u32,
+                                schema::connection::STATE,
+                                1,
+                                now,
+                            );
+                        }
+                        2 => {
+                            let _ = api.read_fld(
+                                db,
+                                pid,
+                                conn,
+                                (i % 8) as u32,
+                                schema::connection::CALLER_ID,
+                                now,
+                            );
+                        }
+                        _ => {
+                            let _ = api.move_rec(db, pid, conn, (i % 8) as u32, (i % 4) as u8, now);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_api");
+    for instrumented in [false, true] {
+        let label = if instrumented { "modified" } else { "original" };
+        for threads in [1usize, 4, 8] {
+            group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_batched(
+                        || {
+                            let mut db = Database::build(schema::standard_schema()).unwrap();
+                            let mut api = if instrumented {
+                                DbApi::new()
+                            } else {
+                                DbApi::without_instrumentation()
+                            };
+                            for t in 0..threads {
+                                api.init(Pid(t as u32 + 1));
+                            }
+                            // Eight shared records to contend over.
+                            for _ in 0..8 {
+                                api.alloc_record(
+                                    &mut db,
+                                    Pid(1),
+                                    schema::CONNECTION_TABLE,
+                                    SimTime::ZERO,
+                                )
+                                .unwrap();
+                            }
+                            Mutex::new((db, api))
+                        },
+                        |shared| run_threads(&shared, threads),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion counterpart of paper Figure 4: wall-clock cost of every
+//! database API function, original vs audit-instrumented.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtnc::db::{schema, Database, DbApi};
+use wtnc::sim::{Pid, SimTime};
+
+fn bench_api(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_api_overhead");
+    for instrumented in [false, true] {
+        let label = if instrumented { "modified" } else { "original" };
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let mut api = if instrumented {
+            DbApi::new()
+        } else {
+            DbApi::without_instrumentation()
+        };
+        let pid = Pid(1);
+        api.init(pid);
+        let t = schema::CONNECTION_TABLE;
+        let now = SimTime::from_secs(1);
+        let idx = api.alloc_record(&mut db, pid, t, now).unwrap();
+        let field_count = db.catalog().table(t).unwrap().def.fields.len();
+        let values = vec![1u64; field_count];
+
+        group.bench_with_input(BenchmarkId::new("DBread_fld", label), &(), |b, ()| {
+            b.iter(|| {
+                api.read_fld(&mut db, pid, t, idx, schema::connection::CALLER_ID, now)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("DBread_rec", label), &(), |b, ()| {
+            b.iter(|| api.read_rec(&mut db, pid, t, idx, now).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("DBwrite_fld", label), &(), |b, ()| {
+            b.iter(|| {
+                api.write_fld(&mut db, pid, t, idx, schema::connection::STATE, 1, now)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("DBwrite_rec", label), &(), |b, ()| {
+            b.iter(|| api.write_rec(&mut db, pid, t, idx, &values, now).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("DBmove", label), &(), |b, ()| {
+            b.iter(|| api.move_rec(&mut db, pid, t, idx, 3, now).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_api);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! PECOS run-time overhead: instruction-count and wall-clock cost of
+//! executing the instrumented client vs the plain client — the
+//! slowdown the assertion blocks impose on an error-free run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtnc::isa::{asm::Assembly, Machine, MachineConfig, NoSyscalls};
+use wtnc::pecos::instrument;
+
+const PROGRAM: &str = r#"
+start:
+    movi r1, 50
+    movi r2, 0
+loop:
+    add  r2, r2, r1
+    call twiddle
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+twiddle:
+    addi r2, r2, 3
+    ret
+"#;
+
+fn bench_pecos(c: &mut Criterion) {
+    let asm = Assembly::parse(PROGRAM).unwrap();
+    let plain = asm.assemble().unwrap();
+    let instrumented = instrument(&asm).unwrap();
+
+    // Report the dynamic instruction-count overhead once.
+    let count_steps = |program: &wtnc::isa::Program| {
+        let mut m = Machine::load(program, MachineConfig::default());
+        m.spawn_thread(program.entry);
+        m.run(&mut NoSyscalls, 1_000_000);
+        m.total_steps()
+    };
+    let plain_steps = count_steps(&plain);
+    let inst_steps = count_steps(&instrumented.program);
+    eprintln!(
+        "pecos dynamic overhead: {plain_steps} -> {inst_steps} instructions \
+         ({:.1}% more), text {:.1}% larger",
+        (inst_steps as f64 / plain_steps as f64 - 1.0) * 100.0,
+        instrumented.meta.size_overhead() * 100.0,
+    );
+
+    let mut group = c.benchmark_group("pecos_overhead");
+    for (label, program) in [("plain", &plain), ("instrumented", &instrumented.program)] {
+        group.bench_with_input(BenchmarkId::new("run_client", label), &(), |b, ()| {
+            b.iter(|| {
+                let mut m = Machine::load(program, MachineConfig::default());
+                m.spawn_thread(program.entry);
+                m.run(&mut NoSyscalls, 1_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pecos);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates paper Figure 3: escaped errors as the fault/error
+//! inter-arrival time sweeps from 2 to 20 seconds (audits on).
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin fig3
+//! ```
+
+use wtnc::inject::db_campaign::{run_campaign, DbCampaignConfig};
+use wtnc::sim::SimDuration;
+use wtnc_bench::scaled_runs;
+
+fn main() {
+    let runs = scaled_runs(10);
+    println!(
+        "Figure 3 — escaped errors vs fault inter-arrival time (audit period 10 s, {runs} runs/point)\n"
+    );
+    println!(
+        "{:>10} {:>12} {:>18} {:>14}",
+        "IAT (s)", "injected", "escaped per run", "escaped %"
+    );
+    for iat in (2..=20).step_by(2) {
+        let config = DbCampaignConfig {
+            audits: true,
+            error_iat: SimDuration::from_secs(iat),
+            ..DbCampaignConfig::default()
+        };
+        let r = run_campaign(&config, runs);
+        println!(
+            "{:>10} {:>12} {:>18.1} {:>13.1}%",
+            iat,
+            r.injected,
+            r.escaped as f64 / runs as f64,
+            r.escaped_pct()
+        );
+    }
+    println!(
+        "\npaper reference: escaped count rises as IAT falls (accelerating once IAT < the 10 s \
+         audit period); escaped percentage stays roughly flat (8-14%), no cliff"
+    );
+}

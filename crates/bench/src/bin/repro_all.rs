@@ -1,0 +1,30 @@
+//! Runs every table/figure harness in sequence — the one-shot
+//! reproduction of the paper's whole evaluation section.
+//!
+//! ```sh
+//! WTNC_RUNS_SCALE=0.2 cargo run --release -p wtnc-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table3", "table4", "fig3", "fig4", "fig5", "fig6", "table8", "table9", "table10",
+        "ablation", "selective_ext",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin directory");
+    for bin in bins {
+        println!("================================================================");
+        println!("== {bin}");
+        println!("================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,72 @@
+//! Extension experiment: the §4.4.2 selective-monitoring assessment
+//! the paper deferred to \[LIU00\] "owing to space constraints",
+//! reconstructed.
+//!
+//! The standard schema's three unruled attributes (task-name codes,
+//! billing units, radio power steps) are invisible to the range check —
+//! the paper's "escape due to lack of rule" category. Selective
+//! monitoring learns their value distributions at run time and repairs
+//! never-observed values to the attribute's modal value. This harness
+//! compares the §5.1 campaign with and without the element.
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin selective_ext
+//! ```
+
+use wtnc::inject::db_campaign::{run_campaign, DbCampaignConfig};
+use wtnc::sim::SimDuration;
+use wtnc_bench::scaled_runs;
+
+fn main() {
+    let runs = scaled_runs(15);
+    let base = DbCampaignConfig {
+        audits: true,
+        error_iat: SimDuration::from_secs(20),
+        ..DbCampaignConfig::default()
+    };
+    println!(
+        "Selective monitoring of attributes (§4.4.2 extension), {runs} runs/arm\n"
+    );
+    println!(
+        "{:<44} {:>16} {:>18}",
+        "", "static rules only", "with selective mon."
+    );
+    let without = run_campaign(&base, runs);
+    let with = run_campaign(
+        &DbCampaignConfig { selective_monitoring: true, ..base },
+        runs,
+    );
+    let row = |label: &str, a: String, b: String| println!("{label:<44} {a:>16} {b:>18}");
+    row(
+        "errors escaped (% of injected)",
+        format!("{} ({:.1}%)", without.escaped, without.escaped_pct()),
+        format!("{} ({:.1}%)", with.escaped, with.escaped_pct()),
+    );
+    row(
+        "  of which: lack-of-rule escapes",
+        format!("{}", without.breakdown.dynamic_escaped_no_rule),
+        format!("{}", with.breakdown.dynamic_escaped_no_rule),
+    );
+    row(
+        "errors caught",
+        format!("{} ({:.1}%)", without.caught, without.caught_pct()),
+        format!("{} ({:.1}%)", with.caught, with.caught_pct()),
+    );
+    row(
+        "  of which: by selective monitoring",
+        format!("{}", without.breakdown.dynamic_selective_detected),
+        format!("{}", with.breakdown.dynamic_selective_detected),
+    );
+    let reduction = if without.breakdown.dynamic_escaped_no_rule > 0 {
+        100.0
+            * (1.0
+                - with.breakdown.dynamic_escaped_no_rule as f64
+                    / without.breakdown.dynamic_escaped_no_rule as f64)
+    } else {
+        0.0
+    };
+    println!(
+        "\nlack-of-rule escapes reduced by {reduction:.0}% — derived invariants partially \
+         close the gap static rules leave open (the paper's closing observation)"
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates paper Table 8: cumulative results from **directed
+//! injection to control-flow instructions** of the call-processing
+//! client, across the four PECOS × audit configurations and all four
+//! error models.
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin table8
+//! ```
+
+use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
+use wtnc_bench::{print_outcome_matrix, scaled_runs};
+
+fn main() {
+    let runs = scaled_runs(200); // paper: 200 runs per campaign cell
+    let columns = four_column_table(InjectionTarget::DirectedCfi, runs, 4, 24, 0x7AB8);
+    print_outcome_matrix(
+        &format!(
+            "Table 8 — directed injection to control flow instructions ({runs} runs x 4 models per column)"
+        ),
+        &columns,
+    );
+    println!(
+        "paper reference: PECOS detection 83% / 77% (of activated), system detection drops \
+         52% -> 19%, hangs 6 -> 0 cases, fail-silence violations ~1 case"
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates paper Table 9: cumulative results from **random
+//! injection to the instruction stream** of the call-processing
+//! client, across the four PECOS × audit configurations and all four
+//! error models.
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin table9
+//! ```
+
+use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
+use wtnc_bench::{print_outcome_matrix, scaled_runs};
+
+fn main() {
+    let runs = scaled_runs(200);
+    let columns = four_column_table(InjectionTarget::RandomText, runs, 4, 24, 0x7AB9);
+    print_outcome_matrix(
+        &format!(
+            "Table 9 — random injection to the instruction stream ({runs} runs x 4 models per column)"
+        ),
+        &columns,
+    );
+    println!(
+        "paper reference: PECOS detection 45% / 49%, system detection 66% -> 39%, \
+         fail-silence violations 5% -> 2%, audits pick up ~7% (client->database propagation ~8%)"
+    );
+}

@@ -1,0 +1,129 @@
+//! Shared support for the reproduction harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the formatting and configuration helpers
+//! they share. Run counts default to the paper's but can be scaled
+//! down for a quick pass with the `WTNC_RUNS_SCALE` environment
+//! variable (e.g. `WTNC_RUNS_SCALE=0.1` for a 10× faster sweep).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wtnc::inject::{OutcomeCounts, RunOutcome};
+
+/// Scales a paper-default run count by `WTNC_RUNS_SCALE` (clamped to
+/// at least one run).
+pub fn scaled_runs(paper_default: usize) -> usize {
+    let scale = std::env::var("WTNC_RUNS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.001, 100.0);
+    ((paper_default as f64 * scale).round() as usize).max(1)
+}
+
+/// Formats a percentage with its binomial 95% confidence interval the
+/// way the paper's Tables 8 and 9 do: `52% (47, 58)`.
+pub fn pct_ci(counts: &OutcomeCounts, outcome: RunOutcome) -> String {
+    let p = counts.proportion_of_activated(outcome);
+    let (lo, hi) = p.ci95_percent();
+    format!("{:.0}% ({:.0}, {:.0})", p.percent(), lo, hi)
+}
+
+/// Prints a Table 8/9-style outcome matrix: one column per campaign
+/// configuration, one row per outcome category.
+pub fn print_outcome_matrix(title: &str, columns: &[(String, OutcomeCounts)]) {
+    println!("{title}");
+    print!("{:<42}", "Category");
+    for (name, _) in columns {
+        print!(" | {name:<28}");
+    }
+    println!();
+    println!("{}", "-".repeat(42 + columns.len() * 31));
+
+    let pct_of_total = |c: &OutcomeCounts, o: RunOutcome| {
+        if c.total() == 0 {
+            0.0
+        } else {
+            100.0 * c.count(o) as f64 / c.total() as f64
+        }
+    };
+    print!("{:<42}", "Errors Not Activated");
+    for (_, c) in columns {
+        print!(
+            " | {:<28}",
+            format!("{:.0}%", pct_of_total(c, RunOutcome::NotActivated))
+        );
+    }
+    println!();
+    for outcome in [
+        RunOutcome::NotManifested,
+        RunOutcome::PecosDetection,
+        RunOutcome::AuditDetection,
+        RunOutcome::SystemDetection,
+        RunOutcome::ClientHang,
+        RunOutcome::FailSilenceViolation,
+    ] {
+        print!("{:<42}", outcome.to_string());
+        for (_, c) in columns {
+            let cell = match outcome {
+                RunOutcome::PecosDetection | RunOutcome::AuditDetection
+                    if c.count(outcome) == 0 =>
+                {
+                    "N/A or 0".to_owned()
+                }
+                RunOutcome::ClientHang | RunOutcome::FailSilenceViolation
+                    if c.count(outcome) < 10 =>
+                {
+                    // The paper prints raw counts for rare categories.
+                    format!("{} case(s)", c.count(outcome))
+                }
+                _ => pct_ci(c, outcome),
+            };
+            print!(" | {cell:<28}");
+        }
+        println!();
+    }
+    print!("{:<42}", "Total Number of Injected Errors");
+    for (_, c) in columns {
+        print!(" | {:<28}", c.total());
+    }
+    println!();
+    print!("{:<42}", "Coverage {100 - (crash+hang+FSV)}%");
+    for (_, c) in columns {
+        print!(" | {:<28}", format!("{:.0}%", c.coverage()));
+    }
+    println!("\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_runs_clamps_to_one() {
+        std::env::remove_var("WTNC_RUNS_SCALE");
+        assert_eq!(scaled_runs(30), 30);
+    }
+
+    #[test]
+    fn pct_ci_formats_like_the_paper() {
+        let mut c = OutcomeCounts::new();
+        for _ in 0..52 {
+            c.record(RunOutcome::SystemDetection);
+        }
+        for _ in 0..48 {
+            c.record(RunOutcome::NotManifested);
+        }
+        let s = pct_ci(&c, RunOutcome::SystemDetection);
+        assert!(s.starts_with("52% ("), "{s}");
+    }
+
+    #[test]
+    fn matrix_prints_without_panicking() {
+        let mut c = OutcomeCounts::new();
+        c.record(RunOutcome::PecosDetection);
+        c.record(RunOutcome::NotActivated);
+        print_outcome_matrix("t", &[("col".to_owned(), c)]);
+    }
+}

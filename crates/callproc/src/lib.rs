@@ -1,0 +1,32 @@
+//! Call-processing clients for the controller.
+//!
+//! Two client implementations back the paper's two experiment
+//! families:
+//!
+//! * [`DesClient`] — the discrete-event client of §5: a multi-threaded
+//!   call processor walking the Figure-2 phases (authentication,
+//!   resource allocation, active call, tear-down) against the real
+//!   database through the real API, keeping golden local copies of
+//!   everything it writes. The §5 experiments inject bit errors into
+//!   the database while this client runs and measure what escapes the
+//!   audits.
+//! * [`asm_client`] — the ISA-level client of §6: the Figure-8 loop
+//!   (allocate a record, write a computed value, read it back, compare
+//!   against the golden local copy, flag on mismatch) expressed in
+//!   assembly, instrumentable by PECOS, reached from the machine
+//!   through the [`DbSyscallBridge`]. The §6 experiments inject errors
+//!   into this client's text segment.
+//!
+//! Each in-flight call runs under its own simulated process identity
+//! so the audit's recovery actions (terminate the thread using zombie
+//! records) compose with the client: a call whose pid the audit killed
+//! is observed as dropped on its next activity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm_client;
+mod des_client;
+
+pub use asm_client::{AsmClientConfig, BridgeStats, DbSyscallBridge};
+pub use des_client::{CallHandle, CallOutcome, CallStats, DesClient, WorkloadConfig};

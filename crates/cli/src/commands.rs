@@ -1,0 +1,406 @@
+//! Subcommand implementations.
+
+use std::collections::HashMap;
+
+use wtnc::audit::AuditConfig;
+use wtnc::db::schema;
+use wtnc::inject::db_campaign::{run_campaign as run_db_campaign, DbCampaignConfig};
+use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
+use wtnc::inject::RunOutcome;
+use wtnc::isa::{asm::Assembly, Machine, MachineConfig, NoSyscalls, StepOutcome};
+use wtnc::pecos::{handle_exception, instrument, PecosVerdict};
+use wtnc::sim::{SimDuration, SimTime};
+use wtnc::Controller;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+wtnc — database audit and control-flow checking framework tools
+
+USAGE:
+    wtnc asm <file.s>                      assemble and list a program
+    wtnc run <file.s> [--threads N] [--steps N]
+                                           execute on the machine
+    wtnc trace <file.s> [--steps N]        single-step with a per-
+                                           instruction listing
+    wtnc pecos <file.s> [--corrupt-cfi N]  instrument; optionally corrupt
+                                           the Nth CFI and watch PECOS
+    wtnc audit-demo                        inject -> detect -> repair
+    wtnc campaign db [--runs N] [--no-audit]
+    wtnc campaign text [--runs N] [--directed]
+    wtnc campaign priority [--runs N] [--proportional]
+    wtnc help                              this text";
+
+/// Parses `--flag value` pairs and positional arguments.
+fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags are followed by another flag or nothing.
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name, args[i + 1].as_str());
+                i += 2;
+            } else {
+                flags.insert(name, "true");
+                i += 1;
+            }
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag_num<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn load_assembly(path: &str) -> Result<Assembly, String> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    Assembly::parse(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `wtnc asm <file.s>`
+pub fn asm(args: &[String]) -> Result<(), String> {
+    let (positional, _) = parse(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: wtnc asm <file.s>".into());
+    };
+    let assembly = load_assembly(path)?;
+    let program = assembly.assemble().map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} words, entry at {}, {} symbols\n",
+        program.len(),
+        program.entry,
+        program.symbols.len()
+    );
+    print!("{}", program.disassemble());
+    Ok(())
+}
+
+/// `wtnc run <file.s> [--threads N] [--steps N]`
+pub fn run(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: wtnc run <file.s> [--threads N] [--steps N]".into());
+    };
+    let threads: usize = flag_num(&flags, "threads", 1)?;
+    let steps: u64 = flag_num(&flags, "steps", 1_000_000)?;
+    let program = load_assembly(path)?
+        .assemble()
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut machine = Machine::load(&program, MachineConfig::default());
+    for _ in 0..threads.max(1) {
+        machine.spawn_thread(program.entry);
+    }
+    let outcome = machine.run(&mut NoSyscalls, steps);
+    println!(
+        "ran {} instructions across {} thread(s); final outcome: {outcome:?}",
+        machine.total_steps(),
+        threads
+    );
+    for t in 0..threads.max(1) {
+        let regs: Vec<String> = (0..16)
+            .map(|r| format!("r{r}={}", machine.reg(t, r).unwrap_or(0)))
+            .collect();
+        println!("thread {t}: {:?}\n  {}", machine.thread_state(t), regs.join(" "));
+    }
+    Ok(())
+}
+
+/// `wtnc trace <file.s> [--steps N]`
+pub fn trace(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: wtnc trace <file.s> [--steps N]".into());
+    };
+    let steps: u64 = flag_num(&flags, "steps", 200)?;
+    let program = load_assembly(path)?
+        .assemble()
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut machine = Machine::load(&program, MachineConfig::default());
+    machine.spawn_thread(program.entry);
+    for _ in 0..steps {
+        let Some((tid, pc)) = machine.peek_next() else {
+            println!("(machine idle)");
+            break;
+        };
+        let word = machine.text()[pc as usize];
+        let listing = match wtnc::isa::decode(word) {
+            Ok(inst) => format!("{inst:?}"),
+            Err(e) => format!(".word {word:#010x} ; {e}"),
+        };
+        match machine.step(&mut NoSyscalls) {
+            StepOutcome::Executed { .. } => println!("t{tid} {pc:5}: {listing}"),
+            StepOutcome::Exception(info) => {
+                println!("t{tid} {pc:5}: {listing}   !! {:?}", info.kind);
+                break;
+            }
+            StepOutcome::Idle => break,
+        }
+    }
+    Ok(())
+}
+
+/// `wtnc pecos <file.s> [--corrupt-cfi N]`
+pub fn pecos(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: wtnc pecos <file.s> [--corrupt-cfi N]".into());
+    };
+    let assembly = load_assembly(path)?;
+    let inst = instrument(&assembly).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} CFIs protected; {} -> {} words ({:.0}% size overhead)",
+        inst.meta.cfi_count,
+        inst.meta.original_words,
+        inst.meta.instrumented_words,
+        inst.meta.size_overhead() * 100.0
+    );
+
+    let Some(which) = flags.get("corrupt-cfi") else {
+        return Ok(());
+    };
+    let which: usize = which
+        .parse()
+        .map_err(|_| "--corrupt-cfi expects an index".to_owned())?;
+    let cfis: Vec<usize> = (0..inst.program.len())
+        .filter(|&a| {
+            wtnc::isa::decode(inst.program.text[a])
+                .map(|i| i.is_cfi())
+                .unwrap_or(false)
+        })
+        .collect();
+    let Some(&target) = cfis.get(which) else {
+        return Err(format!("program has {} CFIs; index {which} out of range", cfis.len()));
+    };
+    let mut machine = Machine::load(&inst.program, MachineConfig::default());
+    machine.text_mut()[target] ^= 0x0000_0010; // flip a target bit
+    let t = machine.spawn_thread(inst.program.entry);
+    println!("corrupted the CFI at text address {target}; running...");
+    for _ in 0..1_000_000u64 {
+        match machine.step(&mut NoSyscalls) {
+            StepOutcome::Exception(info) => {
+                match handle_exception(&mut machine, &inst.meta, info) {
+                    PecosVerdict::PecosDetected => println!(
+                        "PECOS detection: divide-by-zero from the assertion block at pc {} — \
+                         thread terminated before the corrupted jump executed",
+                        info.pc
+                    ),
+                    PecosVerdict::SystemFault => {
+                        println!("system fault: {:?} at pc {} (process crash)", info.kind, info.pc)
+                    }
+                }
+                break;
+            }
+            StepOutcome::Idle => {
+                println!("program finished; the corrupted path was never taken");
+                break;
+            }
+            StepOutcome::Executed { .. } => {}
+        }
+    }
+    println!("thread state: {:?}", machine.thread_state(t));
+    Ok(())
+}
+
+/// `wtnc audit-demo`
+pub fn audit_demo(_args: &[String]) -> Result<(), String> {
+    let mut controller = Controller::standard().with_audit(AuditConfig::default());
+    println!(
+        "controller: {} tables, {} byte image, audit process alive",
+        controller.db.catalog().table_count(),
+        controller.db.region_len()
+    );
+    // One corruption per audit element class.
+    let catalog_off = 6;
+    let header_off = controller
+        .db
+        .record_offset(wtnc::db::RecordRef::new(schema::PROCESS_TABLE, 2))
+        .expect("record exists");
+    controller.inject_bit_flip(catalog_off, 1, SimTime::from_secs(1));
+    controller.inject_bit_flip(header_off, 3, SimTime::from_secs(1));
+    println!("injected 2 bit flips (catalog + record header)");
+    let report = controller
+        .run_audit_cycle(SimTime::from_secs(10))
+        .expect("audit alive");
+    for f in &report.findings {
+        println!("  [{:?}] {} -> {:?}", f.element, f.detail, f.action);
+    }
+    println!(
+        "latent corruptions remaining: {}",
+        controller.db.taint().latent_count()
+    );
+    Ok(())
+}
+
+/// `wtnc campaign <db|text> [...]`
+pub fn campaign(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    match positional.as_slice() {
+        ["db"] => {
+            let runs: usize = flag_num(&flags, "runs", 5)?;
+            let audits = !flags.contains_key("no-audit");
+            let config = DbCampaignConfig {
+                audits,
+                duration: SimDuration::from_secs(500),
+                ..DbCampaignConfig::default()
+            };
+            let r = run_db_campaign(&config, runs);
+            println!(
+                "db campaign ({runs} runs, audits {}): injected {}, escaped {} ({:.1}%), \
+                 caught {} ({:.1}%), no effect {} ({:.1}%), setup {:.0} ms",
+                if audits { "on" } else { "off" },
+                r.injected,
+                r.escaped,
+                r.escaped_pct(),
+                r.caught,
+                r.caught_pct(),
+                r.overwritten + r.latent,
+                r.no_effect_pct(),
+                r.avg_setup_ms
+            );
+            Ok(())
+        }
+        ["text"] => {
+            let runs: usize = flag_num(&flags, "runs", 25)?;
+            let target = if flags.contains_key("directed") {
+                InjectionTarget::DirectedCfi
+            } else {
+                InjectionTarget::RandomText
+            };
+            let columns = four_column_table(target, runs, 2, 12, 0xC11);
+            for (name, counts) in &columns {
+                println!(
+                    "{name:<32} activated {:>4}  pecos {:>5.1}%  crash {:>5.1}%  coverage {:>5.1}%",
+                    counts.activated(),
+                    counts
+                        .proportion_of_activated(RunOutcome::PecosDetection)
+                        .percent(),
+                    counts
+                        .proportion_of_activated(RunOutcome::SystemDetection)
+                        .percent(),
+                    counts.coverage()
+                );
+            }
+            Ok(())
+        }
+        ["priority"] => {
+            let runs: usize = flag_num(&flags, "runs", 3)?;
+            let proportional = flags.contains_key("proportional");
+            for prioritized in [false, true] {
+                let config = wtnc::inject::priority_campaign::PriorityCampaignConfig {
+                    prioritized,
+                    proportional_errors: proportional,
+                    duration: SimDuration::from_secs(200),
+                    ..Default::default()
+                };
+                let r = wtnc::inject::priority_campaign::run_campaign(&config, runs);
+                println!(
+                    "{:<13} escaped {:>6.2}% of {:>6} injected, caught {:>6}, latency {:>5.2} s",
+                    if prioritized { "prioritized" } else { "round-robin" },
+                    r.escaped_pct(),
+                    r.injected,
+                    r.caught,
+                    r.detection_latency_s
+                );
+            }
+            Ok(())
+        }
+        _ => Err(
+            "usage: wtnc campaign <db|text|priority> [--runs N] [--no-audit|--directed|--proportional]"
+                .into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_handles_flags_and_positionals() {
+        let args = strings(&["file.s", "--threads", "4", "--directed", "--steps", "100"]);
+        let (pos, flags) = parse(&args).unwrap();
+        assert_eq!(pos, vec!["file.s"]);
+        assert_eq!(flags.get("threads"), Some(&"4"));
+        assert_eq!(flags.get("directed"), Some(&"true"));
+        assert_eq!(flag_num(&flags, "steps", 0u64).unwrap(), 100);
+        assert_eq!(flag_num(&flags, "missing", 7u64).unwrap(), 7);
+        assert!(flag_num::<u64>(&flags, "directed", 0).is_err());
+    }
+
+    #[test]
+    fn audit_demo_runs_clean() {
+        audit_demo(&[]).unwrap();
+    }
+
+    #[test]
+    fn campaign_db_runs() {
+        campaign(&strings(&["db", "--runs", "1"])).unwrap();
+    }
+
+    #[test]
+    fn campaign_text_runs() {
+        campaign(&strings(&["text", "--runs", "2"])).unwrap();
+    }
+
+    #[test]
+    fn campaign_priority_runs() {
+        campaign(&strings(&["priority", "--runs", "1"])).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(campaign(&strings(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn asm_and_run_and_pecos_round_trip() {
+        let dir = std::env::temp_dir().join("wtnc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prog.s");
+        std::fs::write(
+            &path,
+            "start:\n  movi r1, 3\nloop:\n  addi r1, r1, -1\n  bne r1, r0, loop\n  halt\n",
+        )
+        .unwrap();
+        let p = path.to_str().unwrap().to_string();
+        asm(&[p.clone()]).unwrap();
+        run(&strings(&[&p, "--threads", "2"])).unwrap();
+        pecos(&strings(&[&p, "--corrupt-cfi", "0"])).unwrap();
+        assert!(pecos(&strings(&[&p, "--corrupt-cfi", "99"])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    #[test]
+    fn trace_lists_instructions() {
+        let dir = std::env::temp_dir().join("wtnc-cli-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.s");
+        std::fs::write(&path, "start: movi r1, 2\naddi r1, r1, 1\nhalt\n").unwrap();
+        trace(&[path.to_str().unwrap().to_string()]).unwrap();
+        trace(&[]).unwrap_err();
+    }
+}

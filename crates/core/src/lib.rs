@@ -1,0 +1,246 @@
+//! # wtnc — the integrated dependability framework
+//!
+//! A Rust reproduction of *"A Framework for Database Audit and Control
+//! Flow Checking for a Wireless Telephone Network Controller"* (DSN
+//! 2001): an in-memory controller database protected by an extensible
+//! audit subsystem, and call-processing clients protected by PECOS
+//! preemptive control-flow checking, evaluated by software-implemented
+//! fault injection.
+//!
+//! This crate is the paper's "common adaptive framework": it wires the
+//! subsystems together behind one [`Controller`] facade and re-exports
+//! each substrate as a module:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `wtnc-sim` | deterministic DES kernel, virtual time, seeded RNG |
+//! | [`db`] | `wtnc-db` | the in-memory database, catalog, API, taint ledger |
+//! | [`isa`] | `wtnc-isa` | the 32-bit RISC machine and assembler |
+//! | [`pecos`] | `wtnc-pecos` | PECOS instrumentation and signal handling |
+//! | [`audit`] | `wtnc-audit` | audit elements, triggers, scheduling, manager |
+//! | [`callproc`] | `wtnc-callproc` | the DES and ISA call-processing clients |
+//! | [`inject`] | `wtnc-inject` | fault injection and the paper's campaigns |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wtnc::{Controller, sim::SimTime};
+//!
+//! // A controller with the standard schema and the audit subsystem.
+//! let mut controller = Controller::standard().with_audit(Default::default());
+//!
+//! // Something corrupts a configuration byte...
+//! let offset = controller.db.catalog().catalog_len() + 16;
+//! controller.inject_bit_flip(offset, 3, SimTime::from_secs(1));
+//!
+//! // ...and the next periodic audit cycle repairs it.
+//! let report = controller.run_audit_cycle(SimTime::from_secs(10)).unwrap();
+//! assert!(!report.findings.is_empty());
+//! assert_eq!(controller.db.taint().latent_count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wtnc_audit as audit;
+pub use wtnc_callproc as callproc;
+pub use wtnc_db as db;
+pub use wtnc_inject as inject;
+pub use wtnc_isa as isa;
+pub use wtnc_pecos as pecos;
+pub use wtnc_sim as sim;
+
+use wtnc_audit::{AuditConfig, AuditProcess, AuditReport, Manager, ManagerConfig};
+use wtnc_db::{Database, DbApi, DbError, TableDef, TaintEntry};
+use wtnc_sim::{Pid, ProcessRegistry, SimTime};
+
+/// The assembled controller node: database, client API, process
+/// registry, and (optionally) the manager-supervised audit process.
+///
+/// This is a facade for examples, tests and harnesses; the underlying
+/// pieces stay public so advanced callers can drive them directly.
+#[derive(Debug)]
+pub struct Controller {
+    /// The in-memory database.
+    pub db: Database,
+    /// The client-facing API (instrumented when audits are attached).
+    pub api: DbApi,
+    /// Simulated process registry.
+    pub registry: ProcessRegistry,
+    audit: Option<(Pid, AuditProcess)>,
+    manager: Option<Manager>,
+    next_taint_id: u64,
+}
+
+impl Controller {
+    /// Builds a controller from a schema (no audit subsystem yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError::BadSchema`] from catalog construction.
+    pub fn new(schema: Vec<TableDef>) -> Result<Self, DbError> {
+        Ok(Controller {
+            db: Database::build(schema)?,
+            api: DbApi::new(),
+            registry: ProcessRegistry::new(),
+            audit: None,
+            manager: None,
+            next_taint_id: 1,
+        })
+    }
+
+    /// Builds a controller with the standard telephone-controller
+    /// schema.
+    pub fn standard() -> Self {
+        Self::new(wtnc_db::schema::standard_schema()).expect("standard schema is valid")
+    }
+
+    /// Attaches the audit subsystem and its supervising manager.
+    pub fn with_audit(mut self, config: AuditConfig) -> Self {
+        let pid = self.registry.spawn("audit", SimTime::ZERO);
+        let audit = AuditProcess::new(config, &self.db);
+        self.manager = Some(Manager::new(ManagerConfig::default(), pid));
+        self.audit = Some((pid, audit));
+        self
+    }
+
+    /// Whether an audit process is attached and alive.
+    pub fn audit_alive(&self) -> bool {
+        self.audit
+            .as_ref()
+            .is_some_and(|(pid, _)| self.registry.is_alive(*pid))
+    }
+
+    /// The attached audit process, if any.
+    pub fn audit_mut(&mut self) -> Option<&mut AuditProcess> {
+        self.audit.as_mut().map(|(_, a)| a)
+    }
+
+    /// Runs one audit cycle at `now`, if the audit process is attached
+    /// and alive.
+    pub fn run_audit_cycle(&mut self, now: SimTime) -> Option<AuditReport> {
+        let (pid, audit) = self.audit.as_mut()?;
+        if !self.registry.is_alive(*pid) {
+            return None;
+        }
+        Some(audit.run_cycle(&mut self.db, &mut self.api, &mut self.registry, now))
+    }
+
+    /// One manager heartbeat round: queries the audit process's
+    /// heartbeat element and restarts the process after repeated
+    /// misses. Returns the new audit pid when a restart happened.
+    pub fn manager_beat(&mut self, now: SimTime) -> Option<Pid> {
+        let manager = self.manager.as_mut()?;
+        let element = self.audit.as_mut().and_then(|(pid, a)| {
+            self.registry.is_alive(*pid).then(|| a.heartbeat_mut())
+        });
+        let restarted = manager.beat(element, &mut self.registry, now);
+        if let (Some(new_pid), Some((pid, _))) = (restarted, self.audit.as_mut()) {
+            *pid = new_pid;
+        }
+        restarted
+    }
+
+    /// Simulates the audit process crashing (for failure-injection
+    /// tests of the manager path).
+    pub fn crash_audit_process(&mut self, now: SimTime) {
+        if let Some((pid, _)) = &self.audit {
+            self.registry.crash(*pid, now);
+        }
+    }
+
+    /// Operator reconfiguration: writes a static configuration field,
+    /// commits it to the golden disk image, and rebaselines the audit
+    /// checksums — the full legitimate-change path, as opposed to
+    /// corruption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the API's validation errors; the field must be
+    /// static.
+    pub fn reconfigure(
+        &mut self,
+        pid: Pid,
+        table: wtnc_db::TableId,
+        index: u32,
+        field: wtnc_db::FieldId,
+        value: u64,
+        now: SimTime,
+    ) -> Result<(), DbError> {
+        self.api
+            .reconfigure(&mut self.db, pid, table, index, field, value, now)?;
+        if let Some((_, audit)) = self.audit.as_mut() {
+            audit.rebaseline_static(&self.db);
+        }
+        Ok(())
+    }
+
+    /// Flips one bit of the database image and records the ground
+    /// truth in the taint ledger. Returns the taint id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside the database region or `bit > 7`.
+    pub fn inject_bit_flip(&mut self, offset: usize, bit: u8, now: SimTime) -> u64 {
+        let kind = self.db.classify_offset(offset);
+        self.db
+            .flip_bit(offset, bit)
+            .expect("offset within the database region");
+        let id = self.next_taint_id;
+        self.next_taint_id += 1;
+        self.db
+            .taint_mut()
+            .insert(offset, TaintEntry { id, at: now, kind });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtnc_db::schema;
+
+    #[test]
+    fn facade_builds_and_audits() {
+        let mut c = Controller::standard().with_audit(AuditConfig::default());
+        assert!(c.audit_alive());
+        let report = c.run_audit_cycle(SimTime::from_secs(10)).unwrap();
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn injected_error_is_caught() {
+        let mut c = Controller::standard().with_audit(AuditConfig::default());
+        let rec = wtnc_db::RecordRef::new(schema::SYSCONFIG_TABLE, 0);
+        let (off, _) = c.db.field_extent(rec, schema::sysconfig::MAX_CALLS).unwrap();
+        c.inject_bit_flip(off, 2, SimTime::from_secs(1));
+        let report = c.run_audit_cycle(SimTime::from_secs(10)).unwrap();
+        assert_eq!(report.caught_count(), 1);
+        assert_eq!(c.db.taint().latent_count(), 0);
+    }
+
+    #[test]
+    fn manager_restarts_crashed_audit() {
+        let mut c = Controller::standard().with_audit(AuditConfig::default());
+        c.crash_audit_process(SimTime::from_secs(5));
+        assert!(!c.audit_alive());
+        // Audit cycles refuse to run while dead.
+        assert!(c.run_audit_cycle(SimTime::from_secs(6)).is_none());
+        // Three missed heartbeats restart it.
+        let mut restarted = None;
+        for s in 6..12 {
+            restarted = restarted.or(c.manager_beat(SimTime::from_secs(s)));
+        }
+        assert!(restarted.is_some());
+        assert!(c.audit_alive());
+        assert!(c.run_audit_cycle(SimTime::from_secs(12)).is_some());
+    }
+
+    #[test]
+    fn controller_without_audit_has_no_cycles() {
+        let mut c = Controller::standard();
+        assert!(!c.audit_alive());
+        assert!(c.run_audit_cycle(SimTime::from_secs(1)).is_none());
+        assert!(c.manager_beat(SimTime::from_secs(1)).is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3) used by the static-data audit.
+//!
+//! The paper's static-data check "detects corruption in static data
+//! region by computing a golden checksum of all static data at startup
+//! and comparing it with a periodically computed checksum (32-bit
+//! Cyclic Redundancy Code)" (§4.3.1). This is the classic reflected
+//! polynomial 0xEDB88320 with a lazily built lookup table.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 (IEEE) of `data`.
+///
+/// # Example
+///
+/// ```
+/// use wtnc_db::crc32;
+///
+/// // Standard check value for "123456789".
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_every_single_bit_flip_in_small_buffer() {
+        let base = [0x5Au8; 64];
+        let golden = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupted = base;
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), golden, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

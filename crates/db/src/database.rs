@@ -1,0 +1,885 @@
+//! The database proper: the contiguous memory region, raw accessors,
+//! shadow metadata and the golden disk image.
+
+use serde::{Deserialize, Serialize};
+use wtnc_sim::{Pid, SimTime};
+
+use crate::catalog::{Catalog, FieldId, TableDef, TableId, TableNature};
+use crate::error::DbError;
+use crate::layout::{
+    encode_record_id, read_le, write_le, HDR_GROUP, HDR_NEXT, HDR_PREV, HDR_RECORD_ID,
+    HDR_STATUS, LINK_NONE, RECORD_HEADER_SIZE, STATUS_ACTIVE, STATUS_FREE,
+};
+use crate::taint::{TaintKind, TaintMap};
+
+/// A `(table, record index)` pair naming one record slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RecordRef {
+    /// The table.
+    pub table: TableId,
+    /// The record index within the table.
+    pub index: u32,
+}
+
+impl RecordRef {
+    /// Creates a record reference.
+    pub fn new(table: TableId, index: u32) -> Self {
+        RecordRef { table, index }
+    }
+}
+
+/// The redundant per-record data structure of §4.3.3: "the ID of the
+/// client process that last accessed the record ... the time of last
+/// access and counters that maintain database access frequencies".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordMeta {
+    /// Client that last wrote the record, if any.
+    pub last_writer: Option<Pid>,
+    /// Time of the most recent access (read or write).
+    pub last_access: SimTime,
+    /// Number of reads.
+    pub reads: u64,
+    /// Number of writes.
+    pub writes: u64,
+}
+
+/// Per-table access statistics feeding prioritized audit triggering
+/// (§4.4.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Read-class API operations against the table.
+    pub reads: u64,
+    /// Write-class API operations against the table.
+    pub writes: u64,
+    /// Errors the audit found in the table during the last audit cycle.
+    pub errors_last_cycle: u64,
+    /// Errors the audit has ever found in the table.
+    pub errors_total: u64,
+}
+
+impl TableStats {
+    /// Total operations.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The decoded header of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordHeader {
+    /// Stored record identifier (should equal
+    /// [`encode_record_id`]`(table, index)`).
+    pub record_id: u32,
+    /// Status byte (should be [`STATUS_FREE`] or [`STATUS_ACTIVE`]).
+    pub status: u8,
+    /// Logical-group byte.
+    pub group: u8,
+    /// Next record index in the logical group ([`LINK_NONE`] = none).
+    pub next: u16,
+    /// Previous record index in the logical group.
+    pub prev: u16,
+}
+
+/// The in-memory controller database.
+///
+/// See the [crate documentation](crate) for the overall model. All
+/// methods here are *raw*: they bypass locking, event notification and
+/// shadow-metadata upkeep, which belong to [`DbApi`](crate::DbApi).
+/// The audit process uses these raw methods deliberately — the paper's
+/// audit "access\[es\] the database directly instead of through the
+/// database API" to reduce contention.
+#[derive(Debug, Clone)]
+pub struct Database {
+    region: Vec<u8>,
+    golden: Vec<u8>,
+    catalog: Catalog,
+    meta: Vec<Vec<RecordMeta>>,
+    stats: Vec<TableStats>,
+    taint: TaintMap,
+    /// Per-table scan hints making sequential allocation O(1)
+    /// amortized.
+    alloc_hints: Vec<u32>,
+}
+
+impl Database {
+    /// Builds a database from a schema: computes the layout, writes the
+    /// in-region catalog, formats every record slot, pre-populates
+    /// config tables with their default values, and snapshots the
+    /// golden disk image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DbError::BadSchema`] from catalog construction.
+    pub fn build(schema: Vec<TableDef>) -> Result<Self, DbError> {
+        let catalog = Catalog::build(schema)?;
+        let mut region = vec![0u8; catalog.region_len()];
+        catalog.write_region(&mut region);
+
+        let mut meta = Vec::with_capacity(catalog.table_count());
+        let mut stats = Vec::with_capacity(catalog.table_count());
+        for tm in catalog.tables() {
+            meta.push(vec![RecordMeta::default(); tm.def.record_count as usize]);
+            stats.push(TableStats::default());
+            let config = tm.def.nature == TableNature::Config;
+            for index in 0..tm.def.record_count {
+                let base = tm.record_offset(index);
+                write_le(
+                    &mut region[base + HDR_RECORD_ID..],
+                    4,
+                    encode_record_id(tm.id.0, index) as u64,
+                );
+                region[base + HDR_STATUS] = if config { STATUS_ACTIVE } else { STATUS_FREE };
+                region[base + HDR_GROUP] = 0;
+                write_le(&mut region[base + HDR_NEXT..], 2, LINK_NONE as u64);
+                write_le(&mut region[base + HDR_PREV..], 2, LINK_NONE as u64);
+                // Every field starts at its default; for config tables
+                // that *is* the configuration data.
+                for (fi, f) in tm.def.fields.iter().enumerate() {
+                    let off = base + tm.field_offsets[fi];
+                    write_le(&mut region[off..], f.width.bytes(), f.default);
+                }
+            }
+        }
+
+        let golden = region.clone();
+        let alloc_hints = vec![0; catalog.table_count()];
+        Ok(Database {
+            region,
+            golden,
+            catalog,
+            meta,
+            stats,
+            taint: TaintMap::new(),
+            alloc_hints,
+        })
+    }
+
+    /// The parsed (trusted) catalog. The audit process holds layout
+    /// knowledge here; the client API instead re-validates the
+    /// in-region copy on every call.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Read-only view of the whole region.
+    pub fn region(&self) -> &[u8] {
+        &self.region
+    }
+
+    /// Size of the region in bytes.
+    pub fn region_len(&self) -> usize {
+        self.region.len()
+    }
+
+    /// Read-only view of the golden disk image.
+    pub fn golden(&self) -> &[u8] {
+        &self.golden
+    }
+
+    /// The ground-truth taint ledger.
+    pub fn taint(&self) -> &TaintMap {
+        &self.taint
+    }
+
+    /// Mutable access to the taint ledger (injector and classification
+    /// paths).
+    pub fn taint_mut(&mut self) -> &mut TaintMap {
+        &mut self.taint
+    }
+
+    // ------------------------------------------------------------------
+    // Byte-level access (injection and audit).
+    // ------------------------------------------------------------------
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] if the range leaves the region.
+    pub fn peek(&self, offset: usize, len: usize) -> Result<&[u8], DbError> {
+        self.check_bounds(offset, len)?;
+        Ok(&self.region[offset..offset + len])
+    }
+
+    /// Overwrites bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] if the range leaves the region.
+    pub fn poke(&mut self, offset: usize, bytes: &[u8]) -> Result<(), DbError> {
+        self.check_bounds(offset, bytes.len())?;
+        self.region[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Flips bit `bit` (0–7) of the byte at `offset`, returning
+    /// `(old, new)`. This is the injector's primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] if `offset` leaves the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit > 7`.
+    pub fn flip_bit(&mut self, offset: usize, bit: u8) -> Result<(u8, u8), DbError> {
+        assert!(bit < 8, "bit index out of range");
+        self.check_bounds(offset, 1)?;
+        let old = self.region[offset];
+        let new = old ^ (1 << bit);
+        self.region[offset] = new;
+        Ok((old, new))
+    }
+
+    fn check_bounds(&self, offset: usize, len: usize) -> Result<(), DbError> {
+        if offset.checked_add(len).map_or(true, |end| end > self.region.len()) {
+            return Err(DbError::OutOfBounds {
+                offset,
+                len,
+                region: self.region.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Restores `[offset, offset+len)` from the golden disk image —
+    /// the paper's "reload the affected portion from permanent
+    /// storage".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] if the range leaves the region.
+    pub fn reload_range(&mut self, offset: usize, len: usize) -> Result<(), DbError> {
+        self.check_bounds(offset, len)?;
+        self.region[offset..offset + len].copy_from_slice(&self.golden[offset..offset + len]);
+        Ok(())
+    }
+
+    /// Restores the entire region from the golden disk image — the
+    /// escalated recovery for multi-record structural damage.
+    pub fn reload_all(&mut self) {
+        self.region.copy_from_slice(&self.golden);
+    }
+
+    /// Updates the golden image for `[offset, offset+len)` to match the
+    /// current region. Called by the API after *legitimate* writes to
+    /// static configuration (operator reconfiguration), so that the
+    /// golden image tracks intent.
+    pub(crate) fn commit_golden(&mut self, offset: usize, len: usize) {
+        self.golden[offset..offset + len].copy_from_slice(&self.region[offset..offset + len]);
+    }
+
+    // ------------------------------------------------------------------
+    // Record-level access.
+    // ------------------------------------------------------------------
+
+    /// Byte offset of a record within the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn record_offset(&self, rec: RecordRef) -> Result<usize, DbError> {
+        let tm = self.catalog.table(rec.table)?;
+        if rec.index >= tm.def.record_count {
+            return Err(DbError::BadRecordIndex {
+                table: rec.table,
+                index: rec.index,
+                capacity: tm.def.record_count,
+            });
+        }
+        Ok(tm.record_offset(rec.index))
+    }
+
+    /// Record size (header + fields) for a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`].
+    pub fn record_size(&self, table: TableId) -> Result<usize, DbError> {
+        Ok(self.catalog.table(table)?.record_size)
+    }
+
+    /// Decodes a record header from the region bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn header(&self, rec: RecordRef) -> Result<RecordHeader, DbError> {
+        let base = self.record_offset(rec)?;
+        let r = &self.region;
+        Ok(RecordHeader {
+            record_id: read_le(&r[base + HDR_RECORD_ID..], 4) as u32,
+            status: r[base + HDR_STATUS],
+            group: r[base + HDR_GROUP],
+            next: read_le(&r[base + HDR_NEXT..], 2) as u16,
+            prev: read_le(&r[base + HDR_PREV..], 2) as u16,
+        })
+    }
+
+    /// Rewrites a record header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn write_header(&mut self, rec: RecordRef, hdr: RecordHeader) -> Result<(), DbError> {
+        let base = self.record_offset(rec)?;
+        let r = &mut self.region;
+        write_le(&mut r[base + HDR_RECORD_ID..], 4, hdr.record_id as u64);
+        r[base + HDR_STATUS] = hdr.status;
+        r[base + HDR_GROUP] = hdr.group;
+        write_le(&mut r[base + HDR_NEXT..], 2, hdr.next as u64);
+        write_le(&mut r[base + HDR_PREV..], 2, hdr.prev as u64);
+        Ok(())
+    }
+
+    /// True if the record slot's status byte is exactly
+    /// [`STATUS_ACTIVE`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn is_active(&self, rec: RecordRef) -> Result<bool, DbError> {
+        Ok(self.header(rec)?.status == STATUS_ACTIVE)
+    }
+
+    /// Reads one field of an (active or free) record, bypassing locks
+    /// and notification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`], [`DbError::BadRecordIndex`]
+    /// or [`DbError::UnknownField`].
+    pub fn read_field_raw(&self, rec: RecordRef, field: FieldId) -> Result<u64, DbError> {
+        let tm = self.catalog.table(rec.table)?;
+        let f = self.catalog.field(rec.table, field)?;
+        let base = self.record_offset(rec)?;
+        let off = base + tm.field_offsets[field.0 as usize];
+        Ok(read_le(&self.region[off..], f.width.bytes()))
+    }
+
+    /// Writes one field of a record, bypassing locks and notification.
+    /// The value is truncated to the field width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`], [`DbError::BadRecordIndex`]
+    /// or [`DbError::UnknownField`].
+    pub fn write_field_raw(
+        &mut self,
+        rec: RecordRef,
+        field: FieldId,
+        value: u64,
+    ) -> Result<(), DbError> {
+        let tm = self.catalog.table(rec.table)?;
+        let f = self.catalog.field(rec.table, field)?;
+        let base = self.record_offset(rec)?;
+        let off = base + tm.field_offsets[field.0 as usize];
+        let width = f.width.bytes();
+        write_le(&mut self.region[off..], width, value);
+        Ok(())
+    }
+
+    /// Byte range `[offset, len)` of one field within the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`], [`DbError::BadRecordIndex`]
+    /// or [`DbError::UnknownField`].
+    pub fn field_extent(&self, rec: RecordRef, field: FieldId) -> Result<(usize, usize), DbError> {
+        let tm = self.catalog.table(rec.table)?;
+        let f = self.catalog.field(rec.table, field)?;
+        let base = self.record_offset(rec)?;
+        Ok((base + tm.field_offsets[field.0 as usize], f.width.bytes()))
+    }
+
+    /// Finds the first free slot in `table`, marks it active, restores
+    /// its header and resets its fields to defaults. Returns the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableFull`] when no slot is free, or
+    /// [`DbError::UnknownTable`].
+    pub fn alloc_record_raw(&mut self, table: TableId) -> Result<u32, DbError> {
+        let tm = self.catalog.table(table)?.clone();
+        // Every slot below the hint is known-active (the hint is a
+        // lower bound on the first free index, maintained by
+        // `free_record_raw`), so allocation keeps first-free semantics
+        // at O(1) amortized cost.
+        let hint = self.alloc_hints[table.0 as usize].min(tm.def.record_count - 1);
+        // Scan from the hint first; if reload-style repairs freed a
+        // slot below the hint behind our back, the wrap-around pass
+        // still finds it.
+        let order = (hint..tm.def.record_count).chain(0..hint);
+        for index in order {
+            let rec = RecordRef::new(table, index);
+            if self.header(rec)?.status == STATUS_FREE {
+                self.alloc_hints[table.0 as usize] = index + 1;
+                self.write_header(
+                    rec,
+                    RecordHeader {
+                        record_id: encode_record_id(table.0, index),
+                        status: STATUS_ACTIVE,
+                        group: 0,
+                        next: LINK_NONE,
+                        prev: LINK_NONE,
+                    },
+                )?;
+                for (fi, f) in tm.def.fields.iter().enumerate() {
+                    self.write_field_raw(rec, FieldId(fi as u16), f.default)?;
+                }
+                return Ok(index);
+            }
+        }
+        Err(DbError::TableFull(table))
+    }
+
+    /// Marks a record slot free (its bytes are left in place, like a
+    /// real freed record).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn free_record_raw(&mut self, rec: RecordRef) -> Result<(), DbError> {
+        let mut hdr = self.header(rec)?;
+        hdr.status = STATUS_FREE;
+        hdr.next = LINK_NONE;
+        hdr.prev = LINK_NONE;
+        self.write_header(rec, hdr)?;
+        let hint = &mut self.alloc_hints[rec.table.0 as usize];
+        *hint = (*hint).min(rec.index);
+        Ok(())
+    }
+
+    /// Number of active records in `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`].
+    pub fn active_count(&self, table: TableId) -> Result<u32, DbError> {
+        let tm = self.catalog.table(table)?;
+        let mut n = 0;
+        for index in 0..tm.def.record_count {
+            if self.is_active(RecordRef::new(table, index))? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Shadow metadata and statistics.
+    // ------------------------------------------------------------------
+
+    /// The redundant metadata for one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn record_meta(&self, rec: RecordRef) -> Result<&RecordMeta, DbError> {
+        self.record_offset(rec)?;
+        Ok(&self.meta[rec.table.0 as usize][rec.index as usize])
+    }
+
+    /// Records a client access in the shadow metadata and table stats.
+    /// The API calls this on every instrumented operation; harnesses
+    /// may call it directly to synthesize access patterns.
+    pub fn note_access(&mut self, rec: RecordRef, pid: Pid, at: SimTime, write: bool) {
+        if let (Some(per_table), Some(stats)) = (
+            self.meta.get_mut(rec.table.0 as usize),
+            self.stats.get_mut(rec.table.0 as usize),
+        ) {
+            if let Some(m) = per_table.get_mut(rec.index as usize) {
+                m.last_access = at;
+                if write {
+                    m.writes += 1;
+                    m.last_writer = Some(pid);
+                    stats.writes += 1;
+                } else {
+                    m.reads += 1;
+                    stats.reads += 1;
+                }
+            }
+        }
+    }
+
+    /// Per-table access/error statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`].
+    pub fn table_stats(&self, table: TableId) -> Result<&TableStats, DbError> {
+        self.catalog.table(table)?;
+        Ok(&self.stats[table.0 as usize])
+    }
+
+    /// Records `n` audit-detected errors against `table`.
+    pub fn note_errors_detected(&mut self, table: TableId, n: u64) {
+        if let Some(s) = self.stats.get_mut(table.0 as usize) {
+            s.errors_last_cycle += n;
+            s.errors_total += n;
+        }
+    }
+
+    /// Zeroes each table's `errors_last_cycle` counter (start of an
+    /// audit cycle).
+    pub fn reset_error_cycle(&mut self) {
+        for s in &mut self.stats {
+            s.errors_last_cycle = 0;
+        }
+    }
+
+    /// Zeroes one table's `errors_last_cycle` counter (the scheduler
+    /// has consumed it and the table is about to be re-audited).
+    pub fn reset_error_cycle_table(&mut self, table: TableId) {
+        if let Some(s) = self.stats.get_mut(table.0 as usize) {
+            s.errors_last_cycle = 0;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Offset classification (injector support).
+    // ------------------------------------------------------------------
+
+    /// Classifies an *impending single-bit flip* for taint
+    /// bookkeeping, value-aware: the kind says which detector (if any)
+    /// could flag the post-flip state.
+    ///
+    /// * Catalog and static/config bytes → [`TaintKind::StaticData`]
+    ///   (the golden CRC detects any flip).
+    /// * Header bytes whose flip breaks a structural invariant
+    ///   (record id, status byte, out-of-range link) →
+    ///   [`TaintKind::Structural`].
+    /// * Dynamic field bytes of active records → ruled when the
+    ///   post-flip value violates its range rule or perturbs a
+    ///   semantic link (the loop check catches even valid-looking
+    ///   wrong indices), unruled when the corrupted value would pass
+    ///   every rule.
+    /// * Everything else (free slots, padding, rule-silent header
+    ///   bytes of free records) → [`TaintKind::Slack`].
+    pub fn classify_injection(&self, offset: usize, bit: u8) -> TaintKind {
+        if offset < self.catalog.catalog_len() {
+            return TaintKind::StaticData;
+        }
+        for tm in self.catalog.tables() {
+            let start = tm.offset;
+            let end = start + tm.data_len();
+            if offset < start || offset >= end {
+                continue;
+            }
+            if tm.def.nature == TableNature::Config {
+                return TaintKind::StaticData;
+            }
+            let rel = offset - start;
+            let index = (rel / tm.record_size) as u32;
+            let in_rec = rel % tm.record_size;
+            let rec = RecordRef::new(tm.id, index);
+            let active = self.is_active(rec).unwrap_or(false);
+            if in_rec < RECORD_HEADER_SIZE {
+                // Which header invariant does the flip break?
+                let hdr_byte = in_rec;
+                match hdr_byte {
+                    HDR_RECORD_ID..=3 => return TaintKind::Structural,
+                    b if b == HDR_STATUS => return TaintKind::Structural,
+                    b if b == HDR_GROUP => {
+                        // The group byte carries no validity rule.
+                        return if active { TaintKind::DynamicUnruled } else { TaintKind::Slack };
+                    }
+                    _ => {
+                        // Link bytes: detectable when the flipped link
+                        // leaves the valid index range (and is not the
+                        // NONE sentinel).
+                        let (link_off, shift) = if hdr_byte < HDR_PREV {
+                            (HDR_NEXT, hdr_byte - HDR_NEXT)
+                        } else if hdr_byte < HDR_PREV + 2 {
+                            (HDR_PREV, hdr_byte - HDR_PREV)
+                        } else {
+                            return if active { TaintKind::DynamicUnruled } else { TaintKind::Slack };
+                        };
+                        let base = tm.record_offset(index);
+                        let current = read_le(&self.region[base + link_off..], 2) as u16;
+                        let flipped = current ^ (1u16 << (bit as usize + shift * 8));
+                        let invalid =
+                            flipped != LINK_NONE && flipped as u32 >= tm.def.record_count;
+                        return if invalid {
+                            TaintKind::Structural
+                        } else if active {
+                            TaintKind::DynamicUnruled
+                        } else {
+                            TaintKind::Slack
+                        };
+                    }
+                }
+            }
+            if !active {
+                return TaintKind::Slack;
+            }
+            for (fi, f) in tm.def.fields.iter().enumerate() {
+                let fo = tm.field_offsets[fi];
+                if in_rec < fo || in_rec >= fo + f.width.bytes() {
+                    continue;
+                }
+                if f.kind == crate::catalog::FieldKind::Static {
+                    return TaintKind::StaticData;
+                }
+                // A perturbed link is always caught: either the index
+                // leaves the table, or the loop no longer closes at its
+                // origin.
+                if f.link.is_some() {
+                    return TaintKind::DynamicRuled;
+                }
+                if let Some((lo, hi)) = f.range {
+                    let base = tm.record_offset(index);
+                    let current = read_le(&self.region[base + fo..], f.width.bytes());
+                    let byte_in_field = in_rec - fo;
+                    let flipped = current ^ (1u64 << (bit as usize + byte_in_field * 8));
+                    let flipped = flipped & f.width.max_value();
+                    return if flipped < lo || flipped > hi {
+                        TaintKind::DynamicRuled
+                    } else {
+                        TaintKind::DynamicUnruled
+                    };
+                }
+                return TaintKind::DynamicUnruled;
+            }
+            return TaintKind::Slack;
+        }
+        TaintKind::Slack
+    }
+
+    /// Classifies a byte offset for taint bookkeeping: catalog bytes and
+    /// static fields are [`TaintKind::StaticData`], record headers are
+    /// [`TaintKind::Structural`], dynamic fields split into ruled
+    /// (range or link available) and unruled, and padding or fields of
+    /// free dynamic records are [`TaintKind::Slack`].
+    pub fn classify_offset(&self, offset: usize) -> TaintKind {
+        if offset < self.catalog.catalog_len() {
+            return TaintKind::StaticData;
+        }
+        for tm in self.catalog.tables() {
+            let start = tm.offset;
+            let end = start + tm.data_len();
+            if offset < start || offset >= end {
+                continue;
+            }
+            let rel = offset - start;
+            let index = (rel / tm.record_size) as u32;
+            let in_rec = rel % tm.record_size;
+            if in_rec < RECORD_HEADER_SIZE {
+                return TaintKind::Structural;
+            }
+            let active = self
+                .is_active(RecordRef::new(tm.id, index))
+                .unwrap_or(false);
+            for (fi, f) in tm.def.fields.iter().enumerate() {
+                let fo = tm.field_offsets[fi];
+                if in_rec >= fo && in_rec < fo + f.width.bytes() {
+                    return match f.kind {
+                        crate::catalog::FieldKind::Static => TaintKind::StaticData,
+                        crate::catalog::FieldKind::Dynamic => {
+                            if !active {
+                                TaintKind::Slack
+                            } else if f.range.is_some() || f.link.is_some() {
+                                TaintKind::DynamicRuled
+                            } else {
+                                TaintKind::DynamicUnruled
+                            }
+                        }
+                    };
+                }
+            }
+            return TaintKind::Slack; // padding inside the record
+        }
+        TaintKind::Slack // inter-table alignment padding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{FieldDef, FieldWidth};
+
+    fn schema() -> Vec<TableDef> {
+        vec![
+            TableDef::new(
+                "config",
+                TableNature::Config,
+                2,
+                vec![
+                    FieldDef::static_value("n_cpus", FieldWidth::U8, 4),
+                    FieldDef::static_value("max_calls", FieldWidth::U32, 1000),
+                ],
+            ),
+            TableDef::new(
+                "conn",
+                TableNature::Dynamic,
+                4,
+                vec![
+                    FieldDef::dynamic("caller", FieldWidth::U32).with_range(0, 99_999),
+                    FieldDef::dynamic("channel", FieldWidth::U16).with_link(TableId(0)),
+                    FieldDef::dynamic("unruled", FieldWidth::U64),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn build_formats_headers_and_defaults() {
+        let db = Database::build(schema()).unwrap();
+        // Config records are pre-populated and active.
+        let cfg0 = RecordRef::new(TableId(0), 0);
+        assert!(db.is_active(cfg0).unwrap());
+        assert_eq!(db.read_field_raw(cfg0, FieldId(0)).unwrap(), 4);
+        assert_eq!(db.read_field_raw(cfg0, FieldId(1)).unwrap(), 1000);
+        let hdr = db.header(cfg0).unwrap();
+        assert_eq!(hdr.record_id, encode_record_id(0, 0));
+        assert_eq!(hdr.next, LINK_NONE);
+        // Dynamic records start free.
+        let conn0 = RecordRef::new(TableId(1), 0);
+        assert!(!db.is_active(conn0).unwrap());
+        // Golden image matches the freshly built region.
+        assert_eq!(db.region(), db.golden());
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut db = Database::build(schema()).unwrap();
+        let t = TableId(1);
+        let a = db.alloc_record_raw(t).unwrap();
+        let b = db.alloc_record_raw(t).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(db.active_count(t).unwrap(), 2);
+        db.free_record_raw(RecordRef::new(t, a)).unwrap();
+        assert_eq!(db.active_count(t).unwrap(), 1);
+        // Freed slot is reused.
+        let c = db.alloc_record_raw(t).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn alloc_exhaustion() {
+        let mut db = Database::build(schema()).unwrap();
+        let t = TableId(1);
+        for _ in 0..4 {
+            db.alloc_record_raw(t).unwrap();
+        }
+        assert_eq!(db.alloc_record_raw(t).unwrap_err(), DbError::TableFull(t));
+    }
+
+    #[test]
+    fn alloc_resets_fields_to_defaults() {
+        let mut db = Database::build(schema()).unwrap();
+        let t = TableId(1);
+        let i = db.alloc_record_raw(t).unwrap();
+        let rec = RecordRef::new(t, i);
+        db.write_field_raw(rec, FieldId(0), 777).unwrap();
+        db.free_record_raw(rec).unwrap();
+        let j = db.alloc_record_raw(t).unwrap();
+        assert_eq!(i, j);
+        assert_eq!(db.read_field_raw(rec, FieldId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn field_round_trip_and_truncation() {
+        let mut db = Database::build(schema()).unwrap();
+        let t = TableId(1);
+        let i = db.alloc_record_raw(t).unwrap();
+        let rec = RecordRef::new(t, i);
+        db.write_field_raw(rec, FieldId(1), 0x1_FFFF).unwrap();
+        assert_eq!(db.read_field_raw(rec, FieldId(1)).unwrap(), 0xFFFF);
+    }
+
+    #[test]
+    fn flip_bit_and_reload_range() {
+        let mut db = Database::build(schema()).unwrap();
+        let rec = RecordRef::new(TableId(0), 0);
+        let (off, len) = db.field_extent(rec, FieldId(1)).unwrap();
+        let (old, new) = db.flip_bit(off, 3).unwrap();
+        assert_eq!(old ^ 8, new);
+        assert_ne!(db.read_field_raw(rec, FieldId(1)).unwrap(), 1000);
+        db.reload_range(off, len).unwrap();
+        assert_eq!(db.read_field_raw(rec, FieldId(1)).unwrap(), 1000);
+    }
+
+    #[test]
+    fn reload_all_restores_everything() {
+        let mut db = Database::build(schema()).unwrap();
+        for off in (0..db.region_len()).step_by(97) {
+            db.flip_bit(off, 0).unwrap();
+        }
+        db.reload_all();
+        assert_eq!(db.region(), db.golden());
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut db = Database::build(schema()).unwrap();
+        let len = db.region_len();
+        assert!(matches!(db.peek(len, 1), Err(DbError::OutOfBounds { .. })));
+        assert!(matches!(db.flip_bit(len, 0), Err(DbError::OutOfBounds { .. })));
+        assert!(matches!(
+            db.peek(usize::MAX, 2),
+            Err(DbError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            db.record_offset(RecordRef::new(TableId(1), 99)),
+            Err(DbError::BadRecordIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn classify_offset_covers_all_kinds() {
+        let mut db = Database::build(schema()).unwrap();
+        // Catalog bytes.
+        assert_eq!(db.classify_offset(0), TaintKind::StaticData);
+        // Structural: header of config record 0.
+        let cfg_off = db.record_offset(RecordRef::new(TableId(0), 0)).unwrap();
+        assert_eq!(db.classify_offset(cfg_off), TaintKind::Structural);
+        // Static field data.
+        let (f_off, _) = db
+            .field_extent(RecordRef::new(TableId(0), 0), FieldId(0))
+            .unwrap();
+        assert_eq!(db.classify_offset(f_off), TaintKind::StaticData);
+        // Dynamic, free record: slack.
+        let (d_off, _) = db
+            .field_extent(RecordRef::new(TableId(1), 0), FieldId(0))
+            .unwrap();
+        assert_eq!(db.classify_offset(d_off), TaintKind::Slack);
+        // Activate it: ruled (has range) and unruled fields.
+        let i = db.alloc_record_raw(TableId(1)).unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(db.classify_offset(d_off), TaintKind::DynamicRuled);
+        let (u_off, _) = db
+            .field_extent(RecordRef::new(TableId(1), 0), FieldId(2))
+            .unwrap();
+        assert_eq!(db.classify_offset(u_off), TaintKind::DynamicUnruled);
+        // Header of a dynamic record is structural even when free.
+        let hdr_off = db.record_offset(RecordRef::new(TableId(1), 1)).unwrap();
+        assert_eq!(db.classify_offset(hdr_off), TaintKind::Structural);
+    }
+
+    #[test]
+    fn shadow_metadata_updates() {
+        let mut db = Database::build(schema()).unwrap();
+        let rec = RecordRef::new(TableId(1), 0);
+        db.alloc_record_raw(TableId(1)).unwrap();
+        db.note_access(rec, Pid(9), SimTime::from_secs(5), true);
+        db.note_access(rec, Pid(9), SimTime::from_secs(6), false);
+        let m = db.record_meta(rec).unwrap();
+        assert_eq!(m.last_writer, Some(Pid(9)));
+        assert_eq!(m.last_access, SimTime::from_secs(6));
+        assert_eq!((m.reads, m.writes), (1, 1));
+        let s = db.table_stats(TableId(1)).unwrap();
+        assert_eq!((s.reads, s.writes), (1, 1));
+    }
+
+    #[test]
+    fn error_counters_cycle() {
+        let mut db = Database::build(schema()).unwrap();
+        db.note_errors_detected(TableId(1), 3);
+        assert_eq!(db.table_stats(TableId(1)).unwrap().errors_last_cycle, 3);
+        db.reset_error_cycle();
+        let s = db.table_stats(TableId(1)).unwrap();
+        assert_eq!(s.errors_last_cycle, 0);
+        assert_eq!(s.errors_total, 3);
+    }
+}

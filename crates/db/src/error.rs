@@ -1,0 +1,133 @@
+//! Error type for database operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::catalog::{FieldId, TableId};
+
+/// Errors returned by the database and its client API.
+///
+/// `CatalogCorrupt` deserves a note: the API validates the in-region
+/// system catalog on every operation (magic number, bounds), so a bit
+/// flip landing in the catalog surfaces here — "errors in the system
+/// catalog can cause all database operations to fail" (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The in-region system catalog failed validation.
+    CatalogCorrupt {
+        /// What the validator objected to.
+        reason: &'static str,
+    },
+    /// No table with this identifier exists.
+    UnknownTable(TableId),
+    /// No field with this identifier exists in the table.
+    UnknownField(TableId, FieldId),
+    /// Record index outside the table's pre-allocated range.
+    BadRecordIndex {
+        /// Table being accessed.
+        table: TableId,
+        /// Requested record index.
+        index: u32,
+        /// Number of records the table holds.
+        capacity: u32,
+    },
+    /// The operation needs an active record but the slot is free.
+    RecordFree(TableId, u32),
+    /// Allocation failed: every slot in the table is active.
+    TableFull(TableId),
+    /// The record is locked by another client.
+    LockHeld {
+        /// Table of the contested record.
+        table: TableId,
+        /// Index of the contested record.
+        index: u32,
+        /// Client holding the lock.
+        holder: wtnc_sim::Pid,
+    },
+    /// The client never called `DBinit` (or already called `DBclose`).
+    NotConnected(wtnc_sim::Pid),
+    /// A byte-level access fell outside the database region.
+    OutOfBounds {
+        /// Offending offset.
+        offset: usize,
+        /// Length of the attempted access.
+        len: usize,
+        /// Size of the region.
+        region: usize,
+    },
+    /// A schema under construction was rejected.
+    BadSchema(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::CatalogCorrupt { reason } => {
+                write!(f, "system catalog failed validation: {reason}")
+            }
+            DbError::UnknownTable(t) => write!(f, "unknown table {}", t.0),
+            DbError::UnknownField(t, fid) => {
+                write!(f, "unknown field {} in table {}", fid.0, t.0)
+            }
+            DbError::BadRecordIndex { table, index, capacity } => write!(
+                f,
+                "record index {index} out of range for table {} (capacity {capacity})",
+                table.0
+            ),
+            DbError::RecordFree(t, i) => {
+                write!(f, "record {i} in table {} is not active", t.0)
+            }
+            DbError::TableFull(t) => write!(f, "table {} has no free records", t.0),
+            DbError::LockHeld { table, index, holder } => write!(
+                f,
+                "record {index} in table {} is locked by {holder}",
+                table.0
+            ),
+            DbError::NotConnected(pid) => {
+                write!(f, "client {pid} has no open database connection")
+            }
+            DbError::OutOfBounds { offset, len, region } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds region of {region} bytes"
+            ),
+            DbError::BadSchema(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtnc_sim::Pid;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let samples: Vec<DbError> = vec![
+            DbError::CatalogCorrupt { reason: "bad magic" },
+            DbError::UnknownTable(TableId(3)),
+            DbError::UnknownField(TableId(3), FieldId(9)),
+            DbError::BadRecordIndex { table: TableId(1), index: 99, capacity: 8 },
+            DbError::RecordFree(TableId(1), 2),
+            DbError::TableFull(TableId(4)),
+            DbError::LockHeld { table: TableId(1), index: 0, holder: Pid(5) },
+            DbError::NotConnected(Pid(5)),
+            DbError::OutOfBounds { offset: 10, len: 4, region: 8 },
+            DbError::BadSchema("empty".into()),
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "lowercase start: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(DbError::TableFull(TableId(0)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Byte-level layout constants and helpers for the database region.
+//!
+//! The structural audit (§4.3.2 of the paper) works because "the
+//! structure of the database ... is established by header fields that
+//! precede the data portion in every record of each table", and because
+//! "the correct record ID can be inferred from the offset within the
+//! database". These constants pin down that contract.
+
+/// Magic number at the start of the in-region system catalog.
+pub const CATALOG_MAGIC: u32 = 0xC0DE_D00D;
+
+/// Size of the catalog header, in bytes.
+pub const CATALOG_HEADER_SIZE: usize = 16;
+
+/// Size of one in-region table descriptor, in bytes.
+pub const TABLE_DESC_SIZE: usize = 32;
+
+/// Size of one in-region field descriptor, in bytes.
+///
+/// Range metadata (min/max/default) is stored as 32-bit values, so
+/// 64-bit fields cannot carry range rules — the catalog builder
+/// enforces this.
+pub const FIELD_DESC_SIZE: usize = 24;
+
+/// Size of the header that precedes the data portion of every record.
+pub const RECORD_HEADER_SIZE: usize = 12;
+
+/// Status byte marking a free (unallocated) record slot.
+pub const STATUS_FREE: u8 = 0x00;
+
+/// Status byte marking an active record.
+pub const STATUS_ACTIVE: u8 = 0xA5;
+
+/// Sentinel index meaning "no neighbour" in logical-group links.
+pub const LINK_NONE: u16 = 0xFFFF;
+
+/// Byte offset of the 32-bit record identifier within a record header.
+pub const HDR_RECORD_ID: usize = 0;
+
+/// Byte offset of the status byte within a record header.
+pub const HDR_STATUS: usize = 4;
+
+/// Byte offset of the logical-group byte within a record header.
+pub const HDR_GROUP: usize = 5;
+
+/// Byte offset of the 16-bit next-in-group link within a record header.
+pub const HDR_NEXT: usize = 6;
+
+/// Byte offset of the 16-bit previous-in-group link within a record
+/// header.
+pub const HDR_PREV: usize = 8;
+
+/// Encodes the record identifier stored in (and recomputable for) every
+/// record header: the table id in the top bits, the record index in the
+/// low 20 bits.
+///
+/// # Example
+///
+/// ```
+/// use wtnc_db::layout::{decode_record_id, encode_record_id};
+///
+/// let id = encode_record_id(3, 17);
+/// assert_eq!(decode_record_id(id), (3, 17));
+/// ```
+pub const fn encode_record_id(table_id: u16, index: u32) -> u32 {
+    ((table_id as u32) << 20) | (index & 0x000F_FFFF)
+}
+
+/// Decodes a record identifier into `(table_id, index)`.
+pub const fn decode_record_id(id: u32) -> (u16, u32) {
+    ((id >> 20) as u16, id & 0x000F_FFFF)
+}
+
+/// Reads a little-endian unsigned integer of `width` bytes (1, 2, 4 or
+/// 8) from `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() < width` or `width` is not one of 1/2/4/8.
+pub fn read_le(bytes: &[u8], width: usize) -> u64 {
+    match width {
+        1 => bytes[0] as u64,
+        2 => u16::from_le_bytes([bytes[0], bytes[1]]) as u64,
+        4 => u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as u64,
+        8 => u64::from_le_bytes(bytes[..8].try_into().expect("width checked")),
+        _ => panic!("unsupported field width {width}"),
+    }
+}
+
+/// Writes the low `width` bytes of `value` little-endian into `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() < width` or `width` is not one of 1/2/4/8.
+pub fn write_le(bytes: &mut [u8], width: usize, value: u64) {
+    match width {
+        1 => bytes[0] = value as u8,
+        2 => bytes[..2].copy_from_slice(&(value as u16).to_le_bytes()),
+        4 => bytes[..4].copy_from_slice(&(value as u32).to_le_bytes()),
+        8 => bytes[..8].copy_from_slice(&value.to_le_bytes()),
+        _ => panic!("unsupported field width {width}"),
+    }
+}
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+pub const fn align_up(n: usize, align: usize) -> usize {
+    (n + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_id_round_trip() {
+        for table in [0u16, 1, 7, 0xFFF] {
+            for index in [0u32, 1, 1_000, 0x000F_FFFF] {
+                assert_eq!(decode_record_id(encode_record_id(table, index)), (table, index));
+            }
+        }
+    }
+
+    #[test]
+    fn record_id_masks_overflowing_index() {
+        let id = encode_record_id(1, 0xFFFF_FFFF);
+        assert_eq!(decode_record_id(id), (1, 0x000F_FFFF));
+    }
+
+    #[test]
+    fn le_round_trip_all_widths() {
+        let mut buf = [0u8; 8];
+        for (width, value) in [(1usize, 0xABu64), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)] {
+            write_le(&mut buf, width, value);
+            assert_eq!(read_le(&buf, width), value);
+        }
+    }
+
+    #[test]
+    fn le_truncates_to_width() {
+        let mut buf = [0u8; 8];
+        write_le(&mut buf, 1, 0x1FF);
+        assert_eq!(read_le(&buf, 1), 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported field width")]
+    fn odd_width_panics() {
+        read_le(&[0u8; 8], 3);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 4), 12);
+    }
+}

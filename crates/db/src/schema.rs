@@ -1,0 +1,315 @@
+//! The controller's standard database schema.
+//!
+//! Reproduces the data organization of §3.1.2 and the semantic-loop
+//! example of §4.3.3: servicing a voice connection writes one record
+//! into each of the Process, Connection and Resource tables, and the
+//! three records form a closed referential loop (Process → Connection
+//! via `connection_id`, Connection → Resource via `channel_id`,
+//! Resource → Process via `process_id`), making a single corruption
+//! 1-detectable.
+//!
+//! Two config tables provide the static region the CRC audit covers,
+//! and several dynamic fields are deliberately left without range rules
+//! to reproduce the paper's "escape due to lack of rule" category.
+
+use crate::catalog::{FieldDef, FieldId, FieldWidth, TableDef, TableId, TableNature};
+use crate::layout::LINK_NONE;
+
+/// System configuration table (static).
+pub const SYSCONFIG_TABLE: TableId = TableId(0);
+/// Channel configuration table (static).
+pub const CHANNEL_CONFIG_TABLE: TableId = TableId(1);
+/// Process table (dynamic; one record per call-processing thread).
+pub const PROCESS_TABLE: TableId = TableId(2);
+/// Connection table (dynamic; one record per active call).
+pub const CONNECTION_TABLE: TableId = TableId(3);
+/// Resource table (dynamic; one record per allocated radio channel).
+pub const RESOURCE_TABLE: TableId = TableId(4);
+
+/// Field ids of the system configuration table.
+pub mod sysconfig {
+    use super::FieldId;
+    /// Number of CPUs in the controller.
+    pub const N_CPUS: FieldId = FieldId(0);
+    /// Maximum simultaneous calls.
+    pub const MAX_CALLS: FieldId = FieldId(1);
+    /// Software version word.
+    pub const SW_VERSION: FieldId = FieldId(2);
+    /// Cell/region identifier.
+    pub const REGION_ID: FieldId = FieldId(3);
+}
+
+/// Field ids of the channel configuration table.
+pub mod channel_config {
+    use super::FieldId;
+    /// Carrier frequency (kHz).
+    pub const FREQ_KHZ: FieldId = FieldId(0);
+    /// Maximum transmit power (mW).
+    pub const MAX_POWER_MW: FieldId = FieldId(1);
+}
+
+/// Field ids of the process table.
+pub mod process {
+    use super::FieldId;
+    /// Index of the connection this thread manages (link →
+    /// Connection).
+    pub const CONNECTION_ID: FieldId = FieldId(0);
+    /// Thread status code (0 = idle … 3 = tearing down).
+    pub const STATUS: FieldId = FieldId(1);
+    /// Encoded thread name (no range rule on purpose).
+    pub const NAME_ID: FieldId = FieldId(2);
+    /// Start time, seconds since boot.
+    pub const START_TIME: FieldId = FieldId(3);
+    /// Scheduling priority.
+    pub const PRIORITY: FieldId = FieldId(4);
+    /// CPU the thread is pinned to.
+    pub const CPU_AFFINITY: FieldId = FieldId(5);
+    /// Watchdog budget in milliseconds.
+    pub const WATCHDOG_MS: FieldId = FieldId(6);
+}
+
+/// Field ids of the connection table.
+pub mod connection {
+    use super::FieldId;
+    /// Index of the allocated channel (link → Resource).
+    pub const CHANNEL_ID: FieldId = FieldId(0);
+    /// Calling-party number.
+    pub const CALLER_ID: FieldId = FieldId(1);
+    /// Called-party number.
+    pub const CALLEE_ID: FieldId = FieldId(2);
+    /// Call state code (0 = setup … 4 = released).
+    pub const STATE: FieldId = FieldId(3);
+    /// Setup time, seconds since boot.
+    pub const SETUP_TIME: FieldId = FieldId(4);
+    /// Voice codec selector.
+    pub const CODEC: FieldId = FieldId(5);
+    /// Call priority class.
+    pub const PRIORITY: FieldId = FieldId(6);
+    /// Bearer type (voice / data / fax).
+    pub const BEARER: FieldId = FieldId(7);
+    /// Direction (mobile-originated / mobile-terminated).
+    pub const DIRECTION: FieldId = FieldId(8);
+    /// Handover hop count.
+    pub const HOP_COUNT: FieldId = FieldId(9);
+    /// TDMA timeslot.
+    pub const TIMESLOT: FieldId = FieldId(10);
+    /// Serving cell identifier.
+    pub const CELL_ID: FieldId = FieldId(11);
+    /// Quality-of-service class.
+    pub const QOS: FieldId = FieldId(12);
+    /// Accumulated billing units (no range rule on purpose).
+    pub const BILLING_UNITS: FieldId = FieldId(13);
+}
+
+/// Field ids of the resource table.
+pub mod resource {
+    use super::FieldId;
+    /// Index of the owning process record (link → Process; closes the
+    /// semantic loop).
+    pub const PROCESS_ID: FieldId = FieldId(0);
+    /// Channel status (0 = free, 1 = busy, 2 = maintenance).
+    pub const STATUS: FieldId = FieldId(1);
+    /// Assigned frequency (kHz).
+    pub const FREQ_KHZ: FieldId = FieldId(2);
+    /// Measured power (no range rule on purpose).
+    pub const POWER_MW: FieldId = FieldId(3);
+    /// TDMA timeslot.
+    pub const TIMESLOT: FieldId = FieldId(4);
+    /// Interference level indicator.
+    pub const INTERFERENCE: FieldId = FieldId(5);
+    /// Carrier index.
+    pub const CARRIER: FieldId = FieldId(6);
+}
+
+/// Number of record slots in each dynamic table of the standard
+/// schema. Bounds the number of simultaneous calls.
+pub const STANDARD_DYNAMIC_SLOTS: u32 = 64;
+
+/// Builds the standard controller schema.
+///
+/// # Example
+///
+/// ```
+/// use wtnc_db::{schema, Database};
+///
+/// let db = Database::build(schema::standard_schema()).unwrap();
+/// assert_eq!(db.catalog().table_count(), 5);
+/// ```
+pub fn standard_schema() -> Vec<TableDef> {
+    standard_schema_with_slots(STANDARD_DYNAMIC_SLOTS)
+}
+
+/// Builds the standard schema with a custom number of dynamic record
+/// slots (used by experiments that need more concurrent calls).
+pub fn standard_schema_with_slots(slots: u32) -> Vec<TableDef> {
+    vec![
+        TableDef::new(
+            "sysconfig",
+            TableNature::Config,
+            4,
+            vec![
+                FieldDef::static_value("n_cpus", FieldWidth::U8, 4),
+                FieldDef::static_value("max_calls", FieldWidth::U32, 1_000),
+                FieldDef::static_value("sw_version", FieldWidth::U32, 0x0205_0001),
+                FieldDef::static_value("region_id", FieldWidth::U16, 314),
+            ],
+        ),
+        TableDef::new(
+            "channel_config",
+            TableNature::Config,
+            16,
+            vec![
+                FieldDef::static_value("freq_khz", FieldWidth::U32, 890_000),
+                FieldDef::static_value("max_power_mw", FieldWidth::U32, 2_000),
+            ],
+        ),
+        TableDef::new(
+            "process",
+            TableNature::Dynamic,
+            slots,
+            vec![
+                FieldDef::dynamic("connection_id", FieldWidth::U16)
+                    .with_default(LINK_NONE as u64)
+                    .with_link(CONNECTION_TABLE),
+                FieldDef::dynamic("status", FieldWidth::U8).with_range(0, 3),
+                FieldDef::dynamic("name_id", FieldWidth::U32),
+                FieldDef::dynamic("start_time", FieldWidth::U32).with_range(0, 86_400),
+                FieldDef::dynamic("priority", FieldWidth::U8).with_range(0, 7),
+                FieldDef::dynamic("cpu_affinity", FieldWidth::U8).with_range(0, 3),
+                FieldDef::dynamic("watchdog_ms", FieldWidth::U16)
+                    .with_range(10, 1_000)
+                    .with_default(100),
+            ],
+        ),
+        TableDef::new(
+            "connection",
+            TableNature::Dynamic,
+            slots,
+            vec![
+                FieldDef::dynamic("channel_id", FieldWidth::U16)
+                    .with_default(LINK_NONE as u64)
+                    .with_link(RESOURCE_TABLE),
+                // Subscriber indices into the home-location register
+                // (kept narrow relative to the field width, which is
+                // what gives the range check its power).
+                FieldDef::dynamic("caller_id", FieldWidth::U32).with_range(0, 9_999),
+                FieldDef::dynamic("callee_id", FieldWidth::U32).with_range(0, 9_999),
+                FieldDef::dynamic("state", FieldWidth::U8).with_range(0, 4),
+                FieldDef::dynamic("setup_time", FieldWidth::U32).with_range(0, 86_400),
+                FieldDef::dynamic("codec", FieldWidth::U8).with_range(0, 3),
+                FieldDef::dynamic("priority", FieldWidth::U8).with_range(0, 7),
+                FieldDef::dynamic("bearer", FieldWidth::U8).with_range(0, 2),
+                FieldDef::dynamic("direction", FieldWidth::U8).with_range(0, 1),
+                FieldDef::dynamic("hop_count", FieldWidth::U8).with_range(0, 15),
+                FieldDef::dynamic("timeslot", FieldWidth::U8).with_range(0, 31),
+                FieldDef::dynamic("cell_id", FieldWidth::U16).with_range(0, 999),
+                FieldDef::dynamic("qos", FieldWidth::U8).with_range(0, 7),
+                FieldDef::dynamic("billing_units", FieldWidth::U32),
+            ],
+        ),
+        TableDef::new(
+            "resource",
+            TableNature::Dynamic,
+            slots,
+            vec![
+                FieldDef::dynamic("process_id", FieldWidth::U16)
+                    .with_default(LINK_NONE as u64)
+                    .with_link(PROCESS_TABLE),
+                FieldDef::dynamic("status", FieldWidth::U8).with_range(0, 2),
+                FieldDef::dynamic("freq_khz", FieldWidth::U32).with_range(800_000, 960_000)
+                    .with_default(890_000),
+                FieldDef::dynamic("power_mw", FieldWidth::U32),
+                FieldDef::dynamic("timeslot", FieldWidth::U8).with_range(0, 31),
+                FieldDef::dynamic("interference", FieldWidth::U8).with_range(0, 63),
+                FieldDef::dynamic("carrier", FieldWidth::U16).with_range(0, 1_023),
+            ],
+        ),
+    ]
+}
+
+/// Builds the six-table schema of the prioritized-audit experiment
+/// (paper Table 5): relative size ratio 7 : 18 : 1 : 125 : 8 : 4, one
+/// generic ruled field, one link-free unruled field per table. `scale`
+/// multiplies the size ratio to set absolute record counts.
+pub fn six_table_schema(scale: u32) -> Vec<TableDef> {
+    const RATIOS: [u32; 6] = [7, 18, 1, 125, 8, 4];
+    RATIOS
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            TableDef::new(
+                &format!("t{i}"),
+                TableNature::Dynamic,
+                (r * scale).max(1),
+                vec![
+                    // Narrow range relative to the field width: most
+                    // bit flips are detectable, so the audit race (the
+                    // thing prioritization accelerates) decides the
+                    // outcome.
+                    FieldDef::dynamic("value", FieldWidth::U32).with_range(0, 999),
+                    FieldDef::dynamic("aux", FieldWidth::U32),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::database::Database;
+
+    #[test]
+    fn standard_schema_builds() {
+        let cat = Catalog::build(standard_schema()).unwrap();
+        assert_eq!(cat.table_count(), 5);
+        assert_eq!(cat.table_by_name("process"), Some(PROCESS_TABLE));
+        assert_eq!(cat.table_by_name("connection"), Some(CONNECTION_TABLE));
+        assert_eq!(cat.table_by_name("resource"), Some(RESOURCE_TABLE));
+    }
+
+    #[test]
+    fn semantic_loop_is_closed() {
+        let cat = Catalog::build(standard_schema()).unwrap();
+        let p = cat.field(PROCESS_TABLE, process::CONNECTION_ID).unwrap();
+        assert_eq!(p.link, Some(CONNECTION_TABLE));
+        let c = cat.field(CONNECTION_TABLE, connection::CHANNEL_ID).unwrap();
+        assert_eq!(c.link, Some(RESOURCE_TABLE));
+        let r = cat.field(RESOURCE_TABLE, resource::PROCESS_ID).unwrap();
+        assert_eq!(r.link, Some(PROCESS_TABLE));
+    }
+
+    #[test]
+    fn unruled_fields_exist_for_escape_category() {
+        let cat = Catalog::build(standard_schema()).unwrap();
+        let f = cat.field(PROCESS_TABLE, process::NAME_ID).unwrap();
+        assert!(f.range.is_none() && f.link.is_none());
+        let f = cat.field(CONNECTION_TABLE, connection::BILLING_UNITS).unwrap();
+        assert!(f.range.is_none() && f.link.is_none());
+        let f = cat.field(RESOURCE_TABLE, resource::POWER_MW).unwrap();
+        assert!(f.range.is_none() && f.link.is_none());
+    }
+
+    #[test]
+    fn six_table_schema_matches_ratio() {
+        let cat = Catalog::build(six_table_schema(2)).unwrap();
+        let counts: Vec<u32> = cat.tables().map(|t| t.def.record_count).collect();
+        assert_eq!(counts, vec![14, 36, 2, 250, 16, 8]);
+    }
+
+    #[test]
+    fn six_table_schema_scale_one_keeps_min_one_record() {
+        let cat = Catalog::build(six_table_schema(1)).unwrap();
+        assert!(cat.tables().all(|t| t.def.record_count >= 1));
+    }
+
+    #[test]
+    fn database_builds_from_standard_schema() {
+        let db = Database::build(standard_schema()).unwrap();
+        // All dynamic tables start empty; config tables start full.
+        assert_eq!(db.active_count(PROCESS_TABLE).unwrap(), 0);
+        assert_eq!(db.active_count(SYSCONFIG_TABLE).unwrap(), 4);
+        assert!(db.region_len() > 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Software-implemented fault injection and the paper's experiment
+//! campaigns (NFTAPE-equivalent).
+//!
+//! Two injection families, matching §5 and §6 of the paper:
+//!
+//! * **Database injection** ([`db_campaign`]): random single-bit flips
+//!   in the controller database image while the discrete-event
+//!   call-processing client runs, with or without audits. Regenerates
+//!   Tables 2–4 and Figure 3, plus the prioritized-audit study of
+//!   Table 5 / Figures 5–6 ([`priority_campaign`]).
+//! * **Text-segment injection** ([`text_campaign`]): breakpoint-
+//!   triggered corruption of the ISA client's instruction stream using
+//!   the paper's four error models ([`ErrorModel`]: ADDIF, DATAIF,
+//!   DATAOF, DATAInF), directed at control-flow instructions or spread
+//!   over the whole text segment, across the four PECOS × audit
+//!   configurations. Regenerates Tables 8 and 9.
+//!
+//! Outcomes are classified per the paper's Table 7 ([`RunOutcome`]),
+//! chronologically: the first detection (PECOS, audit, or a crash
+//! signal) claims the run. [`coverage`] combines both families into
+//! the system-wide coverage estimate of Table 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod db_campaign;
+mod models;
+mod outcome;
+pub mod parallel;
+pub mod priority_campaign;
+pub mod text_campaign;
+
+pub use models::ErrorModel;
+pub use outcome::{OutcomeCounts, RunOutcome};

@@ -1,0 +1,183 @@
+//! Outcome classification (paper Table 7).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wtnc_sim::stats::Proportion;
+
+/// The possible results of one error-injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The erroneous instruction was never reached; the run is
+    /// discarded from further analysis.
+    NotActivated,
+    /// The erroneous instruction executed but the application behaved
+    /// correctly.
+    NotManifested,
+    /// A PECOS assertion block caught the error before any other
+    /// detection or result.
+    PecosDetection,
+    /// An audit element caught an error in the database first.
+    AuditDetection,
+    /// The "operating system" caught the error (illegal instruction,
+    /// memory fault, unhandled exception) and the client crashed.
+    SystemDetection,
+    /// The client stopped making progress (dead- or livelock).
+    ClientHang,
+    /// The client wrote incorrect data to the shared database — the
+    /// major error-propagation channel.
+    FailSilenceViolation,
+}
+
+impl RunOutcome {
+    /// The categories in the paper's table order.
+    pub const ALL: [RunOutcome; 7] = [
+        RunOutcome::NotActivated,
+        RunOutcome::NotManifested,
+        RunOutcome::PecosDetection,
+        RunOutcome::AuditDetection,
+        RunOutcome::SystemDetection,
+        RunOutcome::ClientHang,
+        RunOutcome::FailSilenceViolation,
+    ];
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunOutcome::NotActivated => "Errors Not Activated",
+            RunOutcome::NotManifested => "Errors Activated but Not Manifested",
+            RunOutcome::PecosDetection => "PECOS Detection",
+            RunOutcome::AuditDetection => "Audit Detection",
+            RunOutcome::SystemDetection => "System Detection",
+            RunOutcome::ClientHang => "Client Hang",
+            RunOutcome::FailSilenceViolation => "Fail-silence Violation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregated outcome counts for one campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    counts: [u64; 7],
+}
+
+impl OutcomeCounts {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(outcome: RunOutcome) -> usize {
+        RunOutcome::ALL
+            .iter()
+            .position(|&o| o == outcome)
+            .expect("outcome is in ALL")
+    }
+
+    /// Records one run.
+    pub fn record(&mut self, outcome: RunOutcome) {
+        self.counts[Self::slot(outcome)] += 1;
+    }
+
+    /// Count of one category.
+    pub fn count(&self, outcome: RunOutcome) -> u64 {
+        self.counts[Self::slot(outcome)]
+    }
+
+    /// Total runs recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Runs in which the injected error was activated (the paper's
+    /// denominator for the percentage rows).
+    pub fn activated(&self) -> u64 {
+        self.total() - self.count(RunOutcome::NotActivated)
+    }
+
+    /// The proportion of activated runs in one category, with its
+    /// binomial confidence interval.
+    pub fn proportion_of_activated(&self, outcome: RunOutcome) -> Proportion {
+        Proportion::new(self.count(outcome), self.activated().max(1))
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The paper's system-wide coverage formula:
+    /// `100% − (SystemDetection + FailSilence + Hang)%` of activated
+    /// errors.
+    pub fn coverage(&self) -> f64 {
+        let activated = self.activated();
+        if activated == 0 {
+            return 0.0;
+        }
+        let uncovered = self.count(RunOutcome::SystemDetection)
+            + self.count(RunOutcome::FailSilenceViolation)
+            + self.count(RunOutcome::ClientHang);
+        100.0 * (1.0 - uncovered as f64 / activated as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_and_percentages() {
+        let mut c = OutcomeCounts::new();
+        for _ in 0..50 {
+            c.record(RunOutcome::NotActivated);
+        }
+        for _ in 0..30 {
+            c.record(RunOutcome::PecosDetection);
+        }
+        for _ in 0..15 {
+            c.record(RunOutcome::SystemDetection);
+        }
+        for _ in 0..5 {
+            c.record(RunOutcome::NotManifested);
+        }
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.activated(), 50);
+        let p = c.proportion_of_activated(RunOutcome::PecosDetection);
+        assert_eq!(p.percent(), 60.0);
+        // Coverage: 100 - 15/50 = 70%.
+        assert!((c.coverage() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OutcomeCounts::new();
+        a.record(RunOutcome::ClientHang);
+        let mut b = OutcomeCounts::new();
+        b.record(RunOutcome::ClientHang);
+        b.record(RunOutcome::FailSilenceViolation);
+        a.merge(&b);
+        assert_eq!(a.count(RunOutcome::ClientHang), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn empty_tally_is_safe() {
+        let c = OutcomeCounts::new();
+        assert_eq!(c.activated(), 0);
+        assert_eq!(c.coverage(), 0.0);
+        assert_eq!(c.proportion_of_activated(RunOutcome::ClientHang).percent(), 0.0);
+    }
+
+    #[test]
+    fn display_matches_paper_wording() {
+        assert_eq!(RunOutcome::PecosDetection.to_string(), "PECOS Detection");
+        assert_eq!(
+            RunOutcome::FailSilenceViolation.to_string(),
+            "Fail-silence Violation"
+        );
+    }
+}

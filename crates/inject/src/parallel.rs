@@ -1,0 +1,110 @@
+//! Deterministic parallel execution of independent campaign runs.
+//!
+//! Every run is seeded up front, so distributing runs across worker
+//! threads changes wall-clock time but not a single result: the output
+//! vector is indexed by run, not by completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Executes `f(index, seed)` for every seed, spread over up to
+/// `max_workers` OS threads (clamped to the number of seeds), and
+/// returns the results in seed order.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn run_seeded<R, F>(seeds: &[u64], max_workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, u64) -> R + Sync,
+{
+    let n = seeds.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = max_workers.clamp(1, n);
+    if workers == 1 {
+        return seeds.iter().enumerate().map(|(i, &s)| f(i, s)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Hand each worker a disjoint view of the result slots via raw
+    // indexing through a Mutex-free channel: collect (index, result)
+    // pairs per worker and merge afterwards.
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut acc = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        acc.push((i, f(i, seeds[i])));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("campaign worker panicked"));
+        }
+    })
+    .expect("campaign scope panicked");
+
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every run produced a result"))
+        .collect()
+}
+
+/// A reasonable worker count for campaign runs.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_seed_order() {
+        let seeds: Vec<u64> = (0..57).collect();
+        let out = run_seeded(&seeds, 8, |i, s| {
+            // Uneven work so completion order scrambles.
+            std::thread::sleep(std::time::Duration::from_micros((s % 7) * 50));
+            (i, s * 2)
+        });
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, seeds[i] * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let seeds: Vec<u64> = (100..160).collect();
+        let serial = run_seeded(&seeds, 1, |i, s| s.wrapping_mul(31).wrapping_add(i as u64));
+        let parallel = run_seeded(&seeds, 6, |i, s| s.wrapping_mul(31).wrapping_add(i as u64));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u64> = run_seeded(&[], 4, |_, s| s);
+        assert!(out.is_empty());
+        let out = run_seeded(&[9], 4, |_, s| s + 1);
+        assert_eq!(out, vec![10]);
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,773 @@
+//! The multi-threaded interpreter.
+//!
+//! Threads are scheduled round-robin, one instruction per quantum,
+//! which both models the paper's multi-threaded call-processing client
+//! and creates the injection window it describes: "in the time interval
+//! between reaching the breakpoint and restoring the correct
+//! instruction, other thread(s) may come and execute the erroneous
+//! instruction".
+//!
+//! Exceptions do not silently kill threads: [`Machine::step`] returns
+//! the [`ExceptionInfo`] and parks the thread in
+//! [`ThreadState::Faulted`], leaving the *policy* to the caller — the
+//! PECOS signal handler checks whether the faulting PC lies inside an
+//! assertion block and either terminates just that thread (graceful
+//! recovery) or lets the process crash (system detection).
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::{decode, Inst};
+use crate::program::Program;
+use crate::ThreadId;
+
+/// Configuration for a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Words of per-thread data memory (stack + locals). The stack
+    /// pointer (`r15`) starts here and grows down.
+    pub data_words: usize,
+    /// Maximum size of a PECOS target table; a stored count above this
+    /// is treated as a failed assertion (corrupted table).
+    pub max_pckt_table: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            data_words: 4_096,
+            max_pckt_table: 1_024,
+        }
+    }
+}
+
+/// Why a thread faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExceptionKind {
+    /// `DIVU` with a zero divisor, or a failed `PCKT` membership test.
+    /// PECOS assertion blocks raise exactly this.
+    DivideByZero,
+    /// The fetched word did not decode (SIGILL-class).
+    IllegalInstruction,
+    /// The program counter left the text segment (wild jump;
+    /// SIGSEGV-class).
+    TextFault {
+        /// The bad address.
+        addr: u32,
+    },
+    /// A data-memory access left the thread's data segment
+    /// (SIGSEGV-class), including stack overflow/underflow.
+    MemoryFault {
+        /// The bad word address.
+        addr: i64,
+    },
+}
+
+/// A reported exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExceptionInfo {
+    /// The faulting thread.
+    pub thread: ThreadId,
+    /// Address of the faulting instruction (the PC the signal handler
+    /// examines).
+    pub pc: u16,
+    /// The exception class.
+    pub kind: ExceptionKind,
+}
+
+/// Lifecycle state of a machine thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Executed `HALT` (normal completion).
+    Halted,
+    /// Raised an exception; awaiting a policy decision by the caller.
+    Faulted(ExceptionKind),
+    /// Terminated by a recovery action (e.g. the PECOS signal
+    /// handler).
+    Killed,
+}
+
+/// A syscall captured from a `SYS` instruction: the number and the six
+/// argument registers `r1`–`r6`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallRequest {
+    /// The calling thread.
+    pub thread: ThreadId,
+    /// Syscall number (the `SYS` immediate).
+    pub num: u8,
+    /// Argument registers `r1..=r6` at the call.
+    pub args: [u64; 6],
+}
+
+/// Receiver for `SYS` instructions. The call-processing client's
+/// database operations arrive here.
+pub trait SyscallHandler {
+    /// Handles one syscall; the return value is written to `r1`.
+    fn handle(&mut self, req: SyscallRequest) -> u64;
+}
+
+/// A handler that ignores every syscall (returns 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSyscalls;
+
+impl SyscallHandler for NoSyscalls {
+    fn handle(&mut self, _req: SyscallRequest) -> u64 {
+        0
+    }
+}
+
+/// Result of one [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction retired normally.
+    Executed {
+        /// The thread that ran.
+        thread: ThreadId,
+        /// Address of the executed instruction.
+        pc: u16,
+    },
+    /// The running thread raised an exception and is now
+    /// [`ThreadState::Faulted`].
+    Exception(ExceptionInfo),
+    /// No thread is runnable.
+    Idle,
+}
+
+#[derive(Debug, Clone)]
+struct Thread {
+    regs: [u64; 16],
+    pc: u16,
+    data: Vec<u64>,
+    state: ThreadState,
+    steps: u64,
+}
+
+/// The machine: shared mutable text segment plus per-thread register
+/// files and data memories.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    text: Vec<u32>,
+    threads: Vec<Thread>,
+    config: MachineConfig,
+    next: usize,
+    total_steps: u64,
+}
+
+impl Machine {
+    /// Loads a program. Threads must be spawned explicitly.
+    pub fn load(program: &Program, config: MachineConfig) -> Self {
+        Machine {
+            text: program.text.clone(),
+            threads: Vec::new(),
+            config,
+            next: 0,
+            total_steps: 0,
+        }
+    }
+
+    /// Spawns a thread at `entry` with a fresh register file and data
+    /// memory; returns its id.
+    pub fn spawn_thread(&mut self, entry: u16) -> ThreadId {
+        let mut regs = [0u64; 16];
+        regs[15] = self.config.data_words as u64; // stack grows down
+        self.threads.push(Thread {
+            regs,
+            pc: entry,
+            data: vec![0; self.config.data_words],
+            state: ThreadState::Runnable,
+            steps: 0,
+        });
+        self.threads.len() - 1
+    }
+
+    /// Shared text segment (read).
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// Shared text segment (write) — the injector's entry point.
+    pub fn text_mut(&mut self) -> &mut [u32] {
+        &mut self.text
+    }
+
+    /// Number of spawned threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// State of a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was never spawned.
+    pub fn thread_state(&self, t: ThreadId) -> ThreadState {
+        self.threads[t].state
+    }
+
+    /// Register `r` of thread `t`, or `None` for an unknown thread or
+    /// register.
+    pub fn reg(&self, t: ThreadId, r: usize) -> Option<u64> {
+        self.threads.get(t)?.regs.get(r).copied()
+    }
+
+    /// Sets register `r` of thread `t` (test and harness support).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown thread or register index.
+    pub fn set_reg(&mut self, t: ThreadId, r: usize, v: u64) {
+        self.threads[t].regs[r] = v;
+    }
+
+    /// Current program counter of a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was never spawned.
+    pub fn pc(&self, t: ThreadId) -> u16 {
+        self.threads[t].pc
+    }
+
+    /// Instructions executed by thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was never spawned.
+    pub fn thread_steps(&self, t: ThreadId) -> u64 {
+        self.threads[t].steps
+    }
+
+    /// Instructions executed across all threads.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Terminates a thread as a recovery action (PECOS signal handler,
+    /// manager). The thread will never run again.
+    pub fn kill_thread(&mut self, t: ThreadId) {
+        if let Some(th) = self.threads.get_mut(t) {
+            th.state = ThreadState::Killed;
+        }
+    }
+
+    /// Returns a faulted thread to the runnable state *at the faulting
+    /// instruction* (used by handlers that repair state and retry).
+    pub fn resume_thread(&mut self, t: ThreadId) {
+        if let Some(th) = self.threads.get_mut(t) {
+            if matches!(th.state, ThreadState::Faulted(_)) {
+                th.state = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// True while at least one thread is runnable.
+    pub fn has_runnable(&self) -> bool {
+        self.threads.iter().any(|t| t.state == ThreadState::Runnable)
+    }
+
+    /// The thread the next [`Machine::step`] will run and the address
+    /// it will execute, or `None` when idle. The injector uses this as
+    /// its breakpoint hook.
+    pub fn peek_next(&self) -> Option<(ThreadId, u16)> {
+        let n = self.threads.len();
+        if n == 0 {
+            return None;
+        }
+        for i in 0..n {
+            let idx = (self.next + i) % n;
+            if self.threads[idx].state == ThreadState::Runnable {
+                return Some((idx, self.threads[idx].pc));
+            }
+        }
+        None
+    }
+
+    /// Executes one instruction of the next runnable thread
+    /// (round-robin).
+    pub fn step(&mut self, sys: &mut dyn SyscallHandler) -> StepOutcome {
+        let Some((tid, pc)) = self.peek_next() else {
+            return StepOutcome::Idle;
+        };
+        let n = self.threads.len();
+        self.next = (tid + 1) % n;
+        self.total_steps += 1;
+        self.threads[tid].steps += 1;
+
+        // Fetch.
+        let Some(&word) = self.text.get(pc as usize) else {
+            return self.fault(tid, pc, ExceptionKind::TextFault { addr: pc as u32 });
+        };
+        // Decode.
+        let inst = match decode(word) {
+            Ok(i) => i,
+            Err(_) => return self.fault(tid, pc, ExceptionKind::IllegalInstruction),
+        };
+        // Execute.
+        match self.execute(tid, pc, inst, sys) {
+            Ok(()) => StepOutcome::Executed { thread: tid, pc },
+            Err(kind) => self.fault(tid, pc, kind),
+        }
+    }
+
+    /// Runs until `max_steps` instructions have retired, a thread
+    /// faults, or the machine goes idle. Returns the last outcome.
+    pub fn run(&mut self, sys: &mut dyn SyscallHandler, max_steps: u64) -> StepOutcome {
+        let mut last = StepOutcome::Idle;
+        for _ in 0..max_steps {
+            last = self.step(sys);
+            match last {
+                StepOutcome::Executed { .. } => {}
+                _ => break,
+            }
+        }
+        last
+    }
+
+    fn fault(&mut self, tid: ThreadId, pc: u16, kind: ExceptionKind) -> StepOutcome {
+        self.threads[tid].state = ThreadState::Faulted(kind);
+        StepOutcome::Exception(ExceptionInfo { thread: tid, pc, kind })
+    }
+
+    fn execute(
+        &mut self,
+        tid: ThreadId,
+        pc: u16,
+        inst: Inst,
+        sys: &mut dyn SyscallHandler,
+    ) -> Result<(), ExceptionKind> {
+        let data_words = self.config.data_words as i64;
+        let next_pc = pc.wrapping_add(1);
+        // Helper closures cannot borrow self twice; work on the thread
+        // via index.
+        macro_rules! th {
+            () => {
+                self.threads[tid]
+            };
+        }
+        let r = |t: &Thread, i: u8| t.regs[i as usize & 0xF];
+        let mem_addr = |base: u64, off: i16| -> Result<usize, ExceptionKind> {
+            let addr = base as i64 + off as i64;
+            if addr < 0 || addr >= data_words {
+                Err(ExceptionKind::MemoryFault { addr })
+            } else {
+                Ok(addr as usize)
+            }
+        };
+
+        match inst {
+            Inst::Nop => th!().pc = next_pc,
+            Inst::Halt => th!().state = ThreadState::Halted,
+            Inst::Movi { rd, imm } => {
+                th!().regs[rd as usize & 0xF] = imm as u64;
+                th!().pc = next_pc;
+            }
+            Inst::Mov { rd, rs } => {
+                let v = r(&th!(), rs);
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Add { rd, rs, rt } => {
+                let v = r(&th!(), rs).wrapping_add(r(&th!(), rt));
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Sub { rd, rs, rt } => {
+                let v = r(&th!(), rs).wrapping_sub(r(&th!(), rt));
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Mul { rd, rs, rt } => {
+                let v = r(&th!(), rs).wrapping_mul(r(&th!(), rt));
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Divu { rd, rs, rt } => {
+                let divisor = r(&th!(), rt);
+                if divisor == 0 {
+                    return Err(ExceptionKind::DivideByZero);
+                }
+                let v = r(&th!(), rs) / divisor;
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::And { rd, rs, rt } => {
+                let v = r(&th!(), rs) & r(&th!(), rt);
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Or { rd, rs, rt } => {
+                let v = r(&th!(), rs) | r(&th!(), rt);
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Xor { rd, rs, rt } => {
+                let v = r(&th!(), rs) ^ r(&th!(), rt);
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Addi { rd, rs, imm } => {
+                let v = r(&th!(), rs).wrapping_add(imm as i64 as u64);
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Andi { rd, rs, imm } => {
+                let v = r(&th!(), rs) & imm as u64;
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Seqz { rd, rs } => {
+                let v = (r(&th!(), rs) == 0) as u64;
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Ld { rd, rs, imm } => {
+                let addr = mem_addr(r(&th!(), rs), imm)?;
+                let v = th!().data[addr];
+                th!().regs[rd as usize & 0xF] = v;
+                th!().pc = next_pc;
+            }
+            Inst::St { rs, rt, imm } => {
+                let addr = mem_addr(r(&th!(), rs), imm)?;
+                let v = r(&th!(), rt);
+                th!().data[addr] = v;
+                th!().pc = next_pc;
+            }
+            Inst::Ldt { rd, addr } => {
+                let Some(&w) = self.text.get(addr as usize) else {
+                    return Err(ExceptionKind::TextFault { addr: addr as u32 });
+                };
+                th!().regs[rd as usize & 0xF] = w as u64;
+                th!().pc = next_pc;
+            }
+            Inst::Jmp { addr } => th!().pc = addr,
+            Inst::Beq { rs, rt, addr } => {
+                let taken = r(&th!(), rs) == r(&th!(), rt);
+                th!().pc = if taken { addr } else { next_pc };
+            }
+            Inst::Bne { rs, rt, addr } => {
+                let taken = r(&th!(), rs) != r(&th!(), rt);
+                th!().pc = if taken { addr } else { next_pc };
+            }
+            Inst::Blt { rs, rt, addr } => {
+                let taken = r(&th!(), rs) < r(&th!(), rt);
+                th!().pc = if taken { addr } else { next_pc };
+            }
+            Inst::Bge { rs, rt, addr } => {
+                let taken = r(&th!(), rs) >= r(&th!(), rt);
+                th!().pc = if taken { addr } else { next_pc };
+            }
+            Inst::Call { addr } => {
+                let sp = r(&th!(), 15).wrapping_sub(1);
+                let slot = mem_addr(sp, 0)?;
+                th!().data[slot] = next_pc as u64;
+                th!().regs[15] = sp;
+                th!().pc = addr;
+            }
+            Inst::Ret => {
+                let sp = r(&th!(), 15);
+                let slot = mem_addr(sp, 0)?;
+                let ra = th!().data[slot];
+                th!().regs[15] = sp.wrapping_add(1);
+                th!().pc = ra as u16;
+            }
+            Inst::Callr { rs } => {
+                let target = r(&th!(), rs) as u16;
+                let sp = r(&th!(), 15).wrapping_sub(1);
+                let slot = mem_addr(sp, 0)?;
+                th!().data[slot] = next_pc as u64;
+                th!().regs[15] = sp;
+                th!().pc = target;
+            }
+            Inst::Jr { rs } => {
+                let target = r(&th!(), rs) as u16;
+                th!().pc = target;
+            }
+            Inst::Sys { num } => {
+                let t = &self.threads[tid];
+                let req = SyscallRequest {
+                    thread: tid,
+                    num,
+                    args: [t.regs[1], t.regs[2], t.regs[3], t.regs[4], t.regs[5], t.regs[6]],
+                };
+                let ret = sys.handle(req);
+                th!().regs[1] = ret;
+                th!().pc = next_pc;
+            }
+            Inst::Pckt { rs, table } => {
+                let value = r(&th!(), rs) as u32;
+                let Some(&count) = self.text.get(table as usize) else {
+                    return Err(ExceptionKind::TextFault { addr: table as u32 });
+                };
+                if count > self.config.max_pckt_table {
+                    // A corrupted table counts as a failed assertion.
+                    return Err(ExceptionKind::DivideByZero);
+                }
+                let start = table as usize + 1;
+                let end = start + count as usize;
+                if end > self.text.len() {
+                    return Err(ExceptionKind::TextFault { addr: end as u32 });
+                }
+                let member = self.text[start..end].iter().any(|&t| t == value);
+                if !member {
+                    return Err(ExceptionKind::DivideByZero);
+                }
+                th!().pc = next_pc;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_source;
+
+    fn run_program(src: &str, max: u64) -> (Machine, ThreadId, StepOutcome) {
+        let p = assemble_source(src).unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        let t = m.spawn_thread(p.entry);
+        let out = m.run(&mut NoSyscalls, max);
+        (m, t, out)
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        let (m, t, _) = run_program(
+            r#"
+            start:
+                movi r1, 10
+                movi r2, 0
+            loop:
+                add  r2, r2, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            "#,
+            1_000,
+        );
+        assert_eq!(m.thread_state(t), ThreadState::Halted);
+        assert_eq!(m.reg(t, 2), Some(55));
+    }
+
+    #[test]
+    fn call_and_ret_use_the_stack() {
+        let (m, t, _) = run_program(
+            r#"
+            start:
+                movi r1, 3
+                call double
+                call double
+                halt
+            double:
+                add r1, r1, r1
+                ret
+            "#,
+            1_000,
+        );
+        assert_eq!(m.thread_state(t), ThreadState::Halted);
+        assert_eq!(m.reg(t, 1), Some(12));
+        // Stack pointer restored.
+        assert_eq!(m.reg(t, 15), Some(MachineConfig::default().data_words as u64));
+    }
+
+    #[test]
+    fn nested_calls() {
+        let (m, t, _) = run_program(
+            r#"
+            start:
+                movi r1, 1
+                call a
+                halt
+            a:
+                addi r1, r1, 10
+                call b
+                ret
+            b:
+                addi r1, r1, 100
+                ret
+            "#,
+            1_000,
+        );
+        assert_eq!(m.thread_state(t), ThreadState::Halted);
+        assert_eq!(m.reg(t, 1), Some(111));
+    }
+
+    #[test]
+    fn indirect_call_via_register() {
+        let (m, t, _) = run_program(
+            r#"
+            start:
+                movi r4, f
+                callr r4
+                halt
+            f:
+                movi r1, 77
+                ret
+            "#,
+            1_000,
+        );
+        assert_eq!(m.thread_state(t), ThreadState::Halted);
+        assert_eq!(m.reg(t, 1), Some(77));
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let (m, t, out) = run_program("start: movi r1, 5\nmovi r2, 0\ndivu r3, r1, r2\nhalt\n", 10);
+        assert_eq!(m.thread_state(t), ThreadState::Faulted(ExceptionKind::DivideByZero));
+        match out {
+            StepOutcome::Exception(info) => {
+                assert_eq!(info.kind, ExceptionKind::DivideByZero);
+                assert_eq!(info.pc, 2);
+            }
+            other => panic!("expected exception, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wild_jump_text_faults() {
+        let (m, t, _) = run_program("start: jmp 9999\n", 10);
+        assert!(matches!(
+            m.thread_state(t),
+            ThreadState::Faulted(ExceptionKind::TextFault { .. })
+        ));
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let p = assemble_source("start: nop\nhalt\n").unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        m.text_mut()[0] = 0xFF00_0000;
+        let t = m.spawn_thread(0);
+        m.run(&mut NoSyscalls, 10);
+        assert_eq!(
+            m.thread_state(t),
+            ThreadState::Faulted(ExceptionKind::IllegalInstruction)
+        );
+    }
+
+    #[test]
+    fn memory_fault_on_bad_store() {
+        let (m, t, _) = run_program("start: movi r1, 0\nst [r1-1], r0\nhalt\n", 10);
+        assert!(matches!(
+            m.thread_state(t),
+            ThreadState::Faulted(ExceptionKind::MemoryFault { .. })
+        ));
+    }
+
+    #[test]
+    fn stack_overflow_faults() {
+        // Infinite recursion exhausts the data segment.
+        let (m, t, _) = run_program("start: call start\n", 100_000);
+        assert!(matches!(
+            m.thread_state(t),
+            ThreadState::Faulted(ExceptionKind::MemoryFault { .. })
+        ));
+    }
+
+    #[test]
+    fn pckt_membership() {
+        // Passing check: value 7 in table {5, 7}.
+        let (m, t, _) = run_program(
+            "start: movi r12, 7\npckt r12, tab\nhalt\ntab: .word 2\n.word 5\n.word 7\n",
+            10,
+        );
+        assert_eq!(m.thread_state(t), ThreadState::Halted);
+        // Failing check raises divide-by-zero (the PECOS signal).
+        let (m, t, _) = run_program(
+            "start: movi r12, 9\npckt r12, tab\nhalt\ntab: .word 2\n.word 5\n.word 7\n",
+            10,
+        );
+        assert_eq!(m.thread_state(t), ThreadState::Faulted(ExceptionKind::DivideByZero));
+    }
+
+    #[test]
+    fn pckt_corrupted_count_is_failed_assertion() {
+        let p = assemble_source(
+            "start: movi r12, 5\npckt r12, tab\nhalt\ntab: .word 1\n.word 5\n",
+        )
+        .unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        let tab = p.symbol("tab").unwrap() as usize;
+        m.text_mut()[tab] = 0xFFFF_FFFF;
+        let t = m.spawn_thread(p.entry);
+        m.run(&mut NoSyscalls, 10);
+        assert_eq!(m.thread_state(t), ThreadState::Faulted(ExceptionKind::DivideByZero));
+    }
+
+    #[test]
+    fn syscalls_reach_the_handler() {
+        struct Recorder(Vec<SyscallRequest>);
+        impl SyscallHandler for Recorder {
+            fn handle(&mut self, req: SyscallRequest) -> u64 {
+                self.0.push(req);
+                req.args[0] + 1
+            }
+        }
+        let p = assemble_source("start: movi r1, 41\nsys 9\nhalt\n").unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        let t = m.spawn_thread(p.entry);
+        let mut rec = Recorder(Vec::new());
+        m.run(&mut rec, 10);
+        assert_eq!(rec.0.len(), 1);
+        assert_eq!(rec.0[0].num, 9);
+        assert_eq!(rec.0[0].args[0], 41);
+        assert_eq!(m.reg(t, 1), Some(42)); // return value in r1
+    }
+
+    #[test]
+    fn round_robin_interleaves_threads() {
+        let p = assemble_source("start: addi r1, r1, 1\njmp start\n").unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        let a = m.spawn_thread(0);
+        let b = m.spawn_thread(0);
+        for _ in 0..100 {
+            m.step(&mut NoSyscalls);
+        }
+        // Both threads made equal progress.
+        assert_eq!(m.thread_steps(a), 50);
+        assert_eq!(m.thread_steps(b), 50);
+        assert_eq!(m.total_steps(), 100);
+    }
+
+    #[test]
+    fn kill_and_resume() {
+        let p = assemble_source("start: movi r1, 0\ndivu r1, r1, r1\nhalt\n").unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        let a = m.spawn_thread(0);
+        let b = m.spawn_thread(0);
+        // Run until both fault.
+        while m.has_runnable() {
+            m.step(&mut NoSyscalls);
+        }
+        assert!(matches!(m.thread_state(a), ThreadState::Faulted(_)));
+        // Kill a: stays dead. Resume b at the faulting instruction: it
+        // faults again (divisor still zero).
+        m.kill_thread(a);
+        assert_eq!(m.thread_state(a), ThreadState::Killed);
+        m.resume_thread(b);
+        assert_eq!(m.thread_state(b), ThreadState::Runnable);
+        let out = m.step(&mut NoSyscalls);
+        assert!(matches!(out, StepOutcome::Exception(_)));
+    }
+
+    #[test]
+    fn peek_next_predicts_step() {
+        let p = assemble_source("start: nop\nnop\nhalt\n").unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        let t = m.spawn_thread(0);
+        assert_eq!(m.peek_next(), Some((t, 0)));
+        assert_eq!(m.step(&mut NoSyscalls), StepOutcome::Executed { thread: t, pc: 0 });
+        assert_eq!(m.peek_next(), Some((t, 1)));
+    }
+
+    #[test]
+    fn idle_when_everything_halts() {
+        let (mut m, _, out) = run_program("start: halt\n", 10);
+        assert_eq!(out, StepOutcome::Idle);
+        assert_eq!(m.step(&mut NoSyscalls), StepOutcome::Idle);
+        assert!(!m.has_runnable());
+        assert_eq!(m.peek_next(), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! PECOS — PreEmptive COntrol Signatures.
+//!
+//! PECOS (§6.1 of the paper) protects an application's control flow by
+//! validating, **before** every control-flow instruction (CFI)
+//! executes, that the address it is about to transfer to belongs to the
+//! set of valid targets computed at instrumentation time (or, for
+//! runtime-determined control flow, at run time). On a mismatch the
+//! assertion block raises a **divide-by-zero** exception; a signal
+//! handler then checks whether the faulting PC lies inside an assertion
+//! block and, if so, terminates only the malfunctioning thread instead
+//! of letting the process crash.
+//!
+//! This crate implements the whole pipeline against the [`wtnc_isa`]
+//! machine:
+//!
+//! * [`instrument`] rewrites a parsed assembly listing
+//!   ([`wtnc_isa::asm::Assembly`]), inserting an assertion block in
+//!   front of every CFI. For CFIs with one or two statically known
+//!   targets the block is the literal Figure-7 computation
+//!   (`ID := Xout * 1/P` with `P = ![(Xout−X1)(Xout−X2)]`) expressed in
+//!   machine instructions ending in `DIVU`; the runtime target `Xout`
+//!   is read from the *actual instruction bits* with `LDT`, so a
+//!   corrupted target field is caught before the jump. For
+//!   runtime-determined CFIs (`RET`, `CALLR`, `JR`) the block loads the
+//!   runtime target and validates it against an embedded target table
+//!   with `PCKT`, which raises the same exception. Assertion blocks
+//!   introduce **no new CFIs**, exactly as the paper requires.
+//! * [`PecosMeta`] records where the assertion blocks landed;
+//!   [`PecosMeta::is_assertion_pc`] is the signal handler's test.
+//! * [`handle_exception`] implements the signal-handler policy:
+//!   divide-by-zero inside an assertion block → PECOS detection, kill
+//!   the offending thread; anything else → let the caller treat it as
+//!   a system detection (crash).
+//!
+//! Register convention: instrumented programs must not use `r11`,
+//! `r12`, `r13` — the assertion blocks use them as scratch. CFI
+//! targets must be symbolic labels (numeric targets cannot be relocated
+//! and are rejected).
+//!
+//! # Example
+//!
+//! ```
+//! use wtnc_isa::{asm::Assembly, Machine, MachineConfig, NoSyscalls, ThreadState};
+//! use wtnc_pecos::instrument;
+//!
+//! let asm = Assembly::parse(
+//!     r#"
+//!     start:
+//!         movi r1, 3
+//!         call double
+//!         halt
+//!     double:
+//!         add r1, r1, r1
+//!         ret
+//!     "#,
+//! ).unwrap();
+//! let inst = instrument(&asm).unwrap();
+//! let mut m = Machine::load(&inst.program, MachineConfig::default());
+//! let t = m.spawn_thread(inst.program.entry);
+//! m.run(&mut NoSyscalls, 10_000);
+//! assert_eq!(m.thread_state(t), ThreadState::Halted);
+//! assert_eq!(m.reg(t, 1), Some(6)); // semantics preserved
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instrument;
+mod runtime;
+
+pub use instrument::{instrument, instrument_source, Instrumented, PecosError, PecosMeta};
+pub use runtime::{handle_exception, PecosVerdict};

@@ -1,0 +1,128 @@
+//! The PECOS signal handler.
+
+use wtnc_isa::{ExceptionInfo, ExceptionKind, Machine};
+
+use crate::instrument::PecosMeta;
+
+/// Outcome of the signal-handler policy for one exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PecosVerdict {
+    /// A divide-by-zero raised from inside an assertion block: a
+    /// control-flow error was caught preemptively and the offending
+    /// thread was terminated; the rest of the process keeps running.
+    PecosDetected,
+    /// Any other exception: the signal is not PECOS's; the caller
+    /// should treat it as a system detection (process crash).
+    SystemFault,
+}
+
+/// Implements the paper's signal handler: "examines the PC from which
+/// the signal was raised, and if it corresponds to a PECOS Assertion
+/// Block, concludes that a control flow error raised the signal" and
+/// "takes a recovery action, e.g., terminates the malfunctioning thread
+/// of execution".
+///
+/// On a PECOS detection the faulting thread is killed on `machine`;
+/// otherwise the machine is left untouched for the caller's
+/// crash-handling policy.
+pub fn handle_exception(
+    machine: &mut Machine,
+    meta: &PecosMeta,
+    info: ExceptionInfo,
+) -> PecosVerdict {
+    if info.kind == ExceptionKind::DivideByZero && meta.is_assertion_pc(info.pc) {
+        machine.kill_thread(info.thread);
+        PecosVerdict::PecosDetected
+    } else {
+        PecosVerdict::SystemFault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::instrument_source;
+    use wtnc_isa::{MachineConfig, NoSyscalls, StepOutcome, ThreadState};
+
+    const PROGRAM: &str = r#"
+    start:
+        movi r1, 2
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    "#;
+
+    #[test]
+    fn pecos_detection_kills_only_the_offending_thread() {
+        let inst = instrument_source(PROGRAM).unwrap();
+        let mut m = Machine::load(&inst.program, MachineConfig::default());
+        let victim = m.spawn_thread(inst.program.entry);
+        let bystander = m.spawn_thread(inst.program.entry);
+
+        // Corrupt the branch target so the assertion fires.
+        let bne = (0..inst.program.len())
+            .find(|&a| matches!(wtnc_isa::decode(inst.program.text[a]), Ok(wtnc_isa::Inst::Bne { .. })))
+            .unwrap();
+        m.text_mut()[bne] ^= 0x0000_1000;
+
+        let mut verdicts = Vec::new();
+        for _ in 0..100_000 {
+            match m.step(&mut NoSyscalls) {
+                StepOutcome::Exception(info) => {
+                    verdicts.push(handle_exception(&mut m, &inst.meta, info));
+                }
+                StepOutcome::Idle => break,
+                _ => {}
+            }
+        }
+        // Both threads executed the corrupted branch; both were caught
+        // preemptively and terminated gracefully.
+        assert!(verdicts.iter().all(|v| *v == PecosVerdict::PecosDetected));
+        assert!(!verdicts.is_empty());
+        assert!(matches!(m.thread_state(victim), ThreadState::Killed));
+        assert!(matches!(m.thread_state(bystander), ThreadState::Killed));
+    }
+
+    #[test]
+    fn ordinary_crash_is_a_system_fault() {
+        let inst = instrument_source(PROGRAM).unwrap();
+        let mut m = Machine::load(&inst.program, MachineConfig::default());
+        let t = m.spawn_thread(inst.program.entry);
+        // Replace the first instruction with an illegal opcode.
+        m.text_mut()[inst.program.entry as usize] = 0xEE00_0000;
+        let out = m.step(&mut NoSyscalls);
+        let StepOutcome::Exception(info) = out else {
+            panic!("expected an exception");
+        };
+        assert_eq!(
+            handle_exception(&mut m, &inst.meta, info),
+            PecosVerdict::SystemFault
+        );
+        // The machine is untouched: the thread is still faulted, not
+        // killed, awaiting the crash policy.
+        assert!(matches!(m.thread_state(t), ThreadState::Faulted(_)));
+    }
+
+    #[test]
+    fn app_level_divide_by_zero_is_not_misattributed() {
+        // A genuine application DIVU by zero outside any assertion block
+        // must be a system fault, not a PECOS detection.
+        let src = "start: movi r1, 4\nmovi r2, 0\ndivu r3, r1, r2\nhalt\n";
+        let inst = instrument_source(src).unwrap();
+        let mut m = Machine::load(&inst.program, MachineConfig::default());
+        m.spawn_thread(inst.program.entry);
+        let mut verdict = None;
+        for _ in 0..1_000 {
+            match m.step(&mut NoSyscalls) {
+                StepOutcome::Exception(info) => {
+                    verdict = Some(handle_exception(&mut m, &inst.meta, info));
+                    break;
+                }
+                StepOutcome::Idle => break,
+                _ => {}
+            }
+        }
+        assert_eq!(verdict, Some(PecosVerdict::SystemFault));
+    }
+}

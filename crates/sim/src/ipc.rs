@@ -1,0 +1,127 @@
+//! In-simulation inter-process communication.
+//!
+//! The paper adds "a standard POSIX IPC message queue" between the
+//! database API and the audit process (its Figure 1). In the
+//! deterministic simulation, processes run interleaved on one OS
+//! thread, so the queue is a bounded FIFO with drop-oldest overflow —
+//! the same observable behaviour an `mq_send` with `O_NONBLOCK` gives a
+//! non-critical telemetry path.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO message queue between simulated processes.
+///
+/// # Example
+///
+/// ```
+/// use wtnc_sim::MessageQueue;
+///
+/// let mut q = MessageQueue::with_capacity(2);
+/// q.send(1);
+/// q.send(2);
+/// q.send(3); // overflows: drops the oldest
+/// assert_eq!(q.recv(), Some(2));
+/// assert_eq!(q.recv(), Some(3));
+/// assert_eq!(q.recv(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MessageQueue<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+    total_sent: u64,
+}
+
+impl<T> MessageQueue<T> {
+    /// Creates a queue that holds at most `capacity` undelivered
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a message queue needs capacity for at least one message");
+        MessageQueue {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            total_sent: 0,
+        }
+    }
+
+    /// Enqueues a message. If the queue is full the *oldest* message is
+    /// dropped to make room (telemetry semantics: fresher events are
+    /// more valuable to the audit process than stale ones).
+    pub fn send(&mut self, msg: T) {
+        self.total_sent += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(msg);
+    }
+
+    /// Dequeues the oldest pending message, or `None` if empty.
+    pub fn recv(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Drains every pending message in FIFO order.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.buf.drain(..)
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Messages dropped due to overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages sent (including dropped ones) since creation.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = MessageQueue::with_capacity(8);
+        for i in 0..5 {
+            q.send(i);
+        }
+        let got: Vec<_> = q.drain().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut q = MessageQueue::with_capacity(3);
+        for i in 0..10 {
+            q.send(i);
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 7);
+        assert_eq!(q.total_sent(), 10);
+        assert_eq!(q.recv(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = MessageQueue::<u8>::with_capacity(0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the simulation kernel.
+
+use proptest::prelude::*;
+use wtnc_sim::stats::Accumulator;
+use wtnc_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO at ties.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= last_time);
+            if at == last_time {
+                if let Some(&prev) = seen_at_time.last() {
+                    // FIFO among equal timestamps: indices of equal-time
+                    // events arrive in scheduling order.
+                    if times[prev] == times[idx] {
+                        prop_assert!(prev < idx);
+                    }
+                }
+            } else {
+                seen_at_time.clear();
+            }
+            seen_at_time.push(idx);
+            last_time = at;
+        }
+    }
+
+    /// Welford merge equals sequential accumulation for any split.
+    #[test]
+    fn accumulator_merge_matches_sequential(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (a, b) = xs.split_at(split);
+        let mut left = Accumulator::new();
+        for &x in a {
+            left.push(x);
+        }
+        let mut right = Accumulator::new();
+        for &x in b {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    /// Exponential draws are non-negative; uniform draws stay in range.
+    #[test]
+    fn rng_distribution_bounds(seed in any::<u64>(), lo in 0u64..1_000, width in 1u64..1_000) {
+        let mut rng = SimRng::seed_from(seed);
+        let lo_d = SimDuration::from_millis(lo);
+        let hi_d = SimDuration::from_millis(lo + width);
+        for _ in 0..50 {
+            let e = rng.exponential(SimDuration::from_secs(5));
+            prop_assert!(e >= SimDuration::ZERO);
+            let u = rng.uniform_duration(lo_d, hi_d);
+            prop_assert!(u >= lo_d && u <= hi_d);
+        }
+    }
+
+    /// Same seed, same stream — across every helper.
+    #[test]
+    fn rng_is_deterministic(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(a.bits(), b.bits());
+            prop_assert_eq!(a.index(17), b.index(17));
+            prop_assert_eq!(
+                a.weighted_index(&[1.0, 2.0, 3.0]),
+                b.weighted_index(&[1.0, 2.0, 3.0])
+            );
+        }
+    }
+}

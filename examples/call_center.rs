@@ -1,0 +1,50 @@
+//! A 300-second call-processing shift with random database errors:
+//! the §5 experiment in miniature, with and without audits.
+//!
+//! ```sh
+//! cargo run --release --example call_center
+//! ```
+
+use wtnc::inject::db_campaign::{run_campaign, DbCampaignConfig};
+use wtnc::sim::SimDuration;
+
+fn main() {
+    let base = DbCampaignConfig {
+        duration: SimDuration::from_secs(300),
+        error_iat: SimDuration::from_secs(10),
+        ..DbCampaignConfig::default()
+    };
+
+    println!("call center, 300 s shift, one error every ~10 s, 3 runs per arm\n");
+
+    for audits in [false, true] {
+        let config = DbCampaignConfig { audits, ..base };
+        let result = run_campaign(&config, 3);
+        println!("audits {}:", if audits { "ON " } else { "OFF" });
+        println!("  calls set up                   {:>6}", result.calls);
+        println!("  errors injected                {:>6}", result.injected);
+        println!(
+            "  escaped to the client          {:>6}  ({:.1}%)",
+            result.escaped,
+            result.escaped_pct()
+        );
+        println!(
+            "  caught by audits               {:>6}  ({:.1}%)",
+            result.caught,
+            result.caught_pct()
+        );
+        println!(
+            "  no effect (overwritten/latent) {:>6}  ({:.1}%)",
+            result.overwritten + result.latent,
+            result.no_effect_pct()
+        );
+        println!("  mean call setup time        {:>9.1} ms", result.avg_setup_ms);
+        if audits {
+            println!(
+                "  mean detection latency      {:>9.2} s",
+                result.detection_latency_s
+            );
+        }
+        println!();
+    }
+}

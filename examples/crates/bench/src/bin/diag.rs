@@ -1,0 +1,10 @@
+use wtnc::inject::db_campaign::{run_campaign, DbCampaignConfig};
+use wtnc::sim::SimDuration;
+fn main() {
+    let cfg = DbCampaignConfig { duration: SimDuration::from_secs(1000), ..Default::default() };
+    for audits in [false, true] {
+        let r = run_campaign(&DbCampaignConfig { audits, ..cfg }, 3);
+        println!("audits={audits} injected={} escaped={} caught={} over={} latent={} restarts={}", r.injected, r.escaped, r.caught, r.overwritten, r.latent, r.cold_restarts);
+        println!("  breakdown: {:#?}", r.breakdown);
+    }
+}

@@ -1,0 +1,78 @@
+//! Event-triggered audits (§4.3): every write-class API call posts a
+//! message to the audit process, which queues the written table for an
+//! immediate check on the next cycle — catching a buggy client's bad
+//! writes far sooner than the periodic sweep would.
+//!
+//! ```sh
+//! cargo run --example event_triggered
+//! ```
+
+use wtnc::audit::{AuditConfig, AuditProcess, AuditScope};
+use wtnc::db::{schema, Database, DbApi};
+use wtnc::sim::{Pid, ProcessRegistry, SimDuration, SimTime};
+
+/// A buggy client writes an out-of-range STATE value at `t`; returns
+/// the simulated time at which the audit repairs it.
+fn time_to_repair(event_triggered: bool) -> SimDuration {
+    let mut db = Database::build(schema::standard_schema()).unwrap();
+    let mut api = DbApi::new();
+    let mut registry = ProcessRegistry::new();
+    let mut audit = AuditProcess::new(
+        AuditConfig {
+            periodic_interval: SimDuration::from_secs(5),
+            scope: AuditScope::OneTable, // one table per 5 s tick
+            event_triggered,
+            ..AuditConfig::default()
+        },
+        &db,
+    );
+    let client = Pid(1);
+    api.init(client);
+    let idx = api
+        .alloc_record(&mut db, client, schema::CONNECTION_TABLE, SimTime::from_secs(1))
+        .unwrap();
+
+    // One clean audit tick passes (t = 5 s), draining the setup events.
+    audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(5));
+
+    // The bug fires at t = 7 s: a write-class call with a wild value.
+    api.write_fld(
+        &mut db,
+        client,
+        schema::CONNECTION_TABLE,
+        idx,
+        schema::connection::STATE,
+        200,
+        SimTime::from_secs(7),
+    )
+    .unwrap();
+
+    // Audit ticks continue every 5 s; in round-robin order the
+    // connection table is not due for a while — unless the write event
+    // pulled it forward.
+    for tick in 2..=40u64 {
+        let now = SimTime::from_secs(tick * 5);
+        let report = audit.run_cycle(&mut db, &mut api, &mut registry, now);
+        if report
+            .findings
+            .iter()
+            .any(|f| f.table == Some(schema::CONNECTION_TABLE))
+        {
+            return now.saturating_since(SimTime::from_secs(7));
+        }
+    }
+    panic!("the bad write was never caught");
+}
+
+fn main() {
+    let periodic = time_to_repair(false);
+    let triggered = time_to_repair(true);
+    println!("buggy client writes STATE=200 (legal range 0..=4) at t = 7 s\n");
+    println!("periodic audit only:    repaired after {periodic}");
+    println!("with event triggering:  repaired after {triggered}");
+    println!(
+        "\nevent triggering cut the exposure window by {:.0}% — this is what the \
+         DBwrite_rec notification overhead in Figure 4 buys",
+        100.0 * (1.0 - triggered.as_secs_f64() / periodic.as_secs_f64())
+    );
+}

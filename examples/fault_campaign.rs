@@ -1,0 +1,41 @@
+//! A miniature §6 error-injection campaign: corrupt the ISA
+//! call-processing client's text segment under all four error models
+//! and compare the four PECOS × audit configurations.
+//!
+//! ```sh
+//! cargo run --release --example fault_campaign
+//! ```
+
+use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
+use wtnc::inject::RunOutcome;
+
+fn main() {
+    let runs_per_cell = 40; // 40 runs x 4 models per column
+    println!(
+        "directed injection at control-flow instructions, {} runs per model\n",
+        runs_per_cell
+    );
+    let table = four_column_table(InjectionTarget::DirectedCfi, runs_per_cell, 2, 12, 0xFA57);
+
+    println!(
+        "{:<32} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6}",
+        "configuration", "activated", "pecos%", "audit%", "crash%", "hang", "fsv"
+    );
+    for (name, counts) in &table {
+        println!(
+            "{:<32} {:>9} {:>8.1}% {:>8.1}% {:>8.1}% {:>6} {:>6}",
+            name,
+            counts.activated(),
+            counts.proportion_of_activated(RunOutcome::PecosDetection).percent(),
+            counts.proportion_of_activated(RunOutcome::AuditDetection).percent(),
+            counts.proportion_of_activated(RunOutcome::SystemDetection).percent(),
+            counts.count(RunOutcome::ClientHang),
+            counts.count(RunOutcome::FailSilenceViolation),
+        );
+    }
+
+    println!("\nsystem-wide coverage (100% - crash - hang - fsv):");
+    for (name, counts) in &table {
+        println!("  {:<32} {:>6.1}%", name, counts.coverage());
+    }
+}

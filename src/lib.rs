@@ -1,0 +1,7 @@
+//! Root package of the WTNC reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories; the actual library surface lives in the
+//! [`wtnc`] umbrella crate, re-exported here for convenience.
+
+pub use wtnc::*;
