@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use wtnc_db::{Database, TaintFate, TableId};
+use wtnc_db::{Database, TableId, TaintFate};
 use wtnc_sim::SimTime;
 
 use crate::finding::{AuditElementKind, Finding, RecoveryAction};
@@ -33,10 +33,7 @@ pub struct EscalationConfig {
 
 impl Default for EscalationConfig {
     fn default() -> Self {
-        EscalationConfig {
-            table_cycles: 3,
-            restart_after_reloads: 3,
-        }
+        EscalationConfig { table_cycles: 3, restart_after_reloads: 3 }
     }
 }
 
@@ -47,10 +44,7 @@ impl EscalationConfig {
     /// `AuditProcess::set_escalation`, so the baseline experiments stay
     /// paper-faithful.
     pub fn disabled() -> Self {
-        EscalationConfig {
-            table_cycles: u32::MAX,
-            restart_after_reloads: u32::MAX,
-        }
+        EscalationConfig { table_cycles: u32::MAX, restart_after_reloads: u32::MAX }
     }
 }
 
@@ -71,10 +65,7 @@ pub struct EscalationPolicy {
 impl EscalationPolicy {
     /// Creates the policy.
     pub fn new(config: EscalationConfig) -> Self {
-        EscalationPolicy {
-            config,
-            ..EscalationPolicy::default()
-        }
+        EscalationPolicy { config, ..EscalationPolicy::default() }
     }
 
     /// Digests one cycle's findings, performing escalations. Returns
@@ -120,8 +111,7 @@ impl EscalationPolicy {
                     };
                     db.reload_range(offset, len).expect("table extent valid");
                     let caught =
-                        db.taint_mut()
-                            .resolve_range(offset, len, TaintFate::Caught { at });
+                        db.taint_mut().resolve_range(offset, len, TaintFate::Caught { at });
                     self.table_reloads += 1;
                     self.recent_reloads += 1;
                     escalated_this_cycle = true;
@@ -137,6 +127,7 @@ impl EscalationPolicy {
                             table.0, self.config.table_cycles
                         ),
                         action: RecoveryAction::ReloadedRange { offset, len },
+                        target: Some(crate::FindingTarget::Range { offset, len }),
                         caught,
                     });
                 }
@@ -171,6 +162,7 @@ mod tests {
             record: Some(0),
             detail: "test".into(),
             action: RecoveryAction::ResetField { table, record: 0, field: 1 },
+            target: None,
             caught: Vec::new(),
         }
     }
@@ -221,10 +213,8 @@ mod tests {
     #[test]
     fn sustained_churn_requests_controller_restart() {
         let mut db = Database::build(schema::standard_schema()).unwrap();
-        let mut policy = EscalationPolicy::new(EscalationConfig {
-            table_cycles: 1,
-            restart_after_reloads: 3,
-        });
+        let mut policy =
+            EscalationPolicy::new(EscalationConfig { table_cycles: 1, restart_after_reloads: 3 });
         let table = schema::CONNECTION_TABLE;
         let mut restarted = false;
         for cycle in 0..3 {
@@ -238,10 +228,8 @@ mod tests {
     #[test]
     fn process_level_recoveries_do_not_count_as_churn() {
         let mut db = Database::build(schema::standard_schema()).unwrap();
-        let mut policy = EscalationPolicy::new(EscalationConfig {
-            table_cycles: 1,
-            restart_after_reloads: 1,
-        });
+        let mut policy =
+            EscalationPolicy::new(EscalationConfig { table_cycles: 1, restart_after_reloads: 1 });
         let mut fs = vec![Finding {
             element: AuditElementKind::Progress,
             at: SimTime::ZERO,
@@ -249,6 +237,7 @@ mod tests {
             record: None,
             detail: "lock release".into(),
             action: RecoveryAction::ReleasedLock { pid: wtnc_sim::Pid(1) },
+            target: None,
             caught: Vec::new(),
         }];
         assert!(!policy.observe_cycle(&mut db, &mut fs, SimTime::ZERO));

@@ -23,6 +23,49 @@ pub enum AuditElementKind {
     Selective,
 }
 
+/// The precise locus of an anomaly, attached to findings so a
+/// *deferred* repairer (the `wtnc-recovery` engine) can act on it
+/// later without re-deriving offsets. Inline-repairing elements also
+/// attach it for uniformity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FindingTarget {
+    /// A byte range of the region (static chunks, table extents).
+    Range {
+        /// Start offset.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// One record's header.
+    Header {
+        /// Table of the record.
+        table: TableId,
+        /// Record index.
+        record: u32,
+    },
+    /// One field of one record.
+    Field {
+        /// Table of the record.
+        table: TableId,
+        /// Record index.
+        record: u32,
+        /// Field index.
+        field: u16,
+    },
+    /// A whole record (semantic zombies, preemptive frees).
+    Record {
+        /// Table of the record.
+        table: TableId,
+        /// Record index.
+        record: u32,
+    },
+    /// A client process (stale locks, zombie owners).
+    Client {
+        /// The client.
+        pid: Pid,
+    },
+}
+
 /// The recovery action attached to a finding.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RecoveryAction {
@@ -71,7 +114,8 @@ pub enum RecoveryAction {
         pid: Pid,
     },
     /// No repair — the value was only flagged for follow-up (selective
-    /// monitoring suspects).
+    /// monitoring suspects, or detect-only mode routing the finding to
+    /// the recovery engine).
     Flagged,
 }
 
@@ -90,6 +134,9 @@ pub struct Finding {
     pub detail: String,
     /// The recovery performed.
     pub action: RecoveryAction,
+    /// Precise locus for deferred repair, when the element can name
+    /// one.
+    pub target: Option<FindingTarget>,
     /// Ground-truth corruptions the repair removed (empty when the
     /// anomaly was a false positive or had no injected cause, e.g. a
     /// record wedged by a crashed client).
@@ -141,6 +188,7 @@ mod tests {
             record: Some(0),
             detail: "test".into(),
             action: RecoveryAction::Flagged,
+            target: None,
             caught: Vec::new(),
         }
     }

@@ -49,10 +49,7 @@ pub struct ManagerConfig {
 
 impl Default for ManagerConfig {
     fn default() -> Self {
-        ManagerConfig {
-            interval: SimDuration::from_secs(1),
-            miss_limit: 3,
-        }
+        ManagerConfig { interval: SimDuration::from_secs(1), miss_limit: 3 }
     }
 }
 
@@ -70,12 +67,7 @@ pub struct Manager {
 impl Manager {
     /// Creates a manager supervising the audit process `supervised`.
     pub fn new(config: ManagerConfig, supervised: Pid) -> Self {
-        Manager {
-            config,
-            supervised,
-            misses: 0,
-            restarts: 0,
-        }
+        Manager { config, supervised, misses: 0, restarts: 0 }
     }
 
     /// The currently supervised audit-process pid (changes after a
@@ -124,9 +116,8 @@ impl Manager {
         if registry.is_alive(self.supervised) {
             registry.kill(self.supervised, now);
         }
-        let new_pid = registry
-            .restart(self.supervised, now)
-            .expect("a dead process can be restarted");
+        let new_pid =
+            registry.restart(self.supervised, now).expect("a dead process can be restarted");
         self.supervised = new_pid;
         self.misses = 0;
         self.restarts += 1;
@@ -164,9 +155,8 @@ mod tests {
         assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(2)), None);
         assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(3)), None);
         // Third miss: restart.
-        let new_pid = manager
-            .beat(None, &mut registry, SimTime::from_secs(4))
-            .expect("restart expected");
+        let new_pid =
+            manager.beat(None, &mut registry, SimTime::from_secs(4)).expect("restart expected");
         assert_ne!(new_pid, audit);
         assert!(registry.is_alive(new_pid));
         assert_eq!(manager.supervised(), new_pid);
@@ -185,9 +175,8 @@ mod tests {
             audit,
         );
         assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(1)), None);
-        let new_pid = manager
-            .beat(None, &mut registry, SimTime::from_secs(2))
-            .expect("restart expected");
+        let new_pid =
+            manager.beat(None, &mut registry, SimTime::from_secs(2)).expect("restart expected");
         assert!(!registry.is_alive(audit));
         assert!(registry.is_alive(new_pid));
     }

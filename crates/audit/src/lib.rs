@@ -74,7 +74,7 @@ mod static_data;
 mod structural;
 
 pub use escalation::{EscalationConfig, EscalationPolicy};
-pub use finding::{AuditElementKind, AuditReport, Finding, RecoveryAction};
+pub use finding::{AuditElementKind, AuditReport, Finding, FindingTarget, RecoveryAction};
 pub use heartbeat::{HeartbeatElement, Manager, ManagerConfig};
 pub use process::{AuditConfig, AuditElement, AuditProcess, AuditScope};
 pub use progress::{ProgressConfig, ProgressIndicator};

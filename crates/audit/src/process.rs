@@ -92,6 +92,7 @@ pub struct AuditProcess {
     catch_log: Vec<(TaintEntry, AuditElementKind, SimTime)>,
     escalation: crate::EscalationPolicy,
     cycles: u64,
+    deferred: bool,
 }
 
 impl std::fmt::Debug for AuditProcess {
@@ -123,7 +124,64 @@ impl AuditProcess {
             catch_log: Vec::new(),
             escalation: crate::EscalationPolicy::new(crate::EscalationConfig::disabled()),
             cycles: 0,
+            deferred: false,
         }
+    }
+
+    /// Switches the data-audit elements between inline repair (the
+    /// paper's default) and detect-only mode: findings are emitted with
+    /// `RecoveryAction::Flagged` plus a precise
+    /// [`FindingTarget`](crate::FindingTarget), and an external
+    /// recovery engine owns repair, escalation and verification. The
+    /// built-in escalation policy is bypassed while deferred, so the
+    /// two escalation ladders cannot fight over the same tables.
+    pub fn set_deferred_repair(&mut self, deferred: bool) {
+        self.deferred = deferred;
+        self.static_audit.deferred = deferred;
+        self.structural.deferred = deferred;
+        self.range.deferred = deferred;
+        self.semantic.deferred = deferred;
+    }
+
+    /// Whether the data audits are in detect-only mode.
+    pub fn deferred_repair(&self) -> bool {
+        self.deferred
+    }
+
+    /// Re-runs one audit element over one table (or the full static
+    /// region when `table` is `None`) without side effects on cycle
+    /// counters, the catch log or escalation. The recovery engine uses
+    /// this to *verify* a repair: a repaired target must no longer be
+    /// reported by the element that originally detected it.
+    pub fn recheck(
+        &mut self,
+        db: &mut Database,
+        api: &DbApi,
+        element: AuditElementKind,
+        table: Option<TableId>,
+        now: SimTime,
+    ) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let locked = |r: RecordRef| api.locks().holder(r).is_some();
+        match (element, table) {
+            (AuditElementKind::StaticData, Some(t)) => {
+                self.static_audit.audit_table(db, t, now, &mut findings);
+            }
+            (AuditElementKind::StaticData, None) => {
+                self.static_audit.audit(db, now, &mut findings);
+            }
+            (AuditElementKind::Structural, Some(t)) => {
+                self.structural.audit_table(db, t, now, &mut findings);
+            }
+            (AuditElementKind::Range, Some(t)) => {
+                self.range.audit_table(db, t, &locked, now, &mut findings);
+            }
+            (AuditElementKind::Semantic, Some(t)) => {
+                self.semantic.audit_table(db, t, &locked, now, &mut findings);
+            }
+            _ => {}
+        }
+        findings
     }
 
     /// The configuration in force.
@@ -195,8 +253,7 @@ impl AuditProcess {
 
         // Progress indicator first (it may free wedged locks, letting
         // the data audits see consistent records).
-        self.progress
-            .check(api.locks_mut(), registry, now, &mut findings);
+        self.progress.check(api.locks_mut(), registry, now, &mut findings);
 
         // Decide coverage.
         let tables: Vec<TableId> = match self.config.scope {
@@ -224,24 +281,23 @@ impl AuditProcess {
             // Reset this table's per-cycle error counter now that the
             // scheduler has consumed it.
             db.reset_error_cycle_table(table);
-            records_checked += self
-                .structural
-                .audit_table(db, table, now, &mut findings);
+            records_checked += self.structural.audit_table(db, table, now, &mut findings);
             let locked = |r: RecordRef| api.locks().holder(r).is_some();
-            records_checked +=
-                self.range
-                    .audit_table(db, table, &locked, now, &mut findings);
-            records_checked +=
-                self.semantic
-                    .audit_table(db, table, &locked, now, &mut findings);
+            records_checked += self.range.audit_table(db, table, &locked, now, &mut findings);
+            records_checked += self.semantic.audit_table(db, table, &locked, now, &mut findings);
             for element in &mut self.extra {
                 records_checked += element.audit_table(db, table, &locked, now, &mut findings);
             }
         }
 
         // Hierarchical escalation: repeated churn in a table reloads it
-        // wholesale; sustained churn requests a controller restart.
-        let restart_requested = self.escalation.observe_cycle(db, &mut findings, now);
+        // wholesale; sustained churn requests a controller restart. In
+        // deferred mode the recovery engine's ladder owns escalation.
+        let restart_requested = if self.deferred {
+            false
+        } else {
+            self.escalation.observe_cycle(db, &mut findings, now)
+        };
 
         // Apply process-level recovery actions.
         for f in &findings {
@@ -327,8 +383,7 @@ mod tests {
         db.taint_mut().insert(base, TaintEntry { id: 2, at, kind: TaintKind::Structural });
 
         let report = audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(10));
-        let kinds: BTreeSet<AuditElementKind> =
-            report.findings.iter().map(|f| f.element).collect();
+        let kinds: BTreeSet<AuditElementKind> = report.findings.iter().map(|f| f.element).collect();
         assert!(kinds.contains(&AuditElementKind::StaticData), "{kinds:?}");
         assert!(kinds.contains(&AuditElementKind::Structural));
         assert!(kinds.contains(&AuditElementKind::Range));

@@ -47,11 +47,7 @@ pub struct ProgressIndicator {
 impl ProgressIndicator {
     /// Creates the element.
     pub fn new(config: ProgressConfig) -> Self {
-        ProgressIndicator {
-            config,
-            counter: 0,
-            last_change: SimTime::ZERO,
-        }
+        ProgressIndicator { config, counter: 0, last_change: SimTime::ZERO }
     }
 
     /// Messages observed so far.
@@ -105,6 +101,7 @@ impl ProgressIndicator {
                     self.config.progress_timeout
                 ),
                 action: RecoveryAction::TerminatedClient { pid },
+                target: Some(crate::FindingTarget::Client { pid }),
                 caught: Vec::new(),
             });
             out.push(Finding {
@@ -114,6 +111,7 @@ impl ProgressIndicator {
                 record: None,
                 detail: format!("released {released} lock(s) held by {pid}"),
                 action: RecoveryAction::ReleasedLock { pid },
+                target: Some(crate::FindingTarget::Client { pid }),
                 caught: Vec::new(),
             });
         }
@@ -128,13 +126,7 @@ mod tests {
     use wtnc_db::{DbOp, RecordRef, TableId};
 
     fn event(at: SimTime) -> DbEvent {
-        DbEvent {
-            at,
-            pid: Pid(1),
-            op: DbOp::WriteFld,
-            table: Some(TableId(1)),
-            record: Some(0),
-        }
+        DbEvent { at, pid: Pid(1), op: DbOp::WriteFld, table: Some(TableId(1)), record: Some(0) }
     }
 
     #[test]
@@ -152,17 +144,13 @@ mod tests {
         let mut locks = LockTable::new();
         let mut registry = ProcessRegistry::new();
         let wedged = registry.spawn("client", SimTime::ZERO);
-        locks
-            .acquire(RecordRef::new(TableId(2), 3), wedged, SimTime::from_secs(1))
-            .unwrap();
+        locks.acquire(RecordRef::new(TableId(2), 3), wedged, SimTime::from_secs(1)).unwrap();
         // Silence for 200 s.
         let now = SimTime::from_secs(200);
         let mut out = Vec::new();
         p.check(&mut locks, &mut registry, now, &mut out);
         assert_eq!(out.len(), 2);
-        assert!(out
-            .iter()
-            .any(|f| f.action == RecoveryAction::TerminatedClient { pid: wedged }));
+        assert!(out.iter().any(|f| f.action == RecoveryAction::TerminatedClient { pid: wedged }));
         assert!(locks.is_empty());
         assert!(!registry.is_alive(wedged));
     }
@@ -173,9 +161,7 @@ mod tests {
         let mut locks = LockTable::new();
         let mut registry = ProcessRegistry::new();
         let pid = registry.spawn("client", SimTime::ZERO);
-        locks
-            .acquire(RecordRef::new(TableId(0), 0), pid, SimTime::ZERO)
-            .unwrap();
+        locks.acquire(RecordRef::new(TableId(0), 0), pid, SimTime::ZERO).unwrap();
         // Steady activity right up to the check.
         for s in 0..100 {
             p.observe(&event(SimTime::from_secs(s)));
@@ -204,9 +190,7 @@ mod tests {
         let mut registry = ProcessRegistry::new();
         let pid = registry.spawn("client", SimTime::ZERO);
         for i in 0..5 {
-            locks
-                .acquire(RecordRef::new(TableId(1), i), pid, SimTime::ZERO)
-                .unwrap();
+            locks.acquire(RecordRef::new(TableId(1), i), pid, SimTime::ZERO).unwrap();
         }
         let mut out = Vec::new();
         p.check(&mut locks, &mut registry, SimTime::from_secs(200), &mut out);

@@ -15,7 +15,7 @@
 use wtnc_db::{Database, FieldId, FieldKind, RecordRef, TableId, TableNature, TaintFate};
 use wtnc_sim::SimTime;
 
-use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
 
 /// The range-check audit element.
 #[derive(Debug, Clone, Default)]
@@ -23,12 +23,15 @@ pub struct RangeAudit {
     /// When true (the default), an out-of-range field in a dynamic
     /// table frees the whole record preemptively.
     pub free_dynamic_records: bool,
+    /// Detect-only mode: out-of-range fields are flagged (targeted at
+    /// the field) instead of reset/freed.
+    pub deferred: bool,
 }
 
 impl RangeAudit {
     /// Creates the element with the paper's recovery policy.
     pub fn new() -> Self {
-        RangeAudit { free_dynamic_records: true }
+        RangeAudit { free_dynamic_records: true, deferred: false }
     }
 
     /// Audits the dynamic ranged fields of every active record of one
@@ -81,12 +84,27 @@ impl RangeAudit {
                 if value >= lo && value <= hi {
                     continue;
                 }
+                if self.deferred {
+                    db.note_errors_detected(table, 1);
+                    out.push(Finding {
+                        element: AuditElementKind::Range,
+                        at,
+                        table: Some(table),
+                        record: Some(index),
+                        detail: format!(
+                            "field {field} of record {index} in table {} out of range: {value} not in [{lo}, {hi}]",
+                            table.0
+                        ),
+                        action: RecoveryAction::Flagged,
+                        target: Some(FindingTarget::Field { table, record: index, field }),
+                        caught: Vec::new(),
+                    });
+                    continue;
+                }
                 // Reset to default…
                 db.write_field_raw(rec, fid, default).expect("field exists");
                 let (off, len) = db.field_extent(rec, fid).expect("field exists");
-                let mut caught =
-                    db.taint_mut()
-                        .resolve_range(off, len, TaintFate::Caught { at });
+                let mut caught = db.taint_mut().resolve_range(off, len, TaintFate::Caught { at });
                 let action = if is_dynamic_table && self.free_dynamic_records {
                     // …and free the record preemptively.
                     db.free_record_raw(rec).expect("record exists");
@@ -103,6 +121,11 @@ impl RangeAudit {
                     RecoveryAction::ResetField { table, record: index, field }
                 };
                 db.note_errors_detected(table, caught.len().max(1) as u64);
+                let target = if freed {
+                    FindingTarget::Record { table, record: index }
+                } else {
+                    FindingTarget::Field { table, record: index, field }
+                };
                 out.push(Finding {
                     element: AuditElementKind::Range,
                     at,
@@ -113,6 +136,7 @@ impl RangeAudit {
                         table.0
                     ),
                     action,
+                    target: Some(target),
                     caught,
                 });
             }
@@ -159,10 +183,8 @@ mod tests {
         // STATE range is 0..=4; write garbage directly (client bug).
         d.write_field_raw(rec, schema::connection::STATE, 99).unwrap();
         let (off, _) = d.field_extent(rec, schema::connection::STATE).unwrap();
-        d.taint_mut().insert(
-            off,
-            TaintEntry { id: 1, at: SimTime::ZERO, kind: TaintKind::DynamicRuled },
-        );
+        d.taint_mut()
+            .insert(off, TaintEntry { id: 1, at: SimTime::ZERO, kind: TaintKind::DynamicRuled });
         let mut out = Vec::new();
         RangeAudit::new().audit_table(
             &mut d,
@@ -184,17 +206,14 @@ mod tests {
         let (mut d, idx) = setup();
         let rec = RecordRef::new(schema::CONNECTION_TABLE, idx);
         d.write_field_raw(rec, schema::connection::CALLER_ID, 99_999_999).unwrap();
-        let mut audit = RangeAudit { free_dynamic_records: false };
+        let mut audit = RangeAudit { free_dynamic_records: false, ..RangeAudit::new() };
         let mut out = Vec::new();
         audit.audit_table(&mut d, schema::CONNECTION_TABLE, &NOT_LOCKED, SimTime::ZERO, &mut out);
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].action, RecoveryAction::ResetField { .. }));
         assert!(d.is_active(rec).unwrap());
         // Reset to the catalog default.
-        assert_eq!(
-            d.read_field_raw(rec, schema::connection::CALLER_ID).unwrap(),
-            0
-        );
+        assert_eq!(d.read_field_raw(rec, schema::connection::CALLER_ID).unwrap(), 0);
     }
 
     #[test]

@@ -109,10 +109,7 @@ impl PriorityScheduler {
 
         // Update smoothed access rates from this round's deltas.
         for i in 0..n {
-            let total = db
-                .table_stats(TableId(i as u16))
-                .map(|s| s.accesses())
-                .unwrap_or(0);
+            let total = db.table_stats(TableId(i as u16)).map(|s| s.accesses()).unwrap_or(0);
             let delta = total.saturating_sub(self.last_access[i]) as f64;
             self.last_access[i] = total;
             self.rate[i] = 0.7 * self.rate[i] + 0.3 * delta;
@@ -133,8 +130,7 @@ impl PriorityScheduler {
             .collect();
         let err_sum: f64 = err_rates.iter().sum::<f64>().max(1e-9);
 
-        let w_total =
-            (self.weights.access + self.weights.nature + self.weights.errors).max(1e-9);
+        let w_total = (self.weights.access + self.weights.nature + self.weights.errors).max(1e-9);
         (0..n)
             .map(|i| {
                 let tm = db.catalog().table(TableId(i as u16)).expect("id in range");
@@ -217,10 +213,7 @@ mod tests {
                 hot_picks += 1;
             }
         }
-        assert!(
-            hot_picks >= 20,
-            "hot table picked only {hot_picks}/60 times"
-        );
+        assert!(hot_picks >= 20, "hot table picked only {hot_picks}/60 times");
     }
 
     #[test]
@@ -231,7 +224,12 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for round in 0..200 {
             for _ in 0..10 {
-                d.note_access(RecordRef::new(TableId(0), 0), Pid(1), SimTime::from_secs(round), true);
+                d.note_access(
+                    RecordRef::new(TableId(0), 0),
+                    Pid(1),
+                    SimTime::from_secs(round),
+                    true,
+                );
             }
             seen.insert(sched.next_table(&d).0);
         }

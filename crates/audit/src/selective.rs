@@ -38,11 +38,7 @@ pub struct SelectiveConfig {
 
 impl Default for SelectiveConfig {
     fn default() -> Self {
-        SelectiveConfig {
-            suspect_fraction: 0.25,
-            min_observations: 50,
-            repair_unseen: false,
-        }
+        SelectiveConfig { suspect_fraction: 0.25, min_observations: 50, repair_unseen: false }
     }
 }
 
@@ -57,11 +53,7 @@ pub struct SelectiveMonitor {
 impl SelectiveMonitor {
     /// Creates a monitor over the given `(table, field)` attributes.
     pub fn new(config: SelectiveConfig, monitored: Vec<(TableId, FieldId)>) -> Self {
-        SelectiveMonitor {
-            config,
-            monitored,
-            histograms: BTreeMap::new(),
-        }
+        SelectiveMonitor { config, monitored, histograms: BTreeMap::new() }
     }
 
     /// The histogram collected so far for an attribute.
@@ -82,10 +74,7 @@ impl SelectiveMonitor {
                     continue;
                 }
                 if let Ok(value) = db.read_field_raw(rec, field) {
-                    self.histograms
-                        .entry((table, field))
-                        .or_default()
-                        .observe(value);
+                    self.histograms.entry((table, field)).or_default().observe(value);
                 }
             }
         }
@@ -124,6 +113,7 @@ impl SelectiveMonitor {
                             hist.total()
                         ),
                         action: RecoveryAction::Flagged,
+                        target: None,
                         caught: Vec::new(),
                     });
                 }
@@ -166,12 +156,8 @@ impl crate::AuditElement for SelectiveMonitor {
         at: SimTime,
         out: &mut Vec<Finding>,
     ) -> u64 {
-        let monitored_here: Vec<FieldId> = self
-            .monitored
-            .iter()
-            .filter(|&&(t, _)| t == table)
-            .map(|&(_, f)| f)
-            .collect();
+        let monitored_here: Vec<FieldId> =
+            self.monitored.iter().filter(|&&(t, _)| t == table).map(|&(_, f)| f).collect();
         if monitored_here.is_empty() {
             return 0;
         }
@@ -191,9 +177,8 @@ impl crate::AuditElement for SelectiveMonitor {
                 if hist.total() >= self.config.min_observations && hist.count(value) == 0 {
                     // Never-seen value on a mature attribute: suspect.
                     if self.config.repair_unseen {
-                        let modal = self
-                            .modal_value(table, field)
-                            .expect("mature histogram has a mode");
+                        let modal =
+                            self.modal_value(table, field).expect("mature histogram has a mode");
                         db.write_field_raw(rec, field, modal).expect("field exists");
                         let (off, len) = db.field_extent(rec, field).expect("field exists");
                         let caught = db.taint_mut().resolve_range(
@@ -216,6 +201,11 @@ impl crate::AuditElement for SelectiveMonitor {
                                 record: index,
                                 field: field.0,
                             },
+                            target: Some(crate::FindingTarget::Field {
+                                table,
+                                record: index,
+                                field: field.0,
+                            }),
                             caught,
                         });
                     } else {
@@ -229,19 +219,18 @@ impl crate::AuditElement for SelectiveMonitor {
                                 field.0
                             ),
                             action: RecoveryAction::Flagged,
+                            target: Some(crate::FindingTarget::Field {
+                                table,
+                                record: index,
+                                field: field.0,
+                            }),
                             caught: Vec::new(),
                         });
                         // Keep learning from flagged-only values.
-                        self.histograms
-                            .entry((table, field))
-                            .or_default()
-                            .observe(value);
+                        self.histograms.entry((table, field)).or_default().observe(value);
                     }
                 } else {
-                    self.histograms
-                        .entry((table, field))
-                        .or_default()
-                        .observe(value);
+                    self.histograms.entry((table, field)).or_default().observe(value);
                 }
             }
         }
@@ -293,7 +282,11 @@ mod tests {
         let table = schema::RESOURCE_TABLE;
         let field = schema::resource::POWER_MW;
         let mut mon = SelectiveMonitor::new(
-            SelectiveConfig { suspect_fraction: 0.5, min_observations: 1_000, ..Default::default() },
+            SelectiveConfig {
+                suspect_fraction: 0.5,
+                min_observations: 1_000,
+                ..Default::default()
+            },
             vec![(table, field)],
         );
         let i = d.alloc_record_raw(table).unwrap();
@@ -353,12 +346,11 @@ mod element_tests {
         // A corruption lands in the unruled field.
         let victim = RecordRef::new(table, 3);
         let (off, _) = d.field_extent(victim, field).unwrap();
-        d.flip_bit(off + 2, 4, ).unwrap();
-        d.taint_mut().insert(off + 2, TaintEntry {
-            id: 1,
-            at: SimTime::from_secs(5),
-            kind: TaintKind::DynamicUnruled,
-        });
+        d.flip_bit(off + 2, 4).unwrap();
+        d.taint_mut().insert(
+            off + 2,
+            TaintEntry { id: 1, at: SimTime::from_secs(5), kind: TaintKind::DynamicUnruled },
+        );
         // The range audit is blind here; the selective element is not.
         let mut out = Vec::new();
         mon.audit_table(&mut d, table, &NOT_LOCKED, SimTime::from_secs(6), &mut out);

@@ -18,7 +18,7 @@ use wtnc_db::layout::LINK_NONE;
 use wtnc_db::{Database, FieldId, FieldKind, RecordRef, TableId, TaintFate};
 use wtnc_sim::{Pid, SimDuration, SimTime};
 
-use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
 
 /// The referential-integrity audit element.
 #[derive(Debug, Clone)]
@@ -27,11 +27,15 @@ pub struct SemanticAudit {
     /// for this long after their last access (a client may be mid-setup)
     /// before being treated as orphans.
     pub orphan_grace: SimDuration,
+    /// Detect-only mode: broken walks are flagged (targeted at the
+    /// anchor record) instead of freed; owner termination is likewise
+    /// left to the recovery engine's ladder.
+    pub deferred: bool,
 }
 
 impl Default for SemanticAudit {
     fn default() -> Self {
-        SemanticAudit { orphan_grace: SimDuration::from_secs(60) }
+        SemanticAudit { orphan_grace: SimDuration::from_secs(60), deferred: false }
     }
 }
 
@@ -49,7 +53,7 @@ fn link_field(db: &Database, table: TableId) -> Option<(FieldId, TableId)> {
 impl SemanticAudit {
     /// Creates the element with a custom orphan grace period.
     pub fn new(orphan_grace: SimDuration) -> Self {
-        SemanticAudit { orphan_grace }
+        SemanticAudit { orphan_grace, deferred: false }
     }
 
     /// Audits the semantic loops anchored at `table`. Locked records
@@ -122,7 +126,14 @@ impl SemanticAudit {
                 if visited.contains(&next) {
                     // A cycle that skips the start: inconsistent closure.
                     let owner = db.record_meta(start).expect("record exists").last_writer;
-                    self.free_zombies(db, &visited, owner, at, out, "loop does not close at origin");
+                    self.free_zombies(
+                        db,
+                        &visited,
+                        owner,
+                        at,
+                        out,
+                        "loop does not close at origin",
+                    );
                     continue 'records;
                 }
                 let Some((next_field, _)) = link_field(db, next.table) else {
@@ -150,15 +161,31 @@ impl SemanticAudit {
         detail: &str,
     ) {
         let anchor = records[0];
+        if self.deferred {
+            db.note_errors_detected(anchor.table, 1);
+            out.push(Finding {
+                element: AuditElementKind::Semantic,
+                at,
+                table: Some(anchor.table),
+                record: Some(anchor.index),
+                detail: format!(
+                    "{detail}: flagged {} record(s) anchored at table {} record {}",
+                    records.len(),
+                    anchor.table.0,
+                    anchor.index
+                ),
+                action: RecoveryAction::Flagged,
+                target: Some(FindingTarget::Record { table: anchor.table, record: anchor.index }),
+                caught: Vec::new(),
+            });
+            return;
+        }
         let mut caught = Vec::new();
         for &rec in records {
             db.free_record_raw(rec).expect("record exists");
             let base = db.record_offset(rec).expect("record exists");
             let size = db.record_size(rec.table).expect("table exists");
-            caught.extend(
-                db.taint_mut()
-                    .resolve_range(base, size, TaintFate::Caught { at }),
-            );
+            caught.extend(db.taint_mut().resolve_range(base, size, TaintFate::Caught { at }));
             db.note_errors_detected(rec.table, 1);
         }
         out.push(Finding {
@@ -172,10 +199,8 @@ impl SemanticAudit {
                 anchor.table.0,
                 anchor.index
             ),
-            action: RecoveryAction::FreedRecord {
-                table: anchor.table,
-                record: anchor.index,
-            },
+            action: RecoveryAction::FreedRecord { table: anchor.table, record: anchor.index },
+            target: Some(FindingTarget::Record { table: anchor.table, record: anchor.index }),
             caught,
         });
         if let Some(pid) = owner {
@@ -186,6 +211,7 @@ impl SemanticAudit {
                 record: Some(anchor.index),
                 detail: format!("terminating client {pid} using zombie records"),
                 action: RecoveryAction::TerminatedClient { pid },
+                target: Some(FindingTarget::Client { pid }),
                 caught: Vec::new(),
             });
         }
@@ -246,18 +272,20 @@ mod tests {
         let conn = RecordRef::new(schema::CONNECTION_TABLE, c);
         d.write_field_raw(conn, schema::connection::CHANNEL_ID, 60_000).unwrap();
         let (off, _) = d.field_extent(conn, schema::connection::CHANNEL_ID).unwrap();
-        d.taint_mut().insert(
-            off,
-            TaintEntry { id: 3, at: SimTime::ZERO, kind: TaintKind::DynamicRuled },
-        );
+        d.taint_mut()
+            .insert(off, TaintEntry { id: 3, at: SimTime::ZERO, kind: TaintKind::DynamicRuled });
         let mut audit = SemanticAudit::default();
         let mut out = Vec::new();
-        audit.audit_table(&mut d, schema::PROCESS_TABLE, &NOT_LOCKED, SimTime::from_secs(1), &mut out);
+        audit.audit_table(
+            &mut d,
+            schema::PROCESS_TABLE,
+            &NOT_LOCKED,
+            SimTime::from_secs(1),
+            &mut out,
+        );
         assert!(!out.is_empty());
-        let freed: Vec<_> = out
-            .iter()
-            .filter(|f| matches!(f.action, RecoveryAction::FreedRecord { .. }))
-            .collect();
+        let freed: Vec<_> =
+            out.iter().filter(|f| matches!(f.action, RecoveryAction::FreedRecord { .. })).collect();
         assert_eq!(freed.len(), 1);
         // The walk visited process and connection before breaking; both
         // freed.
@@ -268,7 +296,13 @@ mod tests {
         // The resource record is now unreachable; its own anchor walk
         // will flag it (link to freed record).
         let mut out2 = Vec::new();
-        audit.audit_table(&mut d, schema::RESOURCE_TABLE, &NOT_LOCKED, SimTime::from_secs(1), &mut out2);
+        audit.audit_table(
+            &mut d,
+            schema::RESOURCE_TABLE,
+            &NOT_LOCKED,
+            SimTime::from_secs(1),
+            &mut out2,
+        );
         assert!(!out2.is_empty());
         assert!(!d.is_active(RecordRef::new(schema::RESOURCE_TABLE, r)).unwrap());
     }
@@ -288,9 +322,7 @@ mod tests {
             SimTime::from_secs(1),
             &mut out,
         );
-        assert!(out
-            .iter()
-            .any(|f| f.action == RecoveryAction::TerminatedClient { pid: Pid(42) }));
+        assert!(out.iter().any(|f| f.action == RecoveryAction::TerminatedClient { pid: Pid(42) }));
     }
 
     #[test]
@@ -312,10 +344,7 @@ mod tests {
             SimTime::ZERO,
             &mut out,
         );
-        assert!(
-            !out.is_empty(),
-            "resource pointing at the wrong process must be caught"
-        );
+        assert!(!out.is_empty(), "resource pointing at the wrong process must be caught");
     }
 
     #[test]
@@ -327,12 +356,24 @@ mod tests {
         let mut audit = SemanticAudit::new(SimDuration::from_secs(60));
         // Young: no finding.
         let mut out = Vec::new();
-        audit.audit_table(&mut d, schema::PROCESS_TABLE, &NOT_LOCKED, SimTime::from_secs(10), &mut out);
+        audit.audit_table(
+            &mut d,
+            schema::PROCESS_TABLE,
+            &NOT_LOCKED,
+            SimTime::from_secs(10),
+            &mut out,
+        );
         assert!(out.is_empty());
         assert!(d.is_active(rec).unwrap());
         // Old: orphan freed, owner reported.
         let mut out = Vec::new();
-        audit.audit_table(&mut d, schema::PROCESS_TABLE, &NOT_LOCKED, SimTime::from_secs(100), &mut out);
+        audit.audit_table(
+            &mut d,
+            schema::PROCESS_TABLE,
+            &NOT_LOCKED,
+            SimTime::from_secs(100),
+            &mut out,
+        );
         assert_eq!(out.len(), 2);
         assert!(!d.is_active(rec).unwrap());
     }

@@ -14,7 +14,7 @@
 use wtnc_db::{crc32, Catalog, Database, TableId, TableNature, TaintFate};
 use wtnc_sim::SimTime;
 
-use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
 
 #[derive(Debug, Clone)]
 struct Chunk {
@@ -29,6 +29,10 @@ struct Chunk {
 #[derive(Debug, Clone)]
 pub struct StaticDataAudit {
     chunks: Vec<Chunk>,
+    /// Detect-only mode: mismatching chunks are flagged (with their
+    /// extent as the finding target) instead of reloaded, so an
+    /// external recovery engine can schedule and verify the repair.
+    pub deferred: bool,
 }
 
 impl StaticDataAudit {
@@ -53,7 +57,51 @@ impl StaticDataAudit {
                 });
             }
         }
-        StaticDataAudit { chunks }
+        StaticDataAudit { chunks, deferred: false }
+    }
+
+    /// Repairs (or, deferred, flags) one mismatching chunk.
+    fn handle_mismatch(
+        &self,
+        db: &mut Database,
+        chunk: &Chunk,
+        at: SimTime,
+        detail: String,
+        out: &mut Vec<Finding>,
+    ) {
+        let target = Some(FindingTarget::Range { offset: chunk.offset, len: chunk.len });
+        if self.deferred {
+            if let Some(t) = chunk.table {
+                db.note_errors_detected(t, 1);
+            }
+            out.push(Finding {
+                element: AuditElementKind::StaticData,
+                at,
+                table: chunk.table,
+                record: None,
+                detail,
+                action: RecoveryAction::Flagged,
+                target,
+                caught: Vec::new(),
+            });
+            return;
+        }
+        db.reload_range(chunk.offset, chunk.len).expect("chunk extents are within the region");
+        let caught =
+            db.taint_mut().resolve_range(chunk.offset, chunk.len, TaintFate::Caught { at });
+        if let Some(t) = chunk.table {
+            db.note_errors_detected(t, caught.len().max(1) as u64);
+        }
+        out.push(Finding {
+            element: AuditElementKind::StaticData,
+            at,
+            table: chunk.table,
+            record: None,
+            detail,
+            action: RecoveryAction::ReloadedRange { offset: chunk.offset, len: chunk.len },
+            target,
+            caught,
+        });
     }
 
     /// Number of protected chunks (catalog + config tables).
@@ -72,36 +120,17 @@ impl StaticDataAudit {
     /// Checks every chunk; on mismatch reloads the affected portion
     /// from the golden disk image.
     pub fn audit(&mut self, db: &mut Database, at: SimTime, out: &mut Vec<Finding>) {
-        for chunk in &self.chunks {
+        let chunks = self.chunks.clone();
+        for chunk in &chunks {
             let bytes = &db.region()[chunk.offset..chunk.offset + chunk.len];
             if crc32(bytes) == chunk.golden {
                 continue;
             }
-            db.reload_range(chunk.offset, chunk.len)
-                .expect("chunk extents are within the region");
-            let caught = db.taint_mut().resolve_range(
-                chunk.offset,
-                chunk.len,
-                TaintFate::Caught { at },
-            );
-            if let Some(t) = chunk.table {
-                db.note_errors_detected(t, caught.len().max(1) as u64);
-            }
-            out.push(Finding {
-                element: AuditElementKind::StaticData,
-                at,
-                table: chunk.table,
-                record: None,
-                detail: match chunk.table {
-                    Some(t) => format!("checksum mismatch in config table {}", t.0),
-                    None => "checksum mismatch in system catalog".to_owned(),
-                },
-                action: RecoveryAction::ReloadedRange {
-                    offset: chunk.offset,
-                    len: chunk.len,
-                },
-                caught,
-            });
+            let detail = match chunk.table {
+                Some(t) => format!("checksum mismatch in config table {}", t.0),
+                None => "checksum mismatch in system catalog".to_owned(),
+            };
+            self.handle_mismatch(db, chunk, at, detail, out);
         }
     }
 
@@ -129,35 +158,14 @@ impl StaticDataAudit {
             if crc32(bytes) == chunk.golden {
                 continue;
             }
-            db.reload_range(chunk.offset, chunk.len)
-                .expect("chunk extents are within the region");
-            let caught =
-                db.taint_mut()
-                    .resolve_range(chunk.offset, chunk.len, TaintFate::Caught { at });
-            if let Some(t) = chunk.table {
-                db.note_errors_detected(t, caught.len().max(1) as u64);
-            }
-            out.push(Finding {
-                element: AuditElementKind::StaticData,
-                at,
-                table: chunk.table,
-                record: None,
-                detail: "checksum mismatch".to_owned(),
-                action: RecoveryAction::ReloadedRange {
-                    offset: chunk.offset,
-                    len: chunk.len,
-                },
-                caught,
-            });
+            self.handle_mismatch(db, &chunk, at, "checksum mismatch".to_owned(), out);
         }
     }
 
     /// Convenience: is the given catalog the one this element was built
     /// against (sanity check for callers wiring components together)?
     pub fn matches_catalog(&self, catalog: &Catalog) -> bool {
-        self.chunks
-            .first()
-            .is_some_and(|c| c.len == catalog.catalog_len())
+        self.chunks.first().is_some_and(|c| c.len == catalog.catalog_len())
     }
 }
 
@@ -186,10 +194,8 @@ mod tests {
         let mut audit = StaticDataAudit::new(&d);
         let before = d.region()[4];
         d.flip_bit(4, 1).unwrap();
-        d.taint_mut().insert(
-            4,
-            TaintEntry { id: 1, at: SimTime::ZERO, kind: TaintKind::StaticData },
-        );
+        d.taint_mut()
+            .insert(4, TaintEntry { id: 1, at: SimTime::ZERO, kind: TaintKind::StaticData });
         let mut out = Vec::new();
         audit.audit(&mut d, SimTime::from_secs(1), &mut out);
         assert_eq!(out.len(), 1);
@@ -210,10 +216,7 @@ mod tests {
         audit.audit(&mut d, SimTime::from_secs(1), &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].table, Some(schema::CHANNEL_CONFIG_TABLE));
-        assert_eq!(
-            d.read_field_raw(rec, schema::channel_config::FREQ_KHZ).unwrap(),
-            890_000
-        );
+        assert_eq!(d.read_field_raw(rec, schema::channel_config::FREQ_KHZ).unwrap(), 890_000);
         // Error history recorded for prioritization.
         assert!(d.table_stats(schema::CHANNEL_CONFIG_TABLE).unwrap().errors_total >= 1);
     }
@@ -234,10 +237,7 @@ mod tests {
         // Only sysconfig repaired; channel_config still corrupt.
         assert_eq!(out.len(), 1);
         assert_eq!(d.read_field_raw(r0, schema::sysconfig::N_CPUS).unwrap(), 4);
-        assert_ne!(
-            d.read_field_raw(r1, schema::channel_config::FREQ_KHZ).unwrap(),
-            890_000
-        );
+        assert_ne!(d.read_field_raw(r1, schema::channel_config::FREQ_KHZ).unwrap(), 890_000);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use wtnc_db::layout::{encode_record_id, LINK_NONE, STATUS_ACTIVE, STATUS_FREE};
 use wtnc_db::{Database, RecordRef, TableId, TaintFate};
 use wtnc_sim::SimTime;
 
-use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
 
 /// The structural audit element.
 #[derive(Debug, Clone)]
@@ -23,6 +23,11 @@ pub struct StructuralAudit {
     /// Consecutive corrupted headers that trigger the full-database
     /// reload escalation.
     escalation_threshold: u32,
+    /// Detect-only mode: damaged headers are flagged (one finding per
+    /// record, targeted at the header) instead of rebuilt, and the
+    /// consecutive-damage escalation is left to the recovery engine's
+    /// ladder.
+    pub deferred: bool,
 }
 
 impl Default for StructuralAudit {
@@ -35,9 +40,7 @@ impl StructuralAudit {
     /// Creates the element. `escalation_threshold` consecutive damaged
     /// headers in one table escalate to a full reload.
     pub fn new(escalation_threshold: u32) -> Self {
-        StructuralAudit {
-            escalation_threshold: escalation_threshold.max(2),
-        }
+        StructuralAudit { escalation_threshold: escalation_threshold.max(2), deferred: false }
     }
 
     /// Audits one table's headers; returns the number of records
@@ -74,13 +77,11 @@ impl StructuralAudit {
             }
             damaged.push(index);
             consecutive += 1;
-            if consecutive >= self.escalation_threshold {
+            if consecutive >= self.escalation_threshold && !self.deferred {
                 // Misalignment suspected: reload everything.
                 db.reload_all();
                 let region_len = db.region_len();
-                let caught =
-                    db.taint_mut()
-                        .resolve_range(0, region_len, TaintFate::Caught { at });
+                let caught = db.taint_mut().resolve_range(0, region_len, TaintFate::Caught { at });
                 db.note_errors_detected(table, caught.len().max(1) as u64);
                 out.push(Finding {
                     element: AuditElementKind::Structural,
@@ -92,6 +93,7 @@ impl StructuralAudit {
                         table.0
                     ),
                     action: RecoveryAction::ReloadedDatabase,
+                    target: Some(FindingTarget::Range { offset: 0, len: region_len }),
                     caught,
                 });
                 return record_count as u64;
@@ -100,6 +102,23 @@ impl StructuralAudit {
 
         for index in damaged {
             let rec = RecordRef::new(table, index);
+            if self.deferred {
+                db.note_errors_detected(table, 1);
+                out.push(Finding {
+                    element: AuditElementKind::Structural,
+                    at,
+                    table: Some(table),
+                    record: Some(index),
+                    detail: format!(
+                        "damaged header flagged for record {index} of table {}",
+                        table.0
+                    ),
+                    action: RecoveryAction::Flagged,
+                    target: Some(FindingTarget::Header { table, record: index }),
+                    caught: Vec::new(),
+                });
+                continue;
+            }
             let mut hdr = db.header(rec).expect("index within table");
             // Rebuild from computed values, conservatively: the record
             // id is fully inferable; an impossible status is resolved to
@@ -130,6 +149,7 @@ impl StructuralAudit {
                 record: Some(index),
                 detail: format!("damaged header rebuilt for record {index} of table {}", table.0),
                 action: RecoveryAction::RebuiltHeader { table, record: index },
+                target: Some(FindingTarget::Header { table, record: index }),
                 caught,
             });
         }
@@ -210,16 +230,12 @@ mod tests {
         let mut audit = StructuralAudit::new(3);
         // Smash three consecutive headers (misalignment pattern).
         for i in 0..3 {
-            let base = d
-                .record_offset(RecordRef::new(schema::PROCESS_TABLE, i))
-                .unwrap();
+            let base = d.record_offset(RecordRef::new(schema::PROCESS_TABLE, i)).unwrap();
             d.poke(base + HDR_RECORD_ID, &[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
         }
         // Also corrupt an unrelated dynamic byte: the full reload should
         // sweep it up too.
-        let far = d
-            .record_offset(RecordRef::new(schema::RESOURCE_TABLE, 7))
-            .unwrap();
+        let far = d.record_offset(RecordRef::new(schema::RESOURCE_TABLE, 7)).unwrap();
         d.flip_bit(far + HDR_STATUS, 0).unwrap();
         d.taint_mut().insert(
             far + HDR_STATUS,
@@ -239,9 +255,7 @@ mod tests {
         let mut audit = StructuralAudit::new(3);
         // Damage records 0, 2, 4 (not consecutive).
         for i in [0u32, 2, 4] {
-            let base = d
-                .record_offset(RecordRef::new(schema::PROCESS_TABLE, i))
-                .unwrap();
+            let base = d.record_offset(RecordRef::new(schema::PROCESS_TABLE, i)).unwrap();
             d.flip_bit(base + HDR_RECORD_ID, 0).unwrap();
         }
         let mut out = Vec::new();

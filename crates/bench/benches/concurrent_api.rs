@@ -1,11 +1,12 @@
 //! Concurrent database API throughput: several OS threads share one
-//! controller database behind a `parking_lot::Mutex`, the deployment
-//! shape of the real controller (one shared memory region, many
-//! client processes). Measures aggregate operations per second,
-//! original vs audit-instrumented API, at different client counts.
+//! controller database behind a `Mutex`, the deployment shape of the
+//! real controller (one shared memory region, many client processes).
+//! Measures aggregate operations per second, original vs
+//! audit-instrumented API, at different client counts.
+
+use std::sync::Mutex;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use parking_lot::Mutex;
 use wtnc::db::{schema, Database, DbApi};
 use wtnc::sim::{Pid, SimTime};
 
@@ -19,7 +20,7 @@ fn run_threads(shared: &Mutex<(Database, DbApi)>, threads: usize) {
                 let now = SimTime::from_secs(1);
                 let conn = schema::CONNECTION_TABLE;
                 for i in 0..OPS_PER_THREAD {
-                    let mut guard = shared.lock();
+                    let mut guard = shared.lock().expect("database mutex poisoned");
                     let (db, api) = &mut *guard;
                     match i % 4 {
                         0 => {
@@ -62,38 +63,34 @@ fn bench_concurrent(c: &mut Criterion) {
         let label = if instrumented { "modified" } else { "original" };
         for threads in [1usize, 4, 8] {
             group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
-            group.bench_with_input(
-                BenchmarkId::new(label, threads),
-                &threads,
-                |b, &threads| {
-                    b.iter_batched(
-                        || {
-                            let mut db = Database::build(schema::standard_schema()).unwrap();
-                            let mut api = if instrumented {
-                                DbApi::new()
-                            } else {
-                                DbApi::without_instrumentation()
-                            };
-                            for t in 0..threads {
-                                api.init(Pid(t as u32 + 1));
-                            }
-                            // Eight shared records to contend over.
-                            for _ in 0..8 {
-                                api.alloc_record(
-                                    &mut db,
-                                    Pid(1),
-                                    schema::CONNECTION_TABLE,
-                                    SimTime::ZERO,
-                                )
-                                .unwrap();
-                            }
-                            Mutex::new((db, api))
-                        },
-                        |shared| run_threads(&shared, threads),
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter_batched(
+                    || {
+                        let mut db = Database::build(schema::standard_schema()).unwrap();
+                        let mut api = if instrumented {
+                            DbApi::new()
+                        } else {
+                            DbApi::without_instrumentation()
+                        };
+                        for t in 0..threads {
+                            api.init(Pid(t as u32 + 1));
+                        }
+                        // Eight shared records to contend over.
+                        for _ in 0..8 {
+                            api.alloc_record(
+                                &mut db,
+                                Pid(1),
+                                schema::CONNECTION_TABLE,
+                                SimTime::ZERO,
+                            )
+                            .unwrap();
+                        }
+                        Mutex::new((db, api))
+                    },
+                    |shared| run_threads(&shared, threads),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();

@@ -10,11 +10,7 @@ fn bench_api(c: &mut Criterion) {
     for instrumented in [false, true] {
         let label = if instrumented { "modified" } else { "original" };
         let mut db = Database::build(schema::standard_schema()).unwrap();
-        let mut api = if instrumented {
-            DbApi::new()
-        } else {
-            DbApi::without_instrumentation()
-        };
+        let mut api = if instrumented { DbApi::new() } else { DbApi::without_instrumentation() };
         let pid = Pid(1);
         api.init(pid);
         let t = schema::CONNECTION_TABLE;
@@ -25,8 +21,7 @@ fn bench_api(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("DBread_fld", label), &(), |b, ()| {
             b.iter(|| {
-                api.read_fld(&mut db, pid, t, idx, schema::connection::CALLER_ID, now)
-                    .unwrap()
+                api.read_fld(&mut db, pid, t, idx, schema::connection::CALLER_ID, now).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("DBread_rec", label), &(), |b, ()| {
@@ -34,8 +29,7 @@ fn bench_api(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("DBwrite_fld", label), &(), |b, ()| {
             b.iter(|| {
-                api.write_fld(&mut db, pid, t, idx, schema::connection::STATE, 1, now)
-                    .unwrap()
+                api.write_fld(&mut db, pid, t, idx, schema::connection::STATE, 1, now).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("DBwrite_rec", label), &(), |b, ()| {

@@ -13,7 +13,11 @@ use wtnc::inject::priority_campaign::{run_once_with_weights, PriorityCampaignCon
 use wtnc::sim::{SimDuration, SimRng};
 use wtnc_bench::scaled_runs;
 
-fn campaign(config: &PriorityCampaignConfig, weights: Option<PriorityWeights>, runs: usize) -> (f64, f64) {
+fn campaign(
+    config: &PriorityCampaignConfig,
+    weights: Option<PriorityWeights>,
+    runs: usize,
+) -> (f64, f64) {
     let mut rng = SimRng::seed_from(config.seed);
     let mut injected = 0u64;
     let mut escaped = 0u64;
@@ -26,10 +30,7 @@ fn campaign(config: &PriorityCampaignConfig, weights: Option<PriorityWeights>, r
             latency.push(r.detection_latency_s);
         }
     }
-    (
-        100.0 * escaped as f64 / injected.max(1) as f64,
-        latency.mean(),
-    )
+    (100.0 * escaped as f64 / injected.max(1) as f64, latency.mean())
 }
 
 fn main() {
@@ -48,18 +49,9 @@ fn main() {
     let cases: Vec<(&str, Option<PriorityWeights>)> = vec![
         ("round-robin baseline", None),
         ("full weights (paper §4.4.1)", Some(full)),
-        (
-            "no access-frequency term",
-            Some(PriorityWeights { access: 0.0, ..full }),
-        ),
-        (
-            "no object-nature term",
-            Some(PriorityWeights { nature: 0.0, ..full }),
-        ),
-        (
-            "no error-history term",
-            Some(PriorityWeights { errors: 0.0, ..full }),
-        ),
+        ("no access-frequency term", Some(PriorityWeights { access: 0.0, ..full })),
+        ("no object-nature term", Some(PriorityWeights { nature: 0.0, ..full })),
+        ("no error-history term", Some(PriorityWeights { errors: 0.0, ..full })),
     ];
     for (name, weights) in cases {
         let (escaped, latency) = campaign(&config, weights, runs);

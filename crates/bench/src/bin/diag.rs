@@ -1,0 +1,52 @@
+//! Diagnostic sweep of the §5.1 database campaign: full taint-fate
+//! breakdown with audits on and off, for sanity-checking a build
+//! against the paper's Table 3/4 shape before running the full
+//! reproduction harnesses.
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin diag
+//! ```
+
+use wtnc::inject::db_campaign::{run_campaign, DbCampaignConfig};
+use wtnc::sim::SimDuration;
+use wtnc_bench::scaled_runs;
+
+fn main() {
+    let runs = scaled_runs(3);
+    let base =
+        DbCampaignConfig { duration: SimDuration::from_secs(1_000), ..DbCampaignConfig::default() };
+    println!("Database campaign diagnostics ({runs} runs per configuration)\n");
+    for audits in [false, true] {
+        let r = run_campaign(&DbCampaignConfig { audits, ..base }, runs);
+        println!(
+            "audits {:<3}  injected {:>6}  escaped {:>6} ({:>5.1}%)  caught {:>6} \
+             ({:>5.1}%)  overwritten {:>5}  latent {:>5}  cold restarts {:>3}",
+            if audits { "on" } else { "off" },
+            r.injected,
+            r.escaped,
+            r.escaped_pct(),
+            r.caught,
+            r.caught_pct(),
+            r.overwritten,
+            r.latent,
+            r.cold_restarts,
+        );
+        let b = &r.breakdown;
+        println!(
+            "  detected: structural {} / static {} / range {} / semantic {} / other {}",
+            b.structural_detected,
+            b.static_detected,
+            b.dynamic_range_detected,
+            b.dynamic_semantic_detected,
+            b.dynamic_other_detected,
+        );
+        println!(
+            "  escaped:  structural {} / static {} / timing {} / no rule {}   no effect {}\n",
+            b.structural_escaped,
+            b.static_escaped,
+            b.dynamic_escaped_timing,
+            b.dynamic_escaped_no_rule,
+            b.no_effect,
+        );
+    }
+}

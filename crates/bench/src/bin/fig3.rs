@@ -14,10 +14,7 @@ fn main() {
     println!(
         "Figure 3 — escaped errors vs fault inter-arrival time (audit period 10 s, {runs} runs/point)\n"
     );
-    println!(
-        "{:>10} {:>12} {:>18} {:>14}",
-        "IAT (s)", "injected", "escaped per run", "escaped %"
-    );
+    println!("{:>10} {:>12} {:>18} {:>14}", "IAT (s)", "injected", "escaped per run", "escaped %");
     for iat in (2..=20).step_by(2) {
         let config = DbCampaignConfig {
             audits: true,

@@ -33,11 +33,7 @@ fn measure(mut op: impl FnMut()) -> f64 {
 
 fn bench_api(instrumented: bool) -> Vec<(&'static str, f64)> {
     let mut db = Database::build(schema::standard_schema()).unwrap();
-    let mut api = if instrumented {
-        DbApi::new()
-    } else {
-        DbApi::without_instrumentation()
-    };
+    let mut api = if instrumented { DbApi::new() } else { DbApi::without_instrumentation() };
     let pid = Pid(1);
     api.init(pid);
     let t = schema::CONNECTION_TABLE;
@@ -68,8 +64,7 @@ fn bench_api(instrumented: bool) -> Vec<(&'static str, f64)> {
     results.push((
         "DBread_fld",
         measure(|| {
-            api.read_fld(&mut db, pid, t, idx, schema::connection::CALLER_ID, now)
-                .unwrap();
+            api.read_fld(&mut db, pid, t, idx, schema::connection::CALLER_ID, now).unwrap();
         }),
     ));
     results.push((
@@ -81,8 +76,7 @@ fn bench_api(instrumented: bool) -> Vec<(&'static str, f64)> {
     results.push((
         "DBwrite_fld",
         measure(|| {
-            api.write_fld(&mut db, pid, t, idx, schema::connection::STATE, 1, now)
-                .unwrap();
+            api.write_fld(&mut db, pid, t, idx, schema::connection::STATE, 1, now).unwrap();
         }),
     ));
     results.push((

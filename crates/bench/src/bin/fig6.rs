@@ -17,7 +17,12 @@ fn main() {
     );
     println!(
         "{:>10} | {:>22} {:>22} {:>10} | {:>12} {:>12}",
-        "MTBF (s)", "unprioritized esc%", "prioritized esc%", "reduction", "latency RR", "latency Pri"
+        "MTBF (s)",
+        "unprioritized esc%",
+        "prioritized esc%",
+        "reduction",
+        "latency RR",
+        "latency Pri"
     );
     for mtbf in [1u64, 2, 4] {
         let base = PriorityCampaignConfig {

@@ -9,8 +9,17 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table3", "table4", "fig3", "fig4", "fig5", "fig6", "table8", "table9", "table10",
-        "ablation", "selective_ext",
+        "table3",
+        "table4",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "table8",
+        "table9",
+        "table10",
+        "ablation",
+        "selective_ext",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin directory");

@@ -24,18 +24,10 @@ fn main() {
         error_iat: SimDuration::from_secs(20),
         ..DbCampaignConfig::default()
     };
-    println!(
-        "Selective monitoring of attributes (§4.4.2 extension), {runs} runs/arm\n"
-    );
-    println!(
-        "{:<44} {:>16} {:>18}",
-        "", "static rules only", "with selective mon."
-    );
+    println!("Selective monitoring of attributes (§4.4.2 extension), {runs} runs/arm\n");
+    println!("{:<44} {:>16} {:>18}", "", "static rules only", "with selective mon.");
     let without = run_campaign(&base, runs);
-    let with = run_campaign(
-        &DbCampaignConfig { selective_monitoring: true, ..base },
-        runs,
-    );
+    let with = run_campaign(&DbCampaignConfig { selective_monitoring: true, ..base }, runs);
     let row = |label: &str, a: String, b: String| println!("{label:<44} {a:>16} {b:>18}");
     row(
         "errors escaped (% of injected)",

@@ -21,10 +21,8 @@ fn main() {
     );
 
     let client_columns = four_column_table(InjectionTarget::RandomText, text_runs, 4, 24, 0x7A10);
-    let db_base = DbCampaignConfig {
-        error_iat: SimDuration::from_secs(20),
-        ..DbCampaignConfig::default()
-    };
+    let db_base =
+        DbCampaignConfig { error_iat: SimDuration::from_secs(20), ..DbCampaignConfig::default() };
     let db_without = run_campaign(&DbCampaignConfig { audits: false, ..db_base }, db_runs);
     let db_with = run_campaign(&DbCampaignConfig { audits: true, ..db_base }, db_runs);
 

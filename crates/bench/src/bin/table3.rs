@@ -12,13 +12,9 @@ use wtnc_bench::scaled_runs;
 
 fn main() {
     let runs = scaled_runs(30); // paper: 30 runs x ~100 errors
-    let base = DbCampaignConfig {
-        error_iat: SimDuration::from_secs(20),
-        ..DbCampaignConfig::default()
-    };
-    println!(
-        "Table 3 — client with/without audits, 20 s error inter-arrival, {runs} runs/arm\n"
-    );
+    let base =
+        DbCampaignConfig { error_iat: SimDuration::from_secs(20), ..DbCampaignConfig::default() };
+    println!("Table 3 — client with/without audits, 20 s error inter-arrival, {runs} runs/arm\n");
 
     let without = run_campaign(&DbCampaignConfig { audits: false, ..base }, runs);
     let with = run_campaign(&DbCampaignConfig { audits: true, ..base }, runs);
@@ -44,16 +40,8 @@ fn main() {
     );
     row(
         "Other (escaped but having no effect on application)",
-        format!(
-            "{} ({:.0}%)",
-            without.overwritten + without.latent,
-            without.no_effect_pct()
-        ),
-        format!(
-            "{} ({:.0}%)",
-            with.overwritten + with.latent,
-            with.no_effect_pct()
-        ),
+        format!("{} ({:.0}%)", without.overwritten + without.latent, without.no_effect_pct()),
+        format!("{} ({:.0}%)", with.overwritten + with.latent, with.no_effect_pct()),
     );
     row(
         "Average call setup time (msec)",

@@ -39,19 +39,27 @@ fn main() {
     println!("{}", "-".repeat(68));
     println!(
         "{:<46} {:>8} {:>9.0}%",
-        "Structural — detected", b.structural_detected, pct(b.structural_detected, structural_total)
+        "Structural — detected",
+        b.structural_detected,
+        pct(b.structural_detected, structural_total)
     );
     println!(
         "{:<46} {:>8} {:>9.0}%",
-        "Structural — escaped", b.structural_escaped, pct(b.structural_escaped, structural_total)
+        "Structural — escaped",
+        b.structural_escaped,
+        pct(b.structural_escaped, structural_total)
     );
     println!(
         "{:<46} {:>8} {:>9.0}%",
-        "Static data — detected", b.static_detected, pct(b.static_detected, static_total)
+        "Static data — detected",
+        b.static_detected,
+        pct(b.static_detected, static_total)
     );
     println!(
         "{:<46} {:>8} {:>9.0}%",
-        "Static data — escaped", b.static_escaped, pct(b.static_escaped, static_total)
+        "Static data — escaped",
+        b.static_escaped,
+        pct(b.static_escaped, static_total)
     );
     println!(
         "{:<46} {:>8} {:>9.0}%",

@@ -50,10 +50,7 @@ pub fn print_outcome_matrix(title: &str, columns: &[(String, OutcomeCounts)]) {
     };
     print!("{:<42}", "Errors Not Activated");
     for (_, c) in columns {
-        print!(
-            " | {:<28}",
-            format!("{:.0}%", pct_of_total(c, RunOutcome::NotActivated))
-        );
+        print!(" | {:<28}", format!("{:.0}%", pct_of_total(c, RunOutcome::NotActivated)));
     }
     println!();
     for outcome in [

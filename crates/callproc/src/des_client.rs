@@ -216,22 +216,11 @@ impl DesClient {
     ) -> Result<ActiveCall, DbError> {
         // Authentication: consult static configuration — the call
         // ceiling plus the parameters of a candidate radio channel.
-        let _max_calls = api.read_fld(
-            db,
-            pid,
-            schema::SYSCONFIG_TABLE,
-            0,
-            schema::sysconfig::MAX_CALLS,
-            now,
-        )?;
-        let channel_cfg_count = db
-            .catalog()
-            .table(schema::CHANNEL_CONFIG_TABLE)?
-            .def
-            .record_count;
+        let _max_calls =
+            api.read_fld(db, pid, schema::SYSCONFIG_TABLE, 0, schema::sysconfig::MAX_CALLS, now)?;
+        let channel_cfg_count = db.catalog().table(schema::CHANNEL_CONFIG_TABLE)?.def.record_count;
         let cfg_rec = self.rng.range_u64(0, channel_cfg_count as u64) as u32;
-        let _channel_params =
-            api.read_rec(db, pid, schema::CHANNEL_CONFIG_TABLE, cfg_rec, now)?;
+        let _channel_params = api.read_rec(db, pid, schema::CHANNEL_CONFIG_TABLE, cfg_rec, now)?;
 
         // Resource allocation: the three-record semantic loop. Locks
         // are held across the multi-record transaction so the audit
@@ -254,43 +243,43 @@ impl DesClient {
         // Feature setup: populate every field of the three records
         // (field order follows the schema definitions).
         let process_values = [
-            c as u64,                       // connection_id
-            1,                              // status = setting up
+            c as u64, // connection_id
+            1,        // status = setting up
             // name_id is unruled but low-cardinality (one of the
             // controller's task-name codes) — the kind of attribute
             // §4.4.2's selective monitoring can learn.
             1_000 + rng.range_u64(0, 8) * 111,
-            now_secs,                       // start_time
-            rng.range_u64(0, 8),            // priority
-            rng.range_u64(0, 4),            // cpu_affinity
-            rng.range_u64(10, 1_001),       // watchdog_ms
+            now_secs,                 // start_time
+            rng.range_u64(0, 8),      // priority
+            rng.range_u64(0, 4),      // cpu_affinity
+            rng.range_u64(10, 1_001), // watchdog_ms
         ];
         let connection_values = [
-            r as u64,                       // channel_id
+            r as u64, // channel_id
             caller,
             callee,
-            1,                              // state = setup
-            now_secs,                       // setup_time
-            rng.range_u64(0, 4),            // codec
-            rng.range_u64(0, 8),            // priority
-            rng.range_u64(0, 3),            // bearer
-            rng.range_u64(0, 2),            // direction
-            rng.range_u64(0, 16),           // hop_count
-            rng.range_u64(0, 32),           // timeslot
-            rng.range_u64(0, 1_000),        // cell_id
-            rng.range_u64(0, 8),            // qos
-            0,                              // billing_units (unruled; accumulates later)
+            1,                       // state = setup
+            now_secs,                // setup_time
+            rng.range_u64(0, 4),     // codec
+            rng.range_u64(0, 8),     // priority
+            rng.range_u64(0, 3),     // bearer
+            rng.range_u64(0, 2),     // direction
+            rng.range_u64(0, 16),    // hop_count
+            rng.range_u64(0, 32),    // timeslot
+            rng.range_u64(0, 1_000), // cell_id
+            rng.range_u64(0, 8),     // qos
+            0,                       // billing_units (unruled; accumulates later)
         ];
         let resource_values = [
-            p as u64,                       // process_id
-            1,                              // status = busy
+            p as u64,                        // process_id
+            1,                               // status = busy
             rng.range_u64(800_000, 960_001), // freq_khz
             // power_mw is unruled but quantized to the radio's power
             // steps — learnable by selective monitoring.
-            [250u64, 500, 1_000, 2_000][rng.index(4) as usize],
-            rng.range_u64(0, 32),           // timeslot
-            rng.range_u64(0, 64),           // interference
-            rng.range_u64(0, 1_024),        // carrier
+            [250u64, 500, 1_000, 2_000][rng.index(4)],
+            rng.range_u64(0, 32),    // timeslot
+            rng.range_u64(0, 64),    // interference
+            rng.range_u64(0, 1_024), // carrier
         ];
 
         let result = (|| -> Result<(), DbError> {
@@ -396,7 +385,8 @@ impl DesClient {
         if call.dropped || !registry.is_alive(call.pid) {
             // Clean up whatever recovery left behind.
             let _ = api.free_record(db, call.pid, schema::PROCESS_TABLE, call.process_rec, now);
-            let _ = api.free_record(db, call.pid, schema::CONNECTION_TABLE, call.connection_rec, now);
+            let _ =
+                api.free_record(db, call.pid, schema::CONNECTION_TABLE, call.connection_rec, now);
             let _ = api.free_record(db, call.pid, schema::RESOURCE_TABLE, call.resource_rec, now);
             api.close(call.pid, now);
             registry.kill(call.pid, now);
@@ -463,7 +453,8 @@ mod tests {
         // The semantic loop is complete while the call is active.
         assert_eq!(db.active_count(schema::PROCESS_TABLE).unwrap(), 1);
         assert!(client.poll_call(&mut db, &mut api, &registry, handle, SimTime::from_secs(5)));
-        let outcome = client.end_call(&mut db, &mut api, &mut registry, handle, SimTime::from_secs(25));
+        let outcome =
+            client.end_call(&mut db, &mut api, &mut registry, handle, SimTime::from_secs(25));
         assert_eq!(outcome, CallOutcome::Clean);
         assert_eq!(client.active_calls(), 0);
         // Everything freed.
@@ -482,7 +473,8 @@ mod tests {
         let rec = wtnc_db::RecordRef::new(schema::CONNECTION_TABLE, 0);
         let (off, _) = db.field_extent(rec, schema::connection::CALLER_ID).unwrap();
         db.flip_bit(off, 4).unwrap();
-        let outcome = client.end_call(&mut db, &mut api, &mut registry, handle, SimTime::from_secs(20));
+        let outcome =
+            client.end_call(&mut db, &mut api, &mut registry, handle, SimTime::from_secs(20));
         assert_eq!(outcome, CallOutcome::CorruptedData);
         assert_eq!(client.stats().calls_corrupted, 1);
     }
@@ -490,25 +482,24 @@ mod tests {
     #[test]
     fn poll_detects_corruption_and_drops_call() {
         let (mut db, mut api, mut registry, mut client) = setup(true);
-        let (handle, _) = client
-            .start_call(&mut db, &mut api, &mut registry, SimTime::from_secs(1))
-            .unwrap();
+        let (handle, _) =
+            client.start_call(&mut db, &mut api, &mut registry, SimTime::from_secs(1)).unwrap();
         let rec = wtnc_db::RecordRef::new(schema::CONNECTION_TABLE, 0);
         let (off, _) = db.field_extent(rec, schema::connection::STATE).unwrap();
         db.flip_bit(off, 1).unwrap();
         assert!(!client.poll_call(&mut db, &mut api, &registry, handle, SimTime::from_secs(5)));
         assert_eq!(client.stats().polls_corrupted, 1);
         assert_eq!(client.stats().calls_dropped, 1);
-        let outcome = client.end_call(&mut db, &mut api, &mut registry, handle, SimTime::from_secs(20));
+        let outcome =
+            client.end_call(&mut db, &mut api, &mut registry, handle, SimTime::from_secs(20));
         assert_eq!(outcome, CallOutcome::Dropped);
     }
 
     #[test]
     fn audit_termination_observed_as_drop() {
         let (mut db, mut api, mut registry, mut client) = setup(true);
-        let (handle, _) = client
-            .start_call(&mut db, &mut api, &mut registry, SimTime::from_secs(1))
-            .unwrap();
+        let (handle, _) =
+            client.start_call(&mut db, &mut api, &mut registry, SimTime::from_secs(1)).unwrap();
         // The audit decides this thread must die.
         let pid = registry.alive().next().unwrap();
         registry.kill(pid, SimTime::from_secs(2));
@@ -522,8 +513,7 @@ mod tests {
     #[test]
     fn thread_limit_refuses_excess_calls() {
         let (mut db, mut api, mut registry, client) = setup(true);
-        let mut config = WorkloadConfig::default();
-        config.threads = 2;
+        let config = WorkloadConfig { threads: 2, ..WorkloadConfig::default() };
         let mut client2 = DesClient::new(config, 7, true);
         let t = SimTime::from_secs(1);
         assert!(client2.start_call(&mut db, &mut api, &mut registry, t).is_some());
@@ -549,15 +539,13 @@ mod tests {
     #[test]
     fn contention_model_raises_setup_time() {
         let (mut db, mut api, mut registry, mut with_audit) = setup(true);
-        let (h, t_with) = with_audit
-            .start_call(&mut db, &mut api, &mut registry, SimTime::from_secs(1))
-            .unwrap();
+        let (h, t_with) =
+            with_audit.start_call(&mut db, &mut api, &mut registry, SimTime::from_secs(1)).unwrap();
         with_audit.end_call(&mut db, &mut api, &mut registry, h, SimTime::from_secs(21));
 
         let (mut db2, mut api2, mut registry2, mut without) = setup(false);
-        let (h2, t_without) = without
-            .start_call(&mut db2, &mut api2, &mut registry2, SimTime::from_secs(1))
-            .unwrap();
+        let (h2, t_without) =
+            without.start_call(&mut db2, &mut api2, &mut registry2, SimTime::from_secs(1)).unwrap();
         without.end_call(&mut db2, &mut api2, &mut registry2, h2, SimTime::from_secs(21));
 
         assert!(t_with > t_without);

@@ -5,10 +5,14 @@ use std::collections::HashMap;
 use wtnc::audit::AuditConfig;
 use wtnc::db::schema;
 use wtnc::inject::db_campaign::{run_campaign as run_db_campaign, DbCampaignConfig};
+use wtnc::inject::recovery_campaign::{
+    run_campaign as run_recovery_campaign, RecoveryCampaignConfig,
+};
 use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
 use wtnc::inject::RunOutcome;
 use wtnc::isa::{asm::Assembly, Machine, MachineConfig, NoSyscalls, StepOutcome};
 use wtnc::pecos::{handle_exception, instrument, PecosVerdict};
+use wtnc::recovery::RecoveryConfig;
 use wtnc::sim::{SimDuration, SimTime};
 use wtnc::Controller;
 
@@ -25,9 +29,12 @@ USAGE:
     wtnc pecos <file.s> [--corrupt-cfi N]  instrument; optionally corrupt
                                            the Nth CFI and watch PECOS
     wtnc audit-demo                        inject -> detect -> repair
+    wtnc recover [--budget N]              detect -> diagnose -> repair
+                                           -> verify walkthrough
     wtnc campaign db [--runs N] [--no-audit]
     wtnc campaign text [--runs N] [--directed]
     wtnc campaign priority [--runs N] [--proportional]
+    wtnc campaign recovery [--runs N] [--budget N]
     wtnc help                              this text";
 
 /// Parses `--flag value` pairs and positional arguments.
@@ -60,16 +67,13 @@ fn flag_num<T: std::str::FromStr>(
     default: T,
 ) -> Result<T, String> {
     match flags.get(name) {
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
         None => Ok(default),
     }
 }
 
 fn load_assembly(path: &str) -> Result<Assembly, String> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Assembly::parse(&source).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -99,9 +103,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     let threads: usize = flag_num(&flags, "threads", 1)?;
     let steps: u64 = flag_num(&flags, "steps", 1_000_000)?;
-    let program = load_assembly(path)?
-        .assemble()
-        .map_err(|e| format!("{path}: {e}"))?;
+    let program = load_assembly(path)?.assemble().map_err(|e| format!("{path}: {e}"))?;
     let mut machine = Machine::load(&program, MachineConfig::default());
     for _ in 0..threads.max(1) {
         machine.spawn_thread(program.entry);
@@ -113,9 +115,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         threads
     );
     for t in 0..threads.max(1) {
-        let regs: Vec<String> = (0..16)
-            .map(|r| format!("r{r}={}", machine.reg(t, r).unwrap_or(0)))
-            .collect();
+        let regs: Vec<String> =
+            (0..16).map(|r| format!("r{r}={}", machine.reg(t, r).unwrap_or(0))).collect();
         println!("thread {t}: {:?}\n  {}", machine.thread_state(t), regs.join(" "));
     }
     Ok(())
@@ -128,9 +129,7 @@ pub fn trace(args: &[String]) -> Result<(), String> {
         return Err("usage: wtnc trace <file.s> [--steps N]".into());
     };
     let steps: u64 = flag_num(&flags, "steps", 200)?;
-    let program = load_assembly(path)?
-        .assemble()
-        .map_err(|e| format!("{path}: {e}"))?;
+    let program = load_assembly(path)?.assemble().map_err(|e| format!("{path}: {e}"))?;
     let mut machine = Machine::load(&program, MachineConfig::default());
     machine.spawn_thread(program.entry);
     for _ in 0..steps {
@@ -174,15 +173,9 @@ pub fn pecos(args: &[String]) -> Result<(), String> {
     let Some(which) = flags.get("corrupt-cfi") else {
         return Ok(());
     };
-    let which: usize = which
-        .parse()
-        .map_err(|_| "--corrupt-cfi expects an index".to_owned())?;
+    let which: usize = which.parse().map_err(|_| "--corrupt-cfi expects an index".to_owned())?;
     let cfis: Vec<usize> = (0..inst.program.len())
-        .filter(|&a| {
-            wtnc::isa::decode(inst.program.text[a])
-                .map(|i| i.is_cfi())
-                .unwrap_or(false)
-        })
+        .filter(|&a| wtnc::isa::decode(inst.program.text[a]).map(|i| i.is_cfi()).unwrap_or(false))
         .collect();
     let Some(&target) = cfis.get(which) else {
         return Err(format!("program has {} CFIs; index {which} out of range", cfis.len()));
@@ -234,14 +227,80 @@ pub fn audit_demo(_args: &[String]) -> Result<(), String> {
     controller.inject_bit_flip(catalog_off, 1, SimTime::from_secs(1));
     controller.inject_bit_flip(header_off, 3, SimTime::from_secs(1));
     println!("injected 2 bit flips (catalog + record header)");
-    let report = controller
-        .run_audit_cycle(SimTime::from_secs(10))
-        .expect("audit alive");
+    let report = controller.run_audit_cycle(SimTime::from_secs(10)).expect("audit alive");
     for f in &report.findings {
         println!("  [{:?}] {} -> {:?}", f.element, f.detail, f.action);
     }
+    println!("latent corruptions remaining: {}", controller.db.taint().latent_count());
+    Ok(())
+}
+
+/// `wtnc recover [--budget N]`: a walkthrough of the staged
+/// detect→diagnose→repair→verify loop.
+pub fn recover(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let budget: u32 = flag_num(&flags, "budget", RecoveryConfig::default().cycle_budget)?;
+    let mut controller = Controller::standard()
+        .with_audit(AuditConfig::default())
+        .with_recovery(RecoveryConfig { cycle_budget: budget, ..RecoveryConfig::default() });
     println!(
-        "latent corruptions remaining: {}",
+        "controller: {} tables, {} byte image; audits detect-only; \
+         recovery budget {budget} tokens/cycle",
+        controller.db.catalog().table_count(),
+        controller.db.region_len()
+    );
+
+    // One corruption per repair-rung class: a static configuration
+    // field, a record header, and an out-of-range dynamic field.
+    let rec = wtnc::db::RecordRef::new(schema::SYSCONFIG_TABLE, 0);
+    let (cfg_off, _) =
+        controller.db.field_extent(rec, schema::sysconfig::MAX_CALLS).expect("field exists");
+    let header_off = controller
+        .db
+        .record_offset(wtnc::db::RecordRef::new(schema::PROCESS_TABLE, 2))
+        .expect("record exists");
+    controller.inject_bit_flip(cfg_off, 2, SimTime::from_secs(1));
+    controller.inject_bit_flip(header_off, 3, SimTime::from_secs(1));
+    let idx = controller.db.alloc_record_raw(schema::CONNECTION_TABLE).expect("free slot");
+    let conn = wtnc::db::RecordRef::new(schema::CONNECTION_TABLE, idx);
+    controller.db.write_field_raw(conn, schema::connection::STATE, 99).expect("field exists");
+    println!("injected 3 faults: static config byte, record header, out-of-range field");
+
+    for cycle in 1..=3u64 {
+        let now = SimTime::from_secs(10 * cycle);
+        let Some((report, outcome)) = controller.run_recovery_cycle(now) else {
+            break;
+        };
+        println!(
+            "cycle {cycle}: flagged {}, attempted {}, verified {}, escalated {}, \
+             deferred {}, spent {} tokens ({} ms busy)",
+            report.findings.len(),
+            outcome.attempted,
+            outcome.verified,
+            outcome.escalated,
+            outcome.deferred,
+            outcome.tokens_spent,
+            outcome.busy.as_secs_f64() * 1e3,
+        );
+        if outcome.deferred == 0 && report.findings.is_empty() {
+            break;
+        }
+    }
+    let engine = controller.recovery().expect("engine attached");
+    for entry in engine.log() {
+        println!(
+            "  #{:<2} [{:?}] {:?} via {:?} -> {:?} (cost {})",
+            entry.seq, entry.element, entry.target, entry.rung, entry.outcome, entry.cost
+        );
+    }
+    let stats = engine.stats();
+    println!(
+        "closed {} of {} attempts verified, {} failed; mean repair latency {:.1} s; \
+         latent corruptions remaining: {}",
+        stats.verified,
+        stats.attempted,
+        stats.failed,
+        stats.mean_latency_s(),
         controller.db.taint().latent_count()
     );
     Ok(())
@@ -287,12 +346,8 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
                 println!(
                     "{name:<32} activated {:>4}  pecos {:>5.1}%  crash {:>5.1}%  coverage {:>5.1}%",
                     counts.activated(),
-                    counts
-                        .proportion_of_activated(RunOutcome::PecosDetection)
-                        .percent(),
-                    counts
-                        .proportion_of_activated(RunOutcome::SystemDetection)
-                        .percent(),
+                    counts.proportion_of_activated(RunOutcome::PecosDetection).percent(),
+                    counts.proportion_of_activated(RunOutcome::SystemDetection).percent(),
                     counts.coverage()
                 );
             }
@@ -320,10 +375,32 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        _ => Err(
-            "usage: wtnc campaign <db|text|priority> [--runs N] [--no-audit|--directed|--proportional]"
-                .into(),
-        ),
+        ["recovery"] => {
+            let runs: usize = flag_num(&flags, "runs", 3)?;
+            let budget: u32 = flag_num(&flags, "budget", RecoveryConfig::default().cycle_budget)?;
+            let config = RecoveryCampaignConfig {
+                duration: SimDuration::from_secs(500),
+                recovery: RecoveryConfig { cycle_budget: budget, ..RecoveryConfig::default() },
+                ..RecoveryCampaignConfig::default()
+            };
+            let r = run_recovery_campaign(&config, runs);
+            println!(
+                "recovery campaign ({runs} runs, budget {budget}): injected {}, \
+                 repaired+verified {}, repair failed {}, escaped {}, escalations {}, \
+                 latency {:.2} s, calls {}",
+                r.injected,
+                r.outcomes.count(RunOutcome::DetectedRepaired),
+                r.outcomes.count(RunOutcome::RepairFailed),
+                r.outcomes.count(RunOutcome::FailSilenceViolation),
+                r.escalations,
+                r.repair_latency_s,
+                r.calls
+            );
+            Ok(())
+        }
+        _ => Err("usage: wtnc campaign <db|text|priority|recovery> [--runs N] \
+             [--no-audit|--directed|--proportional|--budget N]"
+            .into()),
     }
 }
 
@@ -353,8 +430,19 @@ mod tests {
     }
 
     #[test]
+    fn recover_walkthrough_runs_clean() {
+        recover(&strings(&["--budget", "8"])).unwrap();
+        recover(&[]).unwrap();
+    }
+
+    #[test]
     fn campaign_db_runs() {
         campaign(&strings(&["db", "--runs", "1"])).unwrap();
+    }
+
+    #[test]
+    fn campaign_recovery_runs() {
+        campaign(&strings(&["recovery", "--runs", "1"])).unwrap();
     }
 
     #[test]
@@ -383,7 +471,7 @@ mod tests {
         )
         .unwrap();
         let p = path.to_str().unwrap().to_string();
-        asm(&[p.clone()]).unwrap();
+        asm(std::slice::from_ref(&p)).unwrap();
         run(&strings(&[&p, "--threads", "2"])).unwrap();
         pecos(&strings(&[&p, "--corrupt-cfi", "0"])).unwrap();
         assert!(pecos(&strings(&[&p, "--corrupt-cfi", "99"])).is_err());

@@ -5,10 +5,12 @@
 //! wtnc run <file.s> [opts]         execute a program on the machine
 //! wtnc pecos <file.s> [opts]       instrument with PECOS and report
 //! wtnc audit-demo                  inject → detect → repair walkthrough
+//! wtnc recover [opts]              staged detect → diagnose → repair
+//!                                  → verify walkthrough
 //! wtnc campaign <db|text> [opts]   run a fault-injection campaign
 //! ```
 //!
-//! Argument parsing is deliberately hand-rolled: the tool has five
+//! Argument parsing is deliberately hand-rolled: the tool has a few
 //! fixed subcommands and a handful of `--flag value` options, which
 //! does not justify a dependency.
 
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
         "trace" => commands::trace(rest),
         "pecos" => commands::pecos(rest),
         "audit-demo" => commands::audit_demo(rest),
+        "recover" => commands::recover(rest),
         "campaign" => commands::campaign(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -19,6 +19,7 @@
 //! | [`pecos`] | `wtnc-pecos` | PECOS instrumentation and signal handling |
 //! | [`audit`] | `wtnc-audit` | audit elements, triggers, scheduling, manager |
 //! | [`callproc`] | `wtnc-callproc` | the DES and ISA call-processing clients |
+//! | [`recovery`] | `wtnc-recovery` | staged detect→diagnose→repair→verify engine |
 //! | [`inject`] | `wtnc-inject` | fault injection and the paper's campaigns |
 //!
 //! # Quickstart
@@ -48,10 +49,12 @@ pub use wtnc_db as db;
 pub use wtnc_inject as inject;
 pub use wtnc_isa as isa;
 pub use wtnc_pecos as pecos;
+pub use wtnc_recovery as recovery;
 pub use wtnc_sim as sim;
 
 use wtnc_audit::{AuditConfig, AuditProcess, AuditReport, Manager, ManagerConfig};
 use wtnc_db::{Database, DbApi, DbError, TableDef, TaintEntry};
+use wtnc_recovery::{CycleOutcome, RecoveryConfig, RecoveryEngine};
 use wtnc_sim::{Pid, ProcessRegistry, SimTime};
 
 /// The assembled controller node: database, client API, process
@@ -69,6 +72,7 @@ pub struct Controller {
     pub registry: ProcessRegistry,
     audit: Option<(Pid, AuditProcess)>,
     manager: Option<Manager>,
+    recovery: Option<RecoveryEngine>,
     next_taint_id: u64,
 }
 
@@ -85,6 +89,7 @@ impl Controller {
             registry: ProcessRegistry::new(),
             audit: None,
             manager: None,
+            recovery: None,
             next_taint_id: 1,
         })
     }
@@ -104,11 +109,34 @@ impl Controller {
         self
     }
 
+    /// Attaches the staged recovery engine and switches the audit
+    /// subsystem (which must already be attached) into detect-only
+    /// mode: audit cycles flag anomalies instead of repairing inline,
+    /// and [`Controller::run_audit_cycle`] hands the findings to the
+    /// engine, which repairs under its token budget and verifies each
+    /// repair by re-running the originating element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no audit subsystem is attached — the engine is the
+    /// consumer half of the detect→repair loop and cannot run without
+    /// the detector.
+    pub fn with_recovery(mut self, config: RecoveryConfig) -> Self {
+        let (_, audit) =
+            self.audit.as_mut().expect("attach the audit subsystem before the recovery engine");
+        audit.set_deferred_repair(true);
+        self.recovery = Some(RecoveryEngine::new(config));
+        self
+    }
+
+    /// The attached recovery engine, if any.
+    pub fn recovery(&self) -> Option<&RecoveryEngine> {
+        self.recovery.as_ref()
+    }
+
     /// Whether an audit process is attached and alive.
     pub fn audit_alive(&self) -> bool {
-        self.audit
-            .as_ref()
-            .is_some_and(|(pid, _)| self.registry.is_alive(*pid))
+        self.audit.as_ref().is_some_and(|(pid, _)| self.registry.is_alive(*pid))
     }
 
     /// The attached audit process, if any.
@@ -126,14 +154,29 @@ impl Controller {
         Some(audit.run_cycle(&mut self.db, &mut self.api, &mut self.registry, now))
     }
 
+    /// Runs one full detect→repair→verify round at `now`: an audit
+    /// cycle (detect-only when the engine is attached), then one
+    /// recovery-engine cycle over the flagged findings. Requires both
+    /// the audit subsystem and the recovery engine
+    /// ([`Controller::with_recovery`]).
+    pub fn run_recovery_cycle(&mut self, now: SimTime) -> Option<(AuditReport, CycleOutcome)> {
+        let report = self.run_audit_cycle(now)?;
+        let engine = self.recovery.as_mut()?;
+        engine.ingest(&report.findings, now);
+        let (_, audit) = self.audit.as_mut().expect("audit attached");
+        let outcome = engine.run_cycle(&mut self.db, &mut self.api, &mut self.registry, audit, now);
+        Some((report, outcome))
+    }
+
     /// One manager heartbeat round: queries the audit process's
     /// heartbeat element and restarts the process after repeated
     /// misses. Returns the new audit pid when a restart happened.
     pub fn manager_beat(&mut self, now: SimTime) -> Option<Pid> {
         let manager = self.manager.as_mut()?;
-        let element = self.audit.as_mut().and_then(|(pid, a)| {
-            self.registry.is_alive(*pid).then(|| a.heartbeat_mut())
-        });
+        let element = self
+            .audit
+            .as_mut()
+            .and_then(|(pid, a)| self.registry.is_alive(*pid).then(|| a.heartbeat_mut()));
         let restarted = manager.beat(element, &mut self.registry, now);
         if let (Some(new_pid), Some((pid, _))) = (restarted, self.audit.as_mut()) {
             *pid = new_pid;
@@ -167,8 +210,7 @@ impl Controller {
         value: u64,
         now: SimTime,
     ) -> Result<(), DbError> {
-        self.api
-            .reconfigure(&mut self.db, pid, table, index, field, value, now)?;
+        self.api.reconfigure(&mut self.db, pid, table, index, field, value, now)?;
         if let Some((_, audit)) = self.audit.as_mut() {
             audit.rebaseline_static(&self.db);
         }
@@ -183,14 +225,10 @@ impl Controller {
     /// Panics if `offset` is outside the database region or `bit > 7`.
     pub fn inject_bit_flip(&mut self, offset: usize, bit: u8, now: SimTime) -> u64 {
         let kind = self.db.classify_offset(offset);
-        self.db
-            .flip_bit(offset, bit)
-            .expect("offset within the database region");
+        self.db.flip_bit(offset, bit).expect("offset within the database region");
         let id = self.next_taint_id;
         self.next_taint_id += 1;
-        self.db
-            .taint_mut()
-            .insert(offset, TaintEntry { id, at: now, kind });
+        self.db.taint_mut().insert(offset, TaintEntry { id, at: now, kind });
         id
     }
 }
@@ -234,6 +272,23 @@ mod tests {
         assert!(restarted.is_some());
         assert!(c.audit_alive());
         assert!(c.run_audit_cycle(SimTime::from_secs(12)).is_some());
+    }
+
+    #[test]
+    fn recovery_engine_closes_the_loop() {
+        let mut c = Controller::standard()
+            .with_audit(AuditConfig::default())
+            .with_recovery(Default::default());
+        let rec = wtnc_db::RecordRef::new(schema::SYSCONFIG_TABLE, 0);
+        let (off, _) = c.db.field_extent(rec, schema::sysconfig::MAX_CALLS).unwrap();
+        c.inject_bit_flip(off, 2, SimTime::from_secs(1));
+        let (report, outcome) = c.run_recovery_cycle(SimTime::from_secs(10)).unwrap();
+        // Detect-only: the audit itself repaired nothing...
+        assert_eq!(report.caught_count(), 0);
+        // ...the engine did, and verified the repair.
+        assert_eq!(outcome.verified, 1);
+        assert_eq!(c.db.taint().latent_count(), 0);
+        assert_eq!(c.recovery().unwrap().stats().verified, 1);
     }
 
     #[test]

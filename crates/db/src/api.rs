@@ -22,7 +22,9 @@ use crate::catalog::{Catalog, FieldId, TableId};
 use crate::database::{Database, RecordRef};
 use crate::error::DbError;
 use crate::events::{DbEvent, DbOp};
-use crate::layout::{read_le, write_le, HDR_GROUP, HDR_NEXT, HDR_PREV, HDR_STATUS, LINK_NONE, STATUS_ACTIVE};
+use crate::layout::{
+    read_le, write_le, HDR_GROUP, HDR_NEXT, HDR_PREV, HDR_STATUS, LINK_NONE, STATUS_ACTIVE,
+};
 use crate::taint::TaintFate;
 
 /// Simulated execution cost of each API primitive: the base cost of
@@ -107,11 +109,9 @@ impl LockTable {
     /// Returns [`DbError::LockHeld`] if another client holds it.
     pub fn acquire(&mut self, rec: RecordRef, pid: Pid, now: SimTime) -> Result<(), DbError> {
         match self.locks.get(&(rec.table, rec.index)) {
-            Some(&(holder, _)) if holder != pid => Err(DbError::LockHeld {
-                table: rec.table,
-                index: rec.index,
-                holder,
-            }),
+            Some(&(holder, _)) if holder != pid => {
+                Err(DbError::LockHeld { table: rec.table, index: rec.index, holder })
+            }
             Some(_) => Ok(()),
             None => {
                 self.locks.insert((rec.table, rec.index), (pid, now));
@@ -254,7 +254,14 @@ impl DbApi {
         self.ops_performed += 1;
     }
 
-    fn notify(&mut self, pid: Pid, op: DbOp, table: Option<TableId>, record: Option<u32>, at: SimTime) {
+    fn notify(
+        &mut self,
+        pid: Pid,
+        op: DbOp,
+        table: Option<TableId>,
+        record: Option<u32>,
+        at: SimTime,
+    ) {
         if self.instrumented {
             self.events.send(DbEvent { at, pid, op, table, record });
         }
@@ -320,11 +327,7 @@ impl DbApi {
                 TaintFate::Escaped { at },
             );
             if let Ok(tm) = db.catalog().table(table) {
-                let (d, fd, nf) = (
-                    tm.desc_offset,
-                    tm.field_desc_offset,
-                    tm.def.fields.len(),
-                );
+                let (d, fd, nf) = (tm.desc_offset, tm.field_desc_offset, tm.def.fields.len());
                 db.taint_mut().resolve_range(
                     d,
                     crate::layout::TABLE_DESC_SIZE,
@@ -346,11 +349,7 @@ impl DbApi {
         index: u32,
     ) -> Result<usize, DbError> {
         if index >= entry.record_count {
-            return Err(DbError::BadRecordIndex {
-                table,
-                index,
-                capacity: entry.record_count,
-            });
+            return Err(DbError::BadRecordIndex { table, index, capacity: entry.record_count });
         }
         Ok(entry.offset + entry.record_size * index as usize)
     }
@@ -368,8 +367,7 @@ impl DbApi {
             // A corrupted status byte that makes an active record look
             // free has now affected the client; only the status byte
             // was consulted.
-            db.taint_mut()
-                .resolve_range(base + HDR_STATUS, 1, TaintFate::Escaped { at });
+            db.taint_mut().resolve_range(base + HDR_STATUS, 1, TaintFate::Escaped { at });
             return Err(DbError::RecordFree(table, index));
         }
         Ok(())
@@ -407,8 +405,7 @@ impl DbApi {
             values.push(read_le(bytes, f.width.bytes()));
         }
         // The whole record (header + data) has been consumed.
-        db.taint_mut()
-            .resolve_range(base, entry.record_size, TaintFate::Escaped { at });
+        db.taint_mut().resolve_range(base, entry.record_size, TaintFate::Escaped { at });
         if self.instrumented {
             db.note_access(RecordRef::new(table, index), pid, at, false);
         }
@@ -449,8 +446,7 @@ impl DbApi {
             TaintFate::Escaped { at },
         );
         // Consulting the status byte consumed the header too.
-        db.taint_mut()
-            .resolve_range(base + HDR_STATUS, 1, TaintFate::Escaped { at });
+        db.taint_mut().resolve_range(base + HDR_STATUS, 1, TaintFate::Escaped { at });
         if self.instrumented {
             db.note_access(RecordRef::new(table, index), pid, at, false);
         }
@@ -490,12 +486,10 @@ impl DbApi {
         let result = (|| {
             self.require_active(db, table, index, base, at)?;
             for (fi, &v) in values.iter().enumerate() {
-                let f =
-                    Catalog::read_region_field(db.region(), table, &entry, FieldId(fi as u16))?;
+                let f = Catalog::read_region_field(db.region(), table, &entry, FieldId(fi as u16))?;
                 let (off, w) = (base + f.offset_in_record, f.width.bytes());
                 // Legitimate data replaces corrupted data.
-                db.taint_mut()
-                    .resolve_range(off, w, TaintFate::Overwritten { at });
+                db.taint_mut().resolve_range(off, w, TaintFate::Overwritten { at });
                 let mut buf = [0u8; 8];
                 write_le(&mut buf, w, v);
                 db.poke(off, &buf[..w])?;
@@ -518,6 +512,7 @@ impl DbApi {
     /// # Errors
     ///
     /// As for [`DbApi::read_fld`].
+    #[allow(clippy::too_many_arguments)]
     pub fn write_fld(
         &mut self,
         db: &mut Database,
@@ -539,8 +534,7 @@ impl DbApi {
             self.require_active(db, table, index, base, at)?;
             let f = Catalog::read_region_field(db.region(), table, &entry, field)?;
             let (off, w) = (base + f.offset_in_record, f.width.bytes());
-            db.taint_mut()
-                .resolve_range(off, w, TaintFate::Overwritten { at });
+            db.taint_mut().resolve_range(off, w, TaintFate::Overwritten { at });
             let mut buf = [0u8; 8];
             write_le(&mut buf, w, value);
             db.poke(off, &buf[..w])?;
@@ -669,8 +663,7 @@ impl DbApi {
         // Fresh formatting overwrites any corruption in the slot.
         let tm = db.catalog().table(table)?;
         let (off, len) = (tm.record_offset(index), tm.record_size);
-        db.taint_mut()
-            .resolve_range(off, len, TaintFate::Overwritten { at });
+        db.taint_mut().resolve_range(off, len, TaintFate::Overwritten { at });
         if self.instrumented {
             db.note_access(RecordRef::new(table, index), pid, at, true);
         }
@@ -721,6 +714,7 @@ impl DbApi {
     /// Returns [`DbError::UnknownField`] for a dynamic field — runtime
     /// state is never committed to the disk image — plus the usual
     /// lookup errors.
+    #[allow(clippy::too_many_arguments)]
     pub fn reconfigure(
         &mut self,
         db: &mut Database,
@@ -741,8 +735,7 @@ impl DbApi {
         db.write_field_raw(rec, field, value)?;
         let (off, len) = db.field_extent(rec, field)?;
         db.commit_golden(off, len);
-        db.taint_mut()
-            .resolve_range(off, len, TaintFate::Overwritten { at });
+        db.taint_mut().resolve_range(off, len, TaintFate::Overwritten { at });
         if self.instrumented {
             db.note_access(rec, pid, at, true);
         }
@@ -786,15 +779,11 @@ mod tests {
         let t = schema::CONNECTION_TABLE;
         let at = SimTime::from_secs(1);
         let idx = api.alloc_record(&mut db, pid, t, at).unwrap();
-        api.write_fld(&mut db, pid, t, idx, connection::CALLER_ID, 5551234, at)
-            .unwrap();
+        api.write_fld(&mut db, pid, t, idx, connection::CALLER_ID, 5551234, at).unwrap();
         let vals = api.read_rec(&mut db, pid, t, idx, at).unwrap();
         assert_eq!(vals[connection::CALLER_ID.0 as usize], 5551234);
         api.free_record(&mut db, pid, t, idx, at).unwrap();
-        assert!(matches!(
-            api.read_rec(&mut db, pid, t, idx, at),
-            Err(DbError::RecordFree(_, _))
-        ));
+        assert!(matches!(api.read_rec(&mut db, pid, t, idx, at), Err(DbError::RecordFree(_, _))));
     }
 
     #[test]
@@ -853,10 +842,7 @@ mod tests {
             Err(DbError::LockHeld { .. })
         ));
         // Stale-lock detection sees it.
-        let stale = api.locks().stale(
-            SimTime::from_secs(200),
-            SimDuration::from_millis(100),
-        );
+        let stale = api.locks().stale(SimTime::from_secs(200), SimDuration::from_millis(100));
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].1, pid);
         // Recovery releases everything the dead client held.
@@ -868,10 +854,8 @@ mod tests {
     fn catalog_corruption_breaks_operations_and_escapes() {
         let (mut db, mut api, pid) = setup();
         db.flip_bit(0, 0).unwrap(); // magic byte
-        db.taint_mut().insert(
-            0,
-            TaintEntry { id: 1, at: SimTime::ZERO, kind: TaintKind::StaticData },
-        );
+        db.taint_mut()
+            .insert(0, TaintEntry { id: 1, at: SimTime::ZERO, kind: TaintKind::StaticData });
         let err = api
             .read_rec(&mut db, pid, schema::CONNECTION_TABLE, 0, SimTime::from_secs(1))
             .unwrap_err();
@@ -891,26 +875,14 @@ mod tests {
         let (off, _) = db.field_extent(rec, connection::CALLER_ID).unwrap();
 
         // Taint + read => escape.
-        db.taint_mut().insert(
-            off,
-            TaintEntry { id: 1, at, kind: TaintKind::DynamicRuled },
-        );
+        db.taint_mut().insert(off, TaintEntry { id: 1, at, kind: TaintKind::DynamicRuled });
         api.read_fld(&mut db, pid, t, idx, connection::CALLER_ID, at).unwrap();
-        assert!(matches!(
-            db.taint().resolved()[0].2,
-            TaintFate::Escaped { .. }
-        ));
+        assert!(matches!(db.taint().resolved()[0].2, TaintFate::Escaped { .. }));
 
         // Taint + write => overwritten.
-        db.taint_mut().insert(
-            off,
-            TaintEntry { id: 2, at, kind: TaintKind::DynamicRuled },
-        );
+        db.taint_mut().insert(off, TaintEntry { id: 2, at, kind: TaintKind::DynamicRuled });
         api.write_fld(&mut db, pid, t, idx, connection::CALLER_ID, 7, at).unwrap();
-        assert!(matches!(
-            db.taint().resolved()[1].2,
-            TaintFate::Overwritten { .. }
-        ));
+        assert!(matches!(db.taint().resolved()[1].2, TaintFate::Overwritten { .. }));
     }
 
     #[test]
@@ -969,14 +941,21 @@ mod tests {
     #[test]
     fn instrumentation_costs_more() {
         let costs = ApiCosts::default();
-        for op in [DbOp::Init, DbOp::Close, DbOp::ReadRec, DbOp::ReadFld, DbOp::WriteRec, DbOp::WriteFld, DbOp::Move] {
+        for op in [
+            DbOp::Init,
+            DbOp::Close,
+            DbOp::ReadRec,
+            DbOp::ReadFld,
+            DbOp::WriteRec,
+            DbOp::WriteFld,
+            DbOp::Move,
+        ] {
             assert!(costs.cost(op, true) > costs.cost(op, false), "{op:?}");
         }
         // Figure 4: DBwrite_rec has the largest overhead, DBinit the
         // smallest.
-        let rel = |op: DbOp| {
-            costs.cost(op, true).as_secs_f64() / costs.cost(op, false).as_secs_f64()
-        };
+        let rel =
+            |op: DbOp| costs.cost(op, true).as_secs_f64() / costs.cost(op, false).as_secs_f64();
         assert!(rel(DbOp::WriteRec) > rel(DbOp::WriteFld));
         assert!(rel(DbOp::Init) < rel(DbOp::ReadFld));
     }
@@ -1000,19 +979,9 @@ mod tests {
         let rec = RecordRef::new(TableId(1), 3);
         locks.acquire(rec, Pid(1), SimTime::ZERO).unwrap();
         locks.acquire(rec, Pid(1), SimTime::ZERO).unwrap(); // re-entrant
-        assert!(matches!(
-            locks.acquire(rec, Pid(2), SimTime::ZERO),
-            Err(DbError::LockHeld { .. })
-        ));
-        assert!(locks
-            .stale(SimTime::from_millis(50), SimDuration::from_millis(100))
-            .is_empty());
-        assert_eq!(
-            locks
-                .stale(SimTime::from_millis(150), SimDuration::from_millis(100))
-                .len(),
-            1
-        );
+        assert!(matches!(locks.acquire(rec, Pid(2), SimTime::ZERO), Err(DbError::LockHeld { .. })));
+        assert!(locks.stale(SimTime::from_millis(50), SimDuration::from_millis(100)).is_empty());
+        assert_eq!(locks.stale(SimTime::from_millis(150), SimDuration::from_millis(100)).len(), 1);
         assert!(!locks.release(rec, Pid(2)));
         assert!(locks.release(rec, Pid(1)));
         assert!(locks.is_empty());

@@ -176,12 +176,7 @@ pub struct TableDef {
 impl TableDef {
     /// Creates a table definition.
     pub fn new(name: &str, nature: TableNature, record_count: u32, fields: Vec<FieldDef>) -> Self {
-        TableDef {
-            name: name.to_owned(),
-            nature,
-            record_count,
-            fields,
-        }
+        TableDef { name: name.to_owned(), nature, record_count, fields }
     }
 }
 
@@ -350,11 +345,7 @@ impl Catalog {
             data_cursor += align_up(meta.data_len(), 8);
         }
 
-        Ok(Catalog {
-            tables: metas,
-            catalog_len,
-            region_len: data_cursor,
-        })
+        Ok(Catalog { tables: metas, catalog_len, region_len: data_cursor })
     }
 
     /// Total size of the database region.
@@ -388,10 +379,7 @@ impl Catalog {
     /// Returns [`DbError::UnknownTable`] or [`DbError::UnknownField`].
     pub fn field(&self, table: TableId, field: FieldId) -> Result<&FieldDef, DbError> {
         let meta = self.table(table)?;
-        meta.def
-            .fields
-            .get(field.0 as usize)
-            .ok_or(DbError::UnknownField(table, field))
+        meta.def.fields.get(field.0 as usize).ok_or(DbError::UnknownField(table, field))
     }
 
     /// Iterates over all table metadata in id order.
@@ -444,9 +432,7 @@ impl Catalog {
                 region[o + 4] = f.range.is_some() as u8;
                 region[o + 5] = f.link.is_some() as u8;
                 write_le(&mut region[o + 6..], 2, f.link.map_or(0, |t| t.0) as u64);
-                let (min, max) = f
-                    .range
-                    .unwrap_or((0, f.width.max_value().min(u32::MAX as u64)));
+                let (min, max) = f.range.unwrap_or((0, f.width.max_value().min(u32::MAX as u64)));
                 write_le(&mut region[o + 8..], 4, min);
                 write_le(&mut region[o + 12..], 4, max);
                 write_le(&mut region[o + 16..], 4, f.default);
@@ -466,10 +452,7 @@ impl Catalog {
     /// count, or the entry's identity/bounds fail validation, and
     /// [`DbError::UnknownTable`] if `table` exceeds the (validated)
     /// table count.
-    pub fn read_region_entry(
-        region: &[u8],
-        table: TableId,
-    ) -> Result<RegionTableEntry, DbError> {
+    pub fn read_region_entry(region: &[u8], table: TableId) -> Result<RegionTableEntry, DbError> {
         if region.len() < CATALOG_HEADER_SIZE {
             return Err(DbError::CatalogCorrupt { reason: "region shorter than header" });
         }
@@ -504,14 +487,14 @@ impl Catalog {
             || entry
                 .offset
                 .checked_add(entry.record_size * entry.record_count as usize)
-                .map_or(true, |end| end > region.len())
+                .is_none_or(|end| end > region.len())
         {
             return Err(DbError::CatalogCorrupt { reason: "table extent exceeds region" });
         }
         if entry
             .field_desc_offset
             .checked_add(entry.field_count * FIELD_DESC_SIZE)
-            .map_or(true, |end| end > region.len())
+            .is_none_or(|end| end > region.len())
         {
             return Err(DbError::CatalogCorrupt { reason: "field descriptors exceed region" });
         }

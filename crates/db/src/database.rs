@@ -7,8 +7,8 @@ use wtnc_sim::{Pid, SimTime};
 use crate::catalog::{Catalog, FieldId, TableDef, TableId, TableNature};
 use crate::error::DbError;
 use crate::layout::{
-    encode_record_id, read_le, write_le, HDR_GROUP, HDR_NEXT, HDR_PREV, HDR_RECORD_ID,
-    HDR_STATUS, LINK_NONE, RECORD_HEADER_SIZE, STATUS_ACTIVE, STATUS_FREE,
+    encode_record_id, read_le, write_le, HDR_GROUP, HDR_NEXT, HDR_PREV, HDR_RECORD_ID, HDR_STATUS,
+    LINK_NONE, RECORD_HEADER_SIZE, STATUS_ACTIVE, STATUS_FREE,
 };
 use crate::taint::{TaintKind, TaintMap};
 
@@ -143,15 +143,7 @@ impl Database {
 
         let golden = region.clone();
         let alloc_hints = vec![0; catalog.table_count()];
-        Ok(Database {
-            region,
-            golden,
-            catalog,
-            meta,
-            stats,
-            taint: TaintMap::new(),
-            alloc_hints,
-        })
+        Ok(Database { region, golden, catalog, meta, stats, taint: TaintMap::new(), alloc_hints })
     }
 
     /// The parsed (trusted) catalog. The audit process holds layout
@@ -232,12 +224,8 @@ impl Database {
     }
 
     fn check_bounds(&self, offset: usize, len: usize) -> Result<(), DbError> {
-        if offset.checked_add(len).map_or(true, |end| end > self.region.len()) {
-            return Err(DbError::OutOfBounds {
-                offset,
-                len,
-                region: self.region.len(),
-            });
+        if offset.checked_add(len).is_none_or(|end| end > self.region.len()) {
+            return Err(DbError::OutOfBounds { offset, len, region: self.region.len() });
         }
         Ok(())
     }
@@ -267,6 +255,123 @@ impl Database {
     /// golden image tracks intent.
     pub(crate) fn commit_golden(&mut self, offset: usize, len: usize) {
         self.golden[offset..offset + len].copy_from_slice(&self.region[offset..offset + len]);
+    }
+
+    // ------------------------------------------------------------------
+    // Repair API (used by the recovery engine).
+    //
+    // Each method performs exactly one narrowly scoped repair and
+    // returns the byte extent it rewrote, so the caller can resolve
+    // taints over that extent, log the repair and re-run the
+    // originating audit element against it. Error history is recorded
+    // via `note_errors_detected` by the caller, keeping the
+    // prioritized-audit feedback loop intact.
+    // ------------------------------------------------------------------
+
+    /// CRC-32 block diff of `[offset, offset+len)` against the golden
+    /// disk image: the range is cut into `block_size`-byte blocks and
+    /// the extents of the mismatching blocks are returned. Restoring
+    /// only dirty blocks keeps large static regions repairable within a
+    /// small per-cycle budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn golden_block_diff(
+        &self,
+        offset: usize,
+        len: usize,
+        block_size: usize,
+    ) -> Vec<(usize, usize)> {
+        assert!(block_size > 0, "block size must be positive");
+        let end = (offset + len).min(self.region.len());
+        let mut dirty = Vec::new();
+        let mut at = offset.min(end);
+        while at < end {
+            let block_len = block_size.min(end - at);
+            let live = crate::crc::crc32(&self.region[at..at + block_len]);
+            let gold = crate::crc::crc32(&self.golden[at..at + block_len]);
+            if live != gold {
+                dirty.push((at, block_len));
+            }
+            at += block_len;
+        }
+        dirty
+    }
+
+    /// Restores one static block from the golden disk image, returning
+    /// the restored extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] if the range leaves the region.
+    pub fn restore_static_block(
+        &mut self,
+        offset: usize,
+        len: usize,
+    ) -> Result<(usize, usize), DbError> {
+        self.reload_range(offset, len)?;
+        Ok((offset, len))
+    }
+
+    /// Restores one record slot (header and fields) from the golden
+    /// disk image, returning the restored extent. For dynamic tables
+    /// the golden image holds a formatted free slot, so this doubles as
+    /// record re-initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn restore_record(&mut self, rec: RecordRef) -> Result<(usize, usize), DbError> {
+        let base = self.record_offset(rec)?;
+        let size = self.record_size(rec.table)?;
+        self.reload_range(base, size)?;
+        let hint = &mut self.alloc_hints[rec.table.0 as usize];
+        *hint = (*hint).min(rec.index);
+        Ok((base, size))
+    }
+
+    /// Resets one field to its catalog default, returning the field's
+    /// extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`], [`DbError::BadRecordIndex`]
+    /// or [`DbError::UnknownField`].
+    pub fn reset_field_to_default(
+        &mut self,
+        rec: RecordRef,
+        field: FieldId,
+    ) -> Result<(usize, usize), DbError> {
+        let default = self.catalog.field(rec.table, field)?.default;
+        self.write_field_raw(rec, field, default)?;
+        self.field_extent(rec, field)
+    }
+
+    /// Rebuilds one record header from its computed offset: the record
+    /// id is re-derived, an impossible status byte resolves to
+    /// [`STATUS_FREE`], and out-of-range links are cleared. Returns the
+    /// header's extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    pub fn rebuild_header(&mut self, rec: RecordRef) -> Result<(usize, usize), DbError> {
+        let record_count = self.catalog.table(rec.table)?.def.record_count;
+        let mut hdr = self.header(rec)?;
+        hdr.record_id = encode_record_id(rec.table.0, rec.index);
+        if hdr.status != STATUS_ACTIVE && hdr.status != STATUS_FREE {
+            hdr.status = STATUS_FREE;
+        }
+        if hdr.next != LINK_NONE && (hdr.next as u32) >= record_count {
+            hdr.next = LINK_NONE;
+        }
+        if hdr.prev != LINK_NONE && (hdr.prev as u32) >= record_count {
+            hdr.prev = LINK_NONE;
+        }
+        self.write_header(rec, hdr)?;
+        let base = self.record_offset(rec)?;
+        Ok((base, RECORD_HEADER_SIZE))
     }
 
     // ------------------------------------------------------------------
@@ -484,10 +589,9 @@ impl Database {
     /// The API calls this on every instrumented operation; harnesses
     /// may call it directly to synthesize access patterns.
     pub fn note_access(&mut self, rec: RecordRef, pid: Pid, at: SimTime, write: bool) {
-        if let (Some(per_table), Some(stats)) = (
-            self.meta.get_mut(rec.table.0 as usize),
-            self.stats.get_mut(rec.table.0 as usize),
-        ) {
+        if let (Some(per_table), Some(stats)) =
+            (self.meta.get_mut(rec.table.0 as usize), self.stats.get_mut(rec.table.0 as usize))
+        {
             if let Some(m) = per_table.get_mut(rec.index as usize) {
                 m.last_access = at;
                 if write {
@@ -593,13 +697,16 @@ impl Database {
                         } else if hdr_byte < HDR_PREV + 2 {
                             (HDR_PREV, hdr_byte - HDR_PREV)
                         } else {
-                            return if active { TaintKind::DynamicUnruled } else { TaintKind::Slack };
+                            return if active {
+                                TaintKind::DynamicUnruled
+                            } else {
+                                TaintKind::Slack
+                            };
                         };
                         let base = tm.record_offset(index);
                         let current = read_le(&self.region[base + link_off..], 2) as u16;
                         let flipped = current ^ (1u16 << (bit as usize + shift * 8));
-                        let invalid =
-                            flipped != LINK_NONE && flipped as u32 >= tm.def.record_count;
+                        let invalid = flipped != LINK_NONE && flipped as u32 >= tm.def.record_count;
                         return if invalid {
                             TaintKind::Structural
                         } else if active {
@@ -667,9 +774,7 @@ impl Database {
             if in_rec < RECORD_HEADER_SIZE {
                 return TaintKind::Structural;
             }
-            let active = self
-                .is_active(RecordRef::new(tm.id, index))
-                .unwrap_or(false);
+            let active = self.is_active(RecordRef::new(tm.id, index)).unwrap_or(false);
             for (fi, f) in tm.def.fields.iter().enumerate() {
                 let fo = tm.field_offsets[fi];
                 if in_rec >= fo && in_rec < fo + f.width.bytes() {
@@ -816,10 +921,7 @@ mod tests {
         let len = db.region_len();
         assert!(matches!(db.peek(len, 1), Err(DbError::OutOfBounds { .. })));
         assert!(matches!(db.flip_bit(len, 0), Err(DbError::OutOfBounds { .. })));
-        assert!(matches!(
-            db.peek(usize::MAX, 2),
-            Err(DbError::OutOfBounds { .. })
-        ));
+        assert!(matches!(db.peek(usize::MAX, 2), Err(DbError::OutOfBounds { .. })));
         assert!(matches!(
             db.record_offset(RecordRef::new(TableId(1), 99)),
             Err(DbError::BadRecordIndex { .. })
@@ -835,22 +937,16 @@ mod tests {
         let cfg_off = db.record_offset(RecordRef::new(TableId(0), 0)).unwrap();
         assert_eq!(db.classify_offset(cfg_off), TaintKind::Structural);
         // Static field data.
-        let (f_off, _) = db
-            .field_extent(RecordRef::new(TableId(0), 0), FieldId(0))
-            .unwrap();
+        let (f_off, _) = db.field_extent(RecordRef::new(TableId(0), 0), FieldId(0)).unwrap();
         assert_eq!(db.classify_offset(f_off), TaintKind::StaticData);
         // Dynamic, free record: slack.
-        let (d_off, _) = db
-            .field_extent(RecordRef::new(TableId(1), 0), FieldId(0))
-            .unwrap();
+        let (d_off, _) = db.field_extent(RecordRef::new(TableId(1), 0), FieldId(0)).unwrap();
         assert_eq!(db.classify_offset(d_off), TaintKind::Slack);
         // Activate it: ruled (has range) and unruled fields.
         let i = db.alloc_record_raw(TableId(1)).unwrap();
         assert_eq!(i, 0);
         assert_eq!(db.classify_offset(d_off), TaintKind::DynamicRuled);
-        let (u_off, _) = db
-            .field_extent(RecordRef::new(TableId(1), 0), FieldId(2))
-            .unwrap();
+        let (u_off, _) = db.field_extent(RecordRef::new(TableId(1), 0), FieldId(2)).unwrap();
         assert_eq!(db.classify_offset(u_off), TaintKind::DynamicUnruled);
         // Header of a dynamic record is structural even when free.
         let hdr_off = db.record_offset(RecordRef::new(TableId(1), 1)).unwrap();

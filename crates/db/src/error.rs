@@ -78,11 +78,9 @@ impl fmt::Display for DbError {
                 write!(f, "record {i} in table {} is not active", t.0)
             }
             DbError::TableFull(t) => write!(f, "table {} has no free records", t.0),
-            DbError::LockHeld { table, index, holder } => write!(
-                f,
-                "record {index} in table {} is locked by {holder}",
-                table.0
-            ),
+            DbError::LockHeld { table, index, holder } => {
+                write!(f, "record {index} in table {} is locked by {holder}", table.0)
+            }
             DbError::NotConnected(pid) => {
                 write!(f, "client {pid} has no open database connection")
             }

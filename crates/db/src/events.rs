@@ -38,10 +38,7 @@ impl DbOp {
     /// the paper uses to trigger event-driven audits ("database write
     /// in the current implementation").
     pub fn is_write(self) -> bool {
-        matches!(
-            self,
-            DbOp::WriteRec | DbOp::WriteFld | DbOp::Move | DbOp::Alloc | DbOp::Free
-        )
+        matches!(self, DbOp::WriteRec | DbOp::WriteFld | DbOp::Move | DbOp::Alloc | DbOp::Free)
     }
 }
 

@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn le_round_trip_all_widths() {
         let mut buf = [0u8; 8];
-        for (width, value) in [(1usize, 0xABu64), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)] {
+        for (width, value) in
+            [(1usize, 0xABu64), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, 0x0123_4567_89AB_CDEF)]
+        {
             write_le(&mut buf, width, value);
             assert_eq!(read_le(&buf, width), value);
         }

@@ -216,7 +216,8 @@ pub fn standard_schema_with_slots(slots: u32) -> Vec<TableDef> {
                     .with_default(LINK_NONE as u64)
                     .with_link(PROCESS_TABLE),
                 FieldDef::dynamic("status", FieldWidth::U8).with_range(0, 2),
-                FieldDef::dynamic("freq_khz", FieldWidth::U32).with_range(800_000, 960_000)
+                FieldDef::dynamic("freq_khz", FieldWidth::U32)
+                    .with_range(800_000, 960_000)
                     .with_default(890_000),
                 FieldDef::dynamic("power_mw", FieldWidth::U32),
                 FieldDef::dynamic("timeslot", FieldWidth::U8).with_range(0, 31),

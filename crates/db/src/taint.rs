@@ -84,33 +84,21 @@ impl TaintMap {
     pub fn insert(&mut self, offset: usize, entry: TaintEntry) -> Option<TaintEntry> {
         let old = self.by_offset.insert(offset, entry);
         if let Some(old) = old {
-            self.resolved
-                .push((offset, old, TaintFate::Overwritten { at: entry.at }));
+            self.resolved.push((offset, old, TaintFate::Overwritten { at: entry.at }));
         }
         old
     }
 
     /// Taints overlapping `[offset, offset + len)`, in offset order.
     pub fn overlapping(&self, offset: usize, len: usize) -> Vec<(usize, TaintEntry)> {
-        self.by_offset
-            .range(offset..offset + len.max(1))
-            .map(|(&o, &e)| (o, e))
-            .collect()
+        self.by_offset.range(offset..offset + len.max(1)).map(|(&o, &e)| (o, e)).collect()
     }
 
     /// Resolves every taint overlapping the range with `fate`,
     /// returning the resolved entries.
-    pub fn resolve_range(
-        &mut self,
-        offset: usize,
-        len: usize,
-        fate: TaintFate,
-    ) -> Vec<TaintEntry> {
-        let hits: Vec<usize> = self
-            .by_offset
-            .range(offset..offset + len.max(1))
-            .map(|(&o, _)| o)
-            .collect();
+    pub fn resolve_range(&mut self, offset: usize, len: usize, fate: TaintFate) -> Vec<TaintEntry> {
+        let hits: Vec<usize> =
+            self.by_offset.range(offset..offset + len.max(1)).map(|(&o, _)| o).collect();
         let mut out = Vec::with_capacity(hits.len());
         for o in hits {
             if let Some(entry) = self.by_offset.remove(&o) {
@@ -149,11 +137,7 @@ mod tests {
     use super::*;
 
     fn entry(id: u64) -> TaintEntry {
-        TaintEntry {
-            id,
-            at: SimTime::from_secs(id),
-            kind: TaintKind::DynamicRuled,
-        }
+        TaintEntry { id, at: SimTime::from_secs(id), kind: TaintKind::DynamicRuled }
     }
 
     #[test]

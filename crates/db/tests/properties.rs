@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wtnc_db::{
-    crc32, schema, Catalog, Database, FieldDef, FieldId, FieldWidth, RecordRef, TableDef,
-    TableId, TableNature, TaintKind,
+    crc32, schema, Catalog, Database, FieldDef, FieldId, FieldWidth, RecordRef, TableDef, TableId,
+    TableNature, TaintKind,
 };
 
 fn arb_width() -> impl Strategy<Value = FieldWidth> {
@@ -28,28 +28,21 @@ fn arb_field() -> impl Strategy<Value = FieldDef> {
 }
 
 fn arb_schema() -> impl Strategy<Value = Vec<TableDef>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(arb_field(), 1..6),
-            1u32..12,
-            any::<bool>(),
-        ),
-        1..5,
-    )
-    .prop_map(|tables| {
-        tables
-            .into_iter()
-            .enumerate()
-            .map(|(i, (fields, records, config))| {
-                TableDef::new(
-                    &format!("t{i}"),
-                    if config { TableNature::Config } else { TableNature::Dynamic },
-                    records,
-                    fields,
-                )
-            })
-            .collect()
-    })
+    prop::collection::vec((prop::collection::vec(arb_field(), 1..6), 1u32..12, any::<bool>()), 1..5)
+        .prop_map(|tables| {
+            tables
+                .into_iter()
+                .enumerate()
+                .map(|(i, (fields, records, config))| {
+                    TableDef::new(
+                        &format!("t{i}"),
+                        if config { TableNature::Config } else { TableNature::Dynamic },
+                        records,
+                        fields,
+                    )
+                })
+                .collect()
+        })
 }
 
 proptest! {
@@ -297,6 +290,83 @@ mod api_sequences {
                     }
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LockTable reclamation properties
+// ---------------------------------------------------------------------------
+
+use wtnc_db::LockTable;
+use wtnc_sim::{Pid, SimDuration, SimTime};
+
+proptest! {
+    /// Reclaiming a crashed client's locks removes every lock it held
+    /// (and only those): afterwards no record reports it as holder,
+    /// the returned count matches what it held, and every other
+    /// client's locks survive untouched.
+    #[test]
+    fn release_all_leaves_no_holder_behind(
+        grants in proptest::collection::vec((0u32..40, 1u32..5), 1..60),
+        victim in 1u32..5,
+    ) {
+        let mut locks = LockTable::new();
+        let table = schema::CONNECTION_TABLE;
+        let mut held: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (i, &(index, pid)) in grants.iter().enumerate() {
+            let rec = RecordRef::new(table, index);
+            if locks
+                .acquire(rec, Pid(pid), SimTime::from_secs(i as u64))
+                .is_ok()
+            {
+                held.entry(index).or_insert(pid);
+            }
+        }
+        let victim_count = held.values().filter(|&&p| p == victim).count();
+        let released = locks.release_all(Pid(victim));
+        prop_assert_eq!(released, victim_count);
+        for (&index, &pid) in &held {
+            let holder = locks.holder(RecordRef::new(table, index));
+            if pid == victim {
+                prop_assert_eq!(holder, None, "record {index} still held by the crashed client");
+            } else {
+                prop_assert_eq!(holder, Some(Pid(pid)), "bystander lock on {index} lost");
+            }
+        }
+        // Reclaiming again finds nothing.
+        prop_assert_eq!(locks.release_all(Pid(victim)), 0);
+    }
+
+    /// `stale` reports exactly the locks held longer than the
+    /// threshold, sorted by record, and never the fresh ones.
+    #[test]
+    fn stale_reports_exactly_the_old_locks(
+        ages in proptest::collection::vec(0u64..100, 1..30),
+        threshold in 0u64..100,
+    ) {
+        let mut locks = LockTable::new();
+        let table = schema::CONNECTION_TABLE;
+        let now = SimTime::from_secs(100);
+        for (i, &age) in ages.iter().enumerate() {
+            let rec = RecordRef::new(table, i as u32);
+            locks
+                .acquire(rec, Pid(7), SimTime::from_secs(100 - age))
+                .unwrap();
+        }
+        let stale = locks.stale(now, SimDuration::from_secs(threshold));
+        let expected: Vec<u32> = ages
+            .iter()
+            .enumerate()
+            .filter(|&(_, &age)| age > threshold)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let got: Vec<u32> = stale.iter().map(|&(r, _, _)| r.index).collect();
+        prop_assert_eq!(got, expected, "stale set mismatch at threshold {threshold}");
+        for &(rec, pid, since) in &stale {
+            prop_assert_eq!(pid, Pid(7));
+            prop_assert!(now.saturating_since(since) > SimDuration::from_secs(threshold));
+            prop_assert_eq!(locks.holder(rec), Some(pid), "stale lock not actually held");
         }
     }
 }

@@ -49,10 +49,7 @@ pub fn table10(
     client_fraction: f64,
 ) -> Table10 {
     assert_eq!(client_columns.len(), 4, "four campaign columns expected");
-    assert!(
-        (0.0..=1.0).contains(&client_fraction),
-        "client fraction must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&client_fraction), "client fraction must be a probability");
     let db_cov = |r: &DbCampaignResult| r.caught_pct() + r.no_effect_pct();
     let db_coverage = [
         db_cov(db_without_audit), // without audit

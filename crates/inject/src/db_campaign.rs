@@ -187,20 +187,13 @@ fn catalog_broken(db: &Database) -> bool {
 /// Runs one §5.1 experiment run and returns its result.
 pub fn run_once(config: &DbCampaignConfig, seed: u64) -> DbCampaignResult {
     let mut rng = SimRng::seed_from(seed);
-    let mut db = Database::build(schema::standard_schema_with_slots(config.slots))
-        .expect("schema builds");
-    let mut api = if config.audits {
-        DbApi::new()
-    } else {
-        DbApi::without_instrumentation()
-    };
+    let mut db =
+        Database::build(schema::standard_schema_with_slots(config.slots)).expect("schema builds");
+    let mut api = if config.audits { DbApi::new() } else { DbApi::without_instrumentation() };
     let mut registry = ProcessRegistry::new();
     let mut audit = config.audits.then(|| {
         let mut audit = AuditProcess::new(
-            AuditConfig {
-                periodic_interval: config.audit_period,
-                ..AuditConfig::default()
-            },
+            AuditConfig { periodic_interval: config.audit_period, ..AuditConfig::default() },
             &db,
         );
         if config.selective_monitoring {
@@ -223,10 +216,7 @@ pub fn run_once(config: &DbCampaignConfig, seed: u64) -> DbCampaignResult {
 
     let mut queue: EventQueue<Ev> = EventQueue::new();
     queue.schedule(SimTime::ZERO + client.next_arrival_gap(), Ev::Arrival);
-    queue.schedule(
-        SimTime::ZERO + rng.exponential(config.error_iat),
-        Ev::Inject,
-    );
+    queue.schedule(SimTime::ZERO + rng.exponential(config.error_iat), Ev::Inject);
     if config.audits {
         queue.schedule(SimTime::ZERO + config.audit_period, Ev::AuditTick);
     }
@@ -247,10 +237,7 @@ pub fn run_once(config: &DbCampaignConfig, seed: u64) -> DbCampaignResult {
                     Some((handle, setup)) => {
                         let call_duration = client.next_call_duration();
                         queue.schedule(now + setup + call_duration, Ev::End(handle));
-                        queue.schedule(
-                            now + setup + client.config().poll_period,
-                            Ev::Poll(handle),
-                        );
+                        queue.schedule(now + setup + client.config().poll_period, Ev::Poll(handle));
                     }
                     None => {
                         // Fatal catalog corruption takes the whole
@@ -293,10 +280,7 @@ pub fn run_once(config: &DbCampaignConfig, seed: u64) -> DbCampaignResult {
                 let bit = (rng.bits() % 8) as u8;
                 let kind = db.classify_injection(offset, bit);
                 db.flip_bit(offset, bit).expect("offset within region");
-                db.taint_mut().insert(
-                    offset,
-                    TaintEntry { id: next_taint_id, at: now, kind },
-                );
+                db.taint_mut().insert(offset, TaintEntry { id: next_taint_id, at: now, kind });
                 next_taint_id += 1;
                 injected += 1;
                 queue.schedule(now + rng.exponential(config.error_iat), Ev::Inject);
@@ -326,20 +310,10 @@ fn classify(
 
     // Element attribution by taint id.
     let caught_by: std::collections::HashMap<u64, AuditElementKind> = audit
-        .map(|a| {
-            a.catch_log()
-                .iter()
-                .map(|&(entry, kind, _)| (entry.id, kind))
-                .collect()
-        })
+        .map(|a| a.catch_log().iter().map(|&(entry, kind, _)| (entry.id, kind)).collect())
         .unwrap_or_default();
     let caught_at: std::collections::HashMap<u64, SimTime> = audit
-        .map(|a| {
-            a.catch_log()
-                .iter()
-                .map(|&(entry, _, at)| (entry.id, at))
-                .collect()
-        })
+        .map(|a| a.catch_log().iter().map(|&(entry, _, at)| (entry.id, at)).collect())
         .unwrap_or_default();
 
     for &(_offset, entry, fate) in db.taint().resolved() {
@@ -392,11 +366,10 @@ fn classify(
 pub fn run_campaign(config: &DbCampaignConfig, runs: usize) -> DbCampaignResult {
     let mut rng = SimRng::seed_from(config.seed);
     let seeds: Vec<u64> = (0..runs).map(|_| rng.bits()).collect();
-    let results = crate::parallel::run_seeded(
-        &seeds,
-        crate::parallel::default_workers(),
-        |_, seed| run_once(config, seed),
-    );
+    let results =
+        crate::parallel::run_seeded(&seeds, crate::parallel::default_workers(), |_, seed| {
+            run_once(config, seed)
+        });
     let mut total = DbCampaignResult::default();
     let mut setup = Accumulator::new();
     let mut latency = Accumulator::new();
@@ -520,12 +493,7 @@ mod tests {
         let slow = run_campaign(&short(true, 20), 3);
         let fast = run_campaign(&short(true, 2), 3);
         assert!(fast.injected > 3 * slow.injected);
-        assert!(
-            fast.escaped > slow.escaped,
-            "fast {} !> slow {}",
-            fast.escaped,
-            slow.escaped
-        );
+        assert!(fast.escaped > slow.escaped, "fast {} !> slow {}", fast.escaped, slow.escaped);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! chronologically: the first detection (PECOS, audit, or a crash
 //! signal) claims the run. [`coverage`] combines both families into
 //! the system-wide coverage estimate of Table 10.
+//!
+//! A third family ([`recovery_campaign`]) drives the staged
+//! detect→repair→verify engine of `wtnc-recovery`: the audit subsystem
+//! runs detect-only, the engine repairs under a per-cycle token budget,
+//! and the table grows the [`RunOutcome::DetectedRepaired`] and
+//! [`RunOutcome::RepairFailed`] classes plus repair-latency statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +35,7 @@ mod models;
 mod outcome;
 pub mod parallel;
 pub mod priority_campaign;
+pub mod recovery_campaign;
 pub mod text_campaign;
 
 pub use models::ErrorModel;

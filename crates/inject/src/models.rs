@@ -26,12 +26,8 @@ pub enum ErrorModel {
 
 impl ErrorModel {
     /// All four models, in the paper's order.
-    pub const ALL: [ErrorModel; 4] = [
-        ErrorModel::Addif,
-        ErrorModel::Dataif,
-        ErrorModel::Dataof,
-        ErrorModel::Datainf,
-    ];
+    pub const ALL: [ErrorModel; 4] =
+        [ErrorModel::Addif, ErrorModel::Dataif, ErrorModel::Dataof, ErrorModel::Datainf];
 
     /// Computes the corrupted word for the instruction at `addr`.
     /// `text` is the (uncorrupted) text segment.
@@ -125,10 +121,7 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         for _ in 0..200 {
             let corrupted = ErrorModel::Addif.corrupt(&text, 7, &mut rng);
-            assert!(
-                text.contains(&corrupted),
-                "ADDIF must fetch a word that exists in the stream"
-            );
+            assert!(text.contains(&corrupted), "ADDIF must fetch a word that exists in the stream");
         }
     }
 

@@ -27,11 +27,19 @@ pub enum RunOutcome {
     /// The client wrote incorrect data to the shared database — the
     /// major error-propagation channel.
     FailSilenceViolation,
+    /// The recovery engine repaired the detected error and the
+    /// originating audit element verified the repair (the audit loop
+    /// closed end to end).
+    DetectedRepaired,
+    /// The recovery engine attempted a repair but it never passed
+    /// verification, even at the top of the escalation ladder.
+    RepairFailed,
 }
 
 impl RunOutcome {
-    /// The categories in the paper's table order.
-    pub const ALL: [RunOutcome; 7] = [
+    /// The categories in the paper's table order, extended with the
+    /// recovery-engine classes.
+    pub const ALL: [RunOutcome; 9] = [
         RunOutcome::NotActivated,
         RunOutcome::NotManifested,
         RunOutcome::PecosDetection,
@@ -39,6 +47,8 @@ impl RunOutcome {
         RunOutcome::SystemDetection,
         RunOutcome::ClientHang,
         RunOutcome::FailSilenceViolation,
+        RunOutcome::DetectedRepaired,
+        RunOutcome::RepairFailed,
     ];
 }
 
@@ -52,6 +62,8 @@ impl fmt::Display for RunOutcome {
             RunOutcome::SystemDetection => "System Detection",
             RunOutcome::ClientHang => "Client Hang",
             RunOutcome::FailSilenceViolation => "Fail-silence Violation",
+            RunOutcome::DetectedRepaired => "Detected and Repaired",
+            RunOutcome::RepairFailed => "Repair Failed",
         };
         f.write_str(s)
     }
@@ -60,7 +72,7 @@ impl fmt::Display for RunOutcome {
 /// Aggregated outcome counts for one campaign.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutcomeCounts {
-    counts: [u64; 7],
+    counts: [u64; 9],
 }
 
 impl OutcomeCounts {
@@ -70,10 +82,7 @@ impl OutcomeCounts {
     }
 
     fn slot(outcome: RunOutcome) -> usize {
-        RunOutcome::ALL
-            .iter()
-            .position(|&o| o == outcome)
-            .expect("outcome is in ALL")
+        RunOutcome::ALL.iter().position(|&o| o == outcome).expect("outcome is in ALL")
     }
 
     /// Records one run.
@@ -111,8 +120,9 @@ impl OutcomeCounts {
     }
 
     /// The paper's system-wide coverage formula:
-    /// `100% − (SystemDetection + FailSilence + Hang)%` of activated
-    /// errors.
+    /// `100% − (SystemDetection + FailSilence + Hang + RepairFailed)%`
+    /// of activated errors. `DetectedRepaired` counts as covered;
+    /// a failed repair left the error in place and does not.
     pub fn coverage(&self) -> f64 {
         let activated = self.activated();
         if activated == 0 {
@@ -120,7 +130,8 @@ impl OutcomeCounts {
         }
         let uncovered = self.count(RunOutcome::SystemDetection)
             + self.count(RunOutcome::FailSilenceViolation)
-            + self.count(RunOutcome::ClientHang);
+            + self.count(RunOutcome::ClientHang)
+            + self.count(RunOutcome::RepairFailed);
         100.0 * (1.0 - uncovered as f64 / activated as f64)
     }
 }
@@ -175,9 +186,6 @@ mod tests {
     #[test]
     fn display_matches_paper_wording() {
         assert_eq!(RunOutcome::PecosDetection.to_string(), "PECOS Detection");
-        assert_eq!(
-            RunOutcome::FailSilenceViolation.to_string(),
-            "Fail-silence Violation"
-        );
+        assert_eq!(RunOutcome::FailSilenceViolation.to_string(), "Fail-silence Violation");
     }
 }

@@ -33,12 +33,12 @@ where
     // indexing through a Mutex-free channel: collect (index, result)
     // pairs per worker and merge afterwards.
     let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut acc = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -54,23 +54,17 @@ where
         for h in handles {
             per_worker.push(h.join().expect("campaign worker panicked"));
         }
-    })
-    .expect("campaign scope panicked");
+    });
 
     for (i, r) in per_worker.into_iter().flatten() {
         slots[i] = Some(r);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every run produced a result"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("every run produced a result")).collect()
 }
 
 /// A reasonable worker count for campaign runs.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 #[cfg(test)]

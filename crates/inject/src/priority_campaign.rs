@@ -158,11 +158,8 @@ pub fn run_once_with_weights(
     queue.schedule(SimTime::ZERO + rng.exponential(config.mtbf), Ev::Inject);
 
     // Pre-compute table extents for proportional placement.
-    let extents: Vec<(usize, usize)> = db
-        .catalog()
-        .tables()
-        .map(|tm| (tm.offset, tm.data_len()))
-        .collect();
+    let extents: Vec<(usize, usize)> =
+        db.catalog().tables().map(|tm| (tm.offset, tm.data_len())).collect();
 
     let mut injected = 0u64;
     let mut next_id = 1u64;
@@ -217,8 +214,7 @@ pub fn run_once_with_weights(
                 let bit = (rng.bits() % 8) as u8;
                 let kind = db.classify_injection(offset, bit);
                 db.flip_bit(offset, bit).expect("offset within region");
-                db.taint_mut()
-                    .insert(offset, TaintEntry { id: next_id, at: now, kind });
+                db.taint_mut().insert(offset, TaintEntry { id: next_id, at: now, kind });
                 next_id += 1;
                 injected += 1;
                 queue.schedule(now + rng.exponential(config.mtbf), Ev::Inject);
@@ -228,11 +224,8 @@ pub fn run_once_with_weights(
 
     // Classify.
     let mut result = PriorityResult { injected, ..PriorityResult::default() };
-    let caught_at: std::collections::HashMap<u64, SimTime> = audit
-        .catch_log()
-        .iter()
-        .map(|&(entry, _, at)| (entry.id, at))
-        .collect();
+    let caught_at: std::collections::HashMap<u64, SimTime> =
+        audit.catch_log().iter().map(|&(entry, _, at)| (entry.id, at)).collect();
     let mut latency = Accumulator::new();
     for &(_offset, entry, fate) in db.taint().resolved() {
         match fate {
@@ -254,11 +247,10 @@ pub fn run_once_with_weights(
 pub fn run_campaign(config: &PriorityCampaignConfig, runs: usize) -> PriorityResult {
     let mut rng = SimRng::seed_from(config.seed);
     let seeds: Vec<u64> = (0..runs).map(|_| rng.bits()).collect();
-    let results = crate::parallel::run_seeded(
-        &seeds,
-        crate::parallel::default_workers(),
-        |_, seed| run_once(config, seed),
-    );
+    let results =
+        crate::parallel::run_seeded(&seeds, crate::parallel::default_workers(), |_, seed| {
+            run_once(config, seed)
+        });
     let mut total = PriorityResult::default();
     let mut latency = Accumulator::new();
     for r in results {

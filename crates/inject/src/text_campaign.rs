@@ -93,28 +93,19 @@ enum FirstEvent {
 /// Runs one injection run and classifies it.
 pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
     let mut rng = SimRng::seed_from(seed);
-    let client_cfg = AsmClientConfig {
-        iterations: config.iterations,
-        ..AsmClientConfig::default()
-    };
+    let client_cfg =
+        AsmClientConfig { iterations: config.iterations, ..AsmClientConfig::default() };
     let source = client_cfg.program_source();
     let (program, meta): (_, Option<PecosMeta>) = if config.pecos {
         let asm = wtnc_isa::asm::Assembly::parse(&source).expect("client parses");
         let inst = instrument(&asm).expect("client instruments");
         (inst.program, Some(inst.meta))
     } else {
-        (
-            wtnc_isa::asm::assemble_source(&source).expect("client assembles"),
-            None,
-        )
+        (wtnc_isa::asm::assemble_source(&source).expect("client assembles"), None)
     };
 
     let mut db = Database::build(wtnc_db::schema::standard_schema()).expect("schema builds");
-    let mut api = if config.audits {
-        DbApi::new()
-    } else {
-        DbApi::without_instrumentation()
-    };
+    let mut api = if config.audits { DbApi::new() } else { DbApi::without_instrumentation() };
     let mut registry = ProcessRegistry::new();
     let mut audit = config.audits.then(|| {
         wtnc_audit::AuditProcess::new(
@@ -309,11 +300,10 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
 pub fn run_campaign(config: &TextCampaignConfig) -> TextCampaignResult {
     let mut rng = SimRng::seed_from(config.seed);
     let seeds: Vec<u64> = (0..config.runs).map(|_| rng.bits()).collect();
-    let outcomes = crate::parallel::run_seeded(
-        &seeds,
-        crate::parallel::default_workers(),
-        |_, seed| run_one(config, seed),
-    );
+    let outcomes =
+        crate::parallel::run_seeded(&seeds, crate::parallel::default_workers(), |_, seed| {
+            run_one(config, seed)
+        });
     let mut counts = OutcomeCounts::new();
     for outcome in outcomes {
         counts.record(outcome);
@@ -369,7 +359,12 @@ pub fn four_column_table(
 mod tests {
     use super::*;
 
-    fn small(pecos: bool, audits: bool, target: InjectionTarget, model: ErrorModel) -> TextCampaignConfig {
+    fn small(
+        pecos: bool,
+        audits: bool,
+        target: InjectionTarget,
+        model: ErrorModel,
+    ) -> TextCampaignConfig {
         TextCampaignConfig {
             pecos,
             audits,
@@ -419,18 +414,10 @@ mod tests {
 
     #[test]
     fn pecos_reduces_system_detection() {
-        let without = run_campaign(&small(
-            false,
-            false,
-            InjectionTarget::DirectedCfi,
-            ErrorModel::Datainf,
-        ));
-        let with = run_campaign(&small(
-            true,
-            false,
-            InjectionTarget::DirectedCfi,
-            ErrorModel::Datainf,
-        ));
+        let without =
+            run_campaign(&small(false, false, InjectionTarget::DirectedCfi, ErrorModel::Datainf));
+        let with =
+            run_campaign(&small(true, false, InjectionTarget::DirectedCfi, ErrorModel::Datainf));
         let crash_rate = |r: &TextCampaignResult| {
             r.counts.proportion_of_activated(RunOutcome::SystemDetection).estimate()
         };

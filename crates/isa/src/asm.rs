@@ -226,7 +226,7 @@ pub fn assemble_source(src: &str) -> Result<Program, AsmError> {
 }
 
 fn strip_comment(line: &str) -> &str {
-    match line.find(|c| c == ';' || c == '#') {
+    match line.find([';', '#']) {
         Some(i) => &line[..i],
         None => line,
     }
@@ -261,11 +261,8 @@ fn parse_directive(dir: &str, line: usize) -> Result<Item, AsmError> {
             }
         }
         "targets" => {
-            let labels: Vec<String> = rest
-                .split(',')
-                .map(|s| s.trim().to_owned())
-                .filter(|s| !s.is_empty())
-                .collect();
+            let labels: Vec<String> =
+                rest.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect();
             if labels.is_empty() || !labels.iter().all(|l| is_ident(l)) {
                 return err(line, ".targets needs a comma-separated label list");
             }
@@ -340,15 +337,17 @@ fn parse_mem(tok: &str, line: usize) -> Result<(u8, i16), AsmError> {
         .and_then(|s| s.strip_suffix(']'))
         .ok_or_else(|| AsmError { line, message: format!("expected [reg+off], got {tok:?}") })?;
     let (reg_part, off) = if let Some(i) = inner.find('+') {
-        (&inner[..i], parse_int(&inner[i + 1..]).ok_or_else(|| AsmError {
-            line,
-            message: format!("invalid offset in {tok:?}"),
-        })?)
+        (
+            &inner[..i],
+            parse_int(&inner[i + 1..])
+                .ok_or_else(|| AsmError { line, message: format!("invalid offset in {tok:?}") })?,
+        )
     } else if let Some(i) = inner[1..].find('-').map(|i| i + 1) {
-        (&inner[..i], -parse_int(&inner[i + 1..]).ok_or_else(|| AsmError {
-            line,
-            message: format!("invalid offset in {tok:?}"),
-        })?)
+        (
+            &inner[..i],
+            -parse_int(&inner[i + 1..])
+                .ok_or_else(|| AsmError { line, message: format!("invalid offset in {tok:?}") })?,
+        )
     } else {
         (inner, 0)
     };
@@ -361,11 +360,7 @@ fn parse_inst(text: &str, line: usize) -> Result<Item, AsmError> {
         None => (text, ""),
     };
     let mnemonic = mnemonic.to_ascii_lowercase();
-    let ops: Vec<&str> = rest
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
 
     let need = |n: usize| -> Result<(), AsmError> {
         if ops.len() == n {
@@ -383,7 +378,7 @@ fn parse_inst(text: &str, line: usize) -> Result<Item, AsmError> {
                     .map_err(|m| AsmError { line, message: m })?,
                 target: None,
             }),
-            ImmOrLabel::Label(l) => Ok(Item::Inst { inst: inst, target: Some(l) }),
+            ImmOrLabel::Label(l) => Ok(Item::Inst { inst, target: Some(l) }),
         }
     };
 
@@ -432,16 +427,20 @@ fn parse_inst(text: &str, line: usize) -> Result<Item, AsmError> {
             need(3)?;
             let rd = parse_reg(ops[0], line)?;
             let rs = parse_reg(ops[1], line)?;
-            let v = parse_int(ops[2])
-                .ok_or_else(|| AsmError { line, message: format!("invalid immediate {:?}", ops[2]) })?;
+            let v = parse_int(ops[2]).ok_or_else(|| AsmError {
+                line,
+                message: format!("invalid immediate {:?}", ops[2]),
+            })?;
             plain(Inst::Addi { rd, rs, imm: imm_i16(v, line)? })
         }
         "andi" => {
             need(3)?;
             let rd = parse_reg(ops[0], line)?;
             let rs = parse_reg(ops[1], line)?;
-            let v = parse_int(ops[2])
-                .ok_or_else(|| AsmError { line, message: format!("invalid immediate {:?}", ops[2]) })?;
+            let v = parse_int(ops[2]).ok_or_else(|| AsmError {
+                line,
+                message: format!("invalid immediate {:?}", ops[2]),
+            })?;
             plain(Inst::Andi { rd, rs, imm: imm_u16(v, line)? })
         }
         "ld" => {
@@ -491,8 +490,10 @@ fn parse_inst(text: &str, line: usize) -> Result<Item, AsmError> {
         }
         "sys" => {
             need(1)?;
-            let v = parse_int(ops[0])
-                .ok_or_else(|| AsmError { line, message: format!("invalid syscall {:?}", ops[0]) })?;
+            let v = parse_int(ops[0]).ok_or_else(|| AsmError {
+                line,
+                message: format!("invalid syscall {:?}", ops[0]),
+            })?;
             if !(0..=255).contains(&v) {
                 return err(line, format!("syscall number {v} out of range"));
             }
@@ -527,24 +528,14 @@ mod tests {
             "#,
         )
         .unwrap();
-        let labels: Vec<_> = asm
-            .items
-            .iter()
-            .filter(|i| matches!(i, Item::Label(_)))
-            .collect();
+        let labels: Vec<_> = asm.items.iter().filter(|i| matches!(i, Item::Label(_))).collect();
         assert_eq!(labels.len(), 2);
         let program = asm.assemble().unwrap();
         assert_eq!(program.len(), 5);
         assert_eq!(program.entry, 0);
         assert_eq!(program.symbol("done"), Some(4));
-        assert_eq!(
-            decode(program.text[0]).unwrap(),
-            Inst::Movi { rd: 1, imm: 16 }
-        );
-        assert_eq!(
-            decode(program.text[2]).unwrap(),
-            Inst::Beq { rs: 1, rt: 0, addr: 4 }
-        );
+        assert_eq!(decode(program.text[0]).unwrap(), Inst::Movi { rd: 1, imm: 16 });
+        assert_eq!(decode(program.text[2]).unwrap(), Inst::Beq { rs: 1, rt: 0, addr: 4 });
     }
 
     #[test]
@@ -555,10 +546,8 @@ mod tests {
 
     #[test]
     fn memory_operands() {
-        let program = assemble_source(
-            "ld r1, [r15+2]\nld r2, [r15]\nst [r15-1], r3\nhalt\n",
-        )
-        .unwrap();
+        let program =
+            assemble_source("ld r1, [r15+2]\nld r2, [r15]\nst [r15-1], r3\nhalt\n").unwrap();
         assert_eq!(decode(program.text[0]).unwrap(), Inst::Ld { rd: 1, rs: 15, imm: 2 });
         assert_eq!(decode(program.text[1]).unwrap(), Inst::Ld { rd: 2, rs: 15, imm: 0 });
         assert_eq!(decode(program.text[2]).unwrap(), Inst::St { rs: 15, rt: 3, imm: -1 });
@@ -566,10 +555,8 @@ mod tests {
 
     #[test]
     fn words_and_label_words() {
-        let program = assemble_source(
-            "start: halt\ntable: .word 2\n.word start\n.word 0xdead\n",
-        )
-        .unwrap();
+        let program =
+            assemble_source("start: halt\ntable: .word 2\n.word start\n.word 0xdead\n").unwrap();
         assert_eq!(program.symbol("table"), Some(1));
         assert_eq!(program.text[1], 2);
         assert_eq!(program.text[2], 0); // address of start
@@ -579,7 +566,9 @@ mod tests {
     #[test]
     fn targets_directive_parses_and_emits_nothing() {
         let asm = Assembly::parse(".targets f, g\ncallr r4\nf: halt\ng: halt\n").unwrap();
-        assert!(matches!(&asm.items[0], Item::Targets(t) if t == &vec!["f".to_owned(), "g".to_owned()]));
+        assert!(
+            matches!(&asm.items[0], Item::Targets(t) if t == &vec!["f".to_owned(), "g".to_owned()])
+        );
         let program = asm.assemble().unwrap();
         assert_eq!(program.len(), 3);
     }
@@ -587,10 +576,7 @@ mod tests {
     #[test]
     fn movi_with_label_resolves_address() {
         let program = assemble_source("movi r4, func\ncallr r4\nhalt\nfunc: ret\n").unwrap();
-        assert_eq!(
-            decode(program.text[0]).unwrap(),
-            Inst::Movi { rd: 4, imm: 3 }
-        );
+        assert_eq!(decode(program.text[0]).unwrap(), Inst::Movi { rd: 4, imm: 3 });
     }
 
     #[test]

@@ -294,10 +294,7 @@ impl Inst {
 
     /// True for conditional branches (two static successors).
     pub fn is_branch(self) -> bool {
-        matches!(
-            self,
-            Inst::Beq { .. } | Inst::Bne { .. } | Inst::Blt { .. } | Inst::Bge { .. }
-        )
+        matches!(self, Inst::Beq { .. } | Inst::Bne { .. } | Inst::Blt { .. } | Inst::Bge { .. })
     }
 }
 

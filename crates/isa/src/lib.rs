@@ -59,8 +59,8 @@ mod program;
 
 pub use inst::{decode, encode, DecodeError, Inst, OPCODE_SHIFT, TARGET_MASK};
 pub use machine::{
-    ExceptionInfo, ExceptionKind, Machine, MachineConfig, NoSyscalls, StepOutcome,
-    SyscallHandler, SyscallRequest, ThreadState,
+    ExceptionInfo, ExceptionKind, Machine, MachineConfig, NoSyscalls, StepOutcome, SyscallHandler,
+    SyscallRequest, ThreadState,
 };
 pub use program::Program;
 

@@ -33,10 +33,7 @@ pub struct MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig {
-            data_words: 4_096,
-            max_pckt_table: 1_024,
-        }
+        MachineConfig { data_words: 4_096, max_pckt_table: 1_024 }
     }
 }
 
@@ -157,13 +154,7 @@ pub struct Machine {
 impl Machine {
     /// Loads a program. Threads must be spawned explicitly.
     pub fn load(program: &Program, config: MachineConfig) -> Self {
-        Machine {
-            text: program.text.clone(),
-            threads: Vec::new(),
-            config,
-            next: 0,
-            total_steps: 0,
-        }
+        Machine { text: program.text.clone(), threads: Vec::new(), config, next: 0, total_steps: 0 }
     }
 
     /// Spawns a thread at `entry` with a fresh register file and data
@@ -508,7 +499,7 @@ impl Machine {
                 if end > self.text.len() {
                     return Err(ExceptionKind::TextFault { addr: end as u32 });
                 }
-                let member = self.text[start..end].iter().any(|&t| t == value);
+                let member = self.text[start..end].contains(&value);
                 if !member {
                     return Err(ExceptionKind::DivideByZero);
                 }
@@ -628,10 +619,7 @@ mod tests {
     #[test]
     fn wild_jump_text_faults() {
         let (m, t, _) = run_program("start: jmp 9999\n", 10);
-        assert!(matches!(
-            m.thread_state(t),
-            ThreadState::Faulted(ExceptionKind::TextFault { .. })
-        ));
+        assert!(matches!(m.thread_state(t), ThreadState::Faulted(ExceptionKind::TextFault { .. })));
     }
 
     #[test]
@@ -641,10 +629,7 @@ mod tests {
         m.text_mut()[0] = 0xFF00_0000;
         let t = m.spawn_thread(0);
         m.run(&mut NoSyscalls, 10);
-        assert_eq!(
-            m.thread_state(t),
-            ThreadState::Faulted(ExceptionKind::IllegalInstruction)
-        );
+        assert_eq!(m.thread_state(t), ThreadState::Faulted(ExceptionKind::IllegalInstruction));
     }
 
     #[test]
@@ -684,10 +669,8 @@ mod tests {
 
     #[test]
     fn pckt_corrupted_count_is_failed_assertion() {
-        let p = assemble_source(
-            "start: movi r12, 5\npckt r12, tab\nhalt\ntab: .word 1\n.word 5\n",
-        )
-        .unwrap();
+        let p = assemble_source("start: movi r12, 5\npckt r12, tab\nhalt\ntab: .word 1\n.word 5\n")
+            .unwrap();
         let mut m = Machine::load(&p, MachineConfig::default());
         let tab = p.symbol("tab").unwrap() as usize;
         m.text_mut()[tab] = 0xFFFF_FFFF;

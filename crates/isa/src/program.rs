@@ -74,11 +74,7 @@ mod tests {
         symbols.insert("start".to_owned(), 0u16);
         symbols.insert("data".to_owned(), 2u16);
         let program = Program {
-            text: vec![
-                encode(Inst::Movi { rd: 1, imm: 5 }),
-                encode(Inst::Halt),
-                0xFFFF_FFFF,
-            ],
+            text: vec![encode(Inst::Movi { rd: 1, imm: 5 }), encode(Inst::Halt), 0xFFFF_FFFF],
             symbols,
             entry: 0,
         };

@@ -29,14 +29,10 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rs, rt, imm)| Inst::St { rs, rt, imm }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, addr)| Inst::Ldt { rd, addr }),
         any::<u16>().prop_map(|addr| Inst::Jmp { addr }),
-        (arb_reg(), arb_reg(), any::<u16>())
-            .prop_map(|(rs, rt, addr)| Inst::Beq { rs, rt, addr }),
-        (arb_reg(), arb_reg(), any::<u16>())
-            .prop_map(|(rs, rt, addr)| Inst::Bne { rs, rt, addr }),
-        (arb_reg(), arb_reg(), any::<u16>())
-            .prop_map(|(rs, rt, addr)| Inst::Blt { rs, rt, addr }),
-        (arb_reg(), arb_reg(), any::<u16>())
-            .prop_map(|(rs, rt, addr)| Inst::Bge { rs, rt, addr }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rs, rt, addr)| Inst::Beq { rs, rt, addr }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rs, rt, addr)| Inst::Bne { rs, rt, addr }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rs, rt, addr)| Inst::Blt { rs, rt, addr }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rs, rt, addr)| Inst::Bge { rs, rt, addr }),
         any::<u16>().prop_map(|addr| Inst::Call { addr }),
         arb_reg().prop_map(|rs| Inst::Callr { rs }),
         arb_reg().prop_map(|rs| Inst::Jr { rs }),

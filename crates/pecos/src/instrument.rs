@@ -76,12 +76,8 @@ impl PecosMeta {
     /// concludes that a control flow error raised the signal").
     pub fn is_assertion_pc(&self, pc: u16) -> bool {
         // Ranges are sorted and disjoint.
-        let idx = self
-            .assertion_ranges
-            .partition_point(|&(_, end)| end <= pc);
-        self.assertion_ranges
-            .get(idx)
-            .is_some_and(|&(start, _)| pc >= start)
+        let idx = self.assertion_ranges.partition_point(|&(_, end)| end <= pc);
+        self.assertion_ranges.get(idx).is_some_and(|&(start, _)| pc >= start)
     }
 
     /// Fractional size overhead of the instrumentation.
@@ -177,9 +173,7 @@ pub fn instrument(input: &Assembly) -> Result<Instrumented, PecosError> {
                 match inst {
                     // Single static target: Figure 7 degenerate case.
                     Inst::Jmp { .. } | Inst::Call { .. } => {
-                        let t = target
-                            .clone()
-                            .ok_or(PecosError::NumericCfiTarget { item: idx })?;
+                        let t = target.clone().ok_or(PecosError::NumericCfiTarget { item: idx })?;
                         out.push(ldt(r12, &cfi));
                         out.push(plain(Inst::Andi { rd: r12, rs: r12, imm: 0xFFFF }));
                         out.push(movi_label(r13, &t));
@@ -190,9 +184,7 @@ pub fn instrument(input: &Assembly) -> Result<Instrumented, PecosError> {
                     // Conditional branch: two valid targets (taken and
                     // fall-through) — the literal Figure 7 formula.
                     Inst::Beq { .. } | Inst::Bne { .. } | Inst::Blt { .. } | Inst::Bge { .. } => {
-                        let t = target
-                            .clone()
-                            .ok_or(PecosError::NumericCfiTarget { item: idx })?;
+                        let t = target.clone().ok_or(PecosError::NumericCfiTarget { item: idx })?;
                         let ft = fresh(&mut n, "ft");
                         out.push(ldt(r12, &cfi));
                         out.push(plain(Inst::Andi { rd: r12, rs: r12, imm: 0xFFFF }));
@@ -285,9 +277,7 @@ pub fn instrument(input: &Assembly) -> Result<Instrumented, PecosError> {
     out.extend(tables);
 
     let assembly = Assembly { items: out };
-    let program = assembly
-        .assemble()
-        .map_err(|e| PecosError::Assemble(e.to_string()))?;
+    let program = assembly.assemble().map_err(|e| PecosError::Assemble(e.to_string()))?;
 
     let original_words: usize = input.items.iter().map(|i| i.size() as usize).sum();
     let mut assertion_ranges: Vec<(u16, u16)> = block_labels
@@ -326,17 +316,11 @@ fn plain(inst: Inst) -> Item {
 }
 
 fn ldt(rd: u8, label: &str) -> Item {
-    Item::Inst {
-        inst: Inst::Ldt { rd, addr: 0 },
-        target: Some(label.to_owned()),
-    }
+    Item::Inst { inst: Inst::Ldt { rd, addr: 0 }, target: Some(label.to_owned()) }
 }
 
 fn movi_label(rd: u8, label: &str) -> Item {
-    Item::Inst {
-        inst: Inst::Movi { rd, imm: 0 },
-        target: Some(label.to_owned()),
-    }
+    Item::Inst { inst: Inst::Movi { rd, imm: 0 }, target: Some(label.to_owned()) }
 }
 
 #[cfg(test)]
@@ -393,12 +377,7 @@ mod tests {
     #[test]
     fn assertion_ranges_cover_assertion_pcs_only() {
         let inst = instrument_source(BRANCHY).unwrap();
-        let total: usize = inst
-            .meta
-            .assertion_ranges
-            .iter()
-            .map(|&(s, e)| (e - s) as usize)
-            .sum();
+        let total: usize = inst.meta.assertion_ranges.iter().map(|&(s, e)| (e - s) as usize).sum();
         assert!(total > 0);
         for &(s, e) in &inst.meta.assertion_ranges {
             assert!(s < e);
@@ -415,9 +394,7 @@ mod tests {
         let mut m = Machine::load(&inst.program, MachineConfig::default());
         // Find the bne and corrupt its target field.
         let bne_addr = (0..inst.program.len())
-            .find(|&a| {
-                matches!(wtnc_isa::decode(inst.program.text[a]), Ok(Inst::Bne { .. }))
-            })
+            .find(|&a| matches!(wtnc_isa::decode(inst.program.text[a]), Ok(Inst::Bne { .. })))
             .unwrap();
         m.text_mut()[bne_addr] ^= 0x0000_0008; // flip a target bit
         let t = m.spawn_thread(inst.program.entry);
@@ -561,10 +538,7 @@ mod tests {
     #[test]
     fn numeric_cfi_target_rejected() {
         let asm = Assembly::parse("start: jmp 0\n").unwrap();
-        assert!(matches!(
-            instrument(&asm),
-            Err(PecosError::NumericCfiTarget { .. })
-        ));
+        assert!(matches!(instrument(&asm), Err(PecosError::NumericCfiTarget { .. })));
     }
 
     #[test]

@@ -62,7 +62,9 @@ mod tests {
 
         // Corrupt the branch target so the assertion fires.
         let bne = (0..inst.program.len())
-            .find(|&a| matches!(wtnc_isa::decode(inst.program.text[a]), Ok(wtnc_isa::Inst::Bne { .. })))
+            .find(|&a| {
+                matches!(wtnc_isa::decode(inst.program.text[a]), Ok(wtnc_isa::Inst::Bne { .. }))
+            })
             .unwrap();
         m.text_mut()[bne] ^= 0x0000_1000;
 
@@ -95,10 +97,7 @@ mod tests {
         let StepOutcome::Exception(info) = out else {
             panic!("expected an exception");
         };
-        assert_eq!(
-            handle_exception(&mut m, &inst.meta, info),
-            PecosVerdict::SystemFault
-        );
+        assert_eq!(handle_exception(&mut m, &inst.meta, info), PecosVerdict::SystemFault);
         // The machine is untouched: the thread is still faulted, not
         // killed, awaiting the crash policy.
         assert!(matches!(m.thread_state(t), ThreadState::Faulted(_)));

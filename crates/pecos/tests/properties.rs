@@ -48,10 +48,7 @@ fn arb_program() -> impl Strategy<Value = String> {
                 src.push_str("    movi r4, leaf_0\n");
                 src.push_str(&format!(
                     "    .targets {}\n",
-                    (0..leaves.len())
-                        .map(|k| format!("leaf_{k}"))
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    (0..leaves.len()).map(|k| format!("leaf_{k}")).collect::<Vec<_>>().join(", ")
                 ));
                 src.push_str("    callr r4\n");
                 any_call = true;

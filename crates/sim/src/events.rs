@@ -82,11 +82,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
     }
 
     /// The current simulated time: the timestamp of the last event
@@ -120,11 +116,7 @@ impl<E> EventQueue<E> {
     pub fn pop_scheduled(&mut self) -> Option<ScheduledEvent<E>> {
         let entry = self.heap.pop()?;
         self.now = entry.at;
-        Some(ScheduledEvent {
-            at: entry.at,
-            seq: entry.seq,
-            event: entry.event,
-        })
+        Some(ScheduledEvent { at: entry.at, seq: entry.seq, event: entry.event })
     }
 
     /// Timestamp of the next event without removing it.

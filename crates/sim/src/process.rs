@@ -78,10 +78,7 @@ pub struct ProcessRegistry {
 impl ProcessRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        ProcessRegistry {
-            procs: BTreeMap::new(),
-            next_pid: 1,
-        }
+        ProcessRegistry { procs: BTreeMap::new(), next_pid: 1 }
     }
 
     /// Spawns a new process and returns its [`Pid`].
@@ -169,10 +166,7 @@ impl ProcessRegistry {
 
     /// Iterates over all live processes.
     pub fn alive(&self) -> impl Iterator<Item = Pid> + '_ {
-        self.procs
-            .iter()
-            .filter(|(_, e)| e.state == ProcessState::Alive)
-            .map(|(pid, _)| *pid)
+        self.procs.iter().filter(|(_, e)| e.state == ProcessState::Alive).map(|(pid, _)| *pid)
     }
 
     /// Total processes ever spawned.
@@ -241,9 +235,6 @@ mod tests {
         let p = reg.spawn("p", SimTime::from_secs(2));
         assert_eq!(reg.lifetime(p), Some((SimTime::from_secs(2), None)));
         reg.crash(p, SimTime::from_secs(9));
-        assert_eq!(
-            reg.lifetime(p),
-            Some((SimTime::from_secs(2), Some(SimTime::from_secs(9))))
-        );
+        assert_eq!(reg.lifetime(p), Some((SimTime::from_secs(2), Some(SimTime::from_secs(9)))));
     }
 }

@@ -1,17 +1,17 @@
 //! Seeded random-number generation with the distributions the paper's
 //! experiments use.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
 
 /// A deterministic random-number generator for simulation runs.
 ///
-/// Wraps a seeded [`SmallRng`] and offers the paper's distributions:
+/// A self-contained xoshiro256++ generator (seeded through SplitMix64,
+/// as its authors recommend) offering the paper's distributions:
 /// exponential inter-arrival times (error and call arrivals), uniform
 /// placement (bit flips in the database image), integer ranges, and
 /// weighted choice (proportional error placement, prioritized tables).
+/// Being dependency-free keeps campaign streams bit-identical across
+/// toolchains and builds.
 ///
 /// # Example
 ///
@@ -24,22 +24,52 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One SplitMix64 step: seeds the xoshiro state without the
+/// correlated-low-bit pitfalls of using the raw seed directly.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed. Equal seeds yield equal
     /// streams, which is what makes campaign runs reproducible.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Derives an independent child generator. Used to give each
     /// experiment run its own stream without correlated draws.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.next_u64())
+    }
+
+    /// The xoshiro256++ core step.
+    fn next_u64(&mut self) -> u64 {
+        let result =
+            self.state[0].wrapping_add(self.state[3]).rotate_left(23).wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// A uniform `u64` in `[lo, hi)`.
@@ -49,7 +79,16 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Rejection-sample away the modulo bias; with a 64-bit draw the
+        // expected number of retries is below 2 for every span.
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let draw = self.next_u64();
+            if draw < zone {
+                return lo + draw % span;
+            }
+        }
     }
 
     /// A uniform `usize` in `[0, n)`.
@@ -59,12 +98,12 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty collection");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli trial with success probability `p` (clamped to
@@ -109,10 +148,8 @@ impl SimRng {
     /// Panics if `weights` is empty.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         assert!(!weights.is_empty(), "weighted choice over empty slice");
-        let clean: Vec<f64> = weights
-            .iter()
-            .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
-            .collect();
+        let clean: Vec<f64> =
+            weights.iter().map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }).collect();
         let total: f64 = clean.iter().sum();
         if total <= 0.0 {
             return self.index(weights.len());
@@ -130,7 +167,7 @@ impl SimRng {
     /// A raw 64-bit draw, for callers that need bits (e.g. picking which
     /// bit of an instruction word to flip).
     pub fn bits(&mut self) -> u64 {
-        self.inner.gen()
+        self.next_u64()
     }
 }
 
@@ -159,8 +196,8 @@ mod tests {
     fn fork_is_independent_of_parent_continuation() {
         let mut parent = SimRng::seed_from(3);
         let mut child = parent.fork();
-        // Child keeps producing even if the parent is dropped.
-        drop(parent);
+        // Child keeps producing even if the parent is gone.
+        let _ = parent;
         let _ = child.bits();
     }
 
@@ -169,14 +206,9 @@ mod tests {
         let mut rng = SimRng::seed_from(11);
         let mean = SimDuration::from_secs(20);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exponential(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_secs_f64()).sum();
         let observed = total / n as f64;
-        assert!(
-            (observed - 20.0).abs() < 0.5,
-            "observed mean {observed} too far from 20"
-        );
+        assert!((observed - 20.0).abs() < 0.5, "observed mean {observed} too far from 20");
     }
 
     #[test]

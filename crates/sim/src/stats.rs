@@ -32,13 +32,7 @@ pub struct Accumulator {
 impl Accumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Accumulator {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Adds one observation.
@@ -101,9 +95,7 @@ impl Accumulator {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -215,11 +207,7 @@ impl ValueHistogram {
     /// selective monitoring (§4.4.2).
     pub fn suspects(&self, fraction: f64) -> Vec<u64> {
         let threshold = self.mean_occurrences() * fraction;
-        self.counts
-            .iter()
-            .filter(|(_, &c)| (c as f64) < threshold)
-            .map(|(&v, _)| v)
-            .collect()
+        self.counts.iter().filter(|(_, &c)| (c as f64) < threshold).map(|(&v, _)| v).collect()
     }
 
     /// Iterates over `(value, count)` pairs in ascending value order.

@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 1_500_000);
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -109,7 +111,9 @@ impl Sub<SimTime> for SimTime {
 /// assert_eq!(audit_period / 2, SimDuration::from_secs(5));
 /// assert_eq!(audit_period.as_millis(), 10_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

@@ -40,10 +40,7 @@ fn main() {
         );
         println!("  mean call setup time        {:>9.1} ms", result.avg_setup_ms);
         if audits {
-            println!(
-                "  mean detection latency      {:>9.2} s",
-                result.detection_latency_s
-            );
+            println!("  mean detection latency      {:>9.2} s", result.detection_latency_s);
         }
         println!();
     }

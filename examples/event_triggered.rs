@@ -28,9 +28,8 @@ fn time_to_repair(event_triggered: bool) -> SimDuration {
     );
     let client = Pid(1);
     api.init(client);
-    let idx = api
-        .alloc_record(&mut db, client, schema::CONNECTION_TABLE, SimTime::from_secs(1))
-        .unwrap();
+    let idx =
+        api.alloc_record(&mut db, client, schema::CONNECTION_TABLE, SimTime::from_secs(1)).unwrap();
 
     // One clean audit tick passes (t = 5 s), draining the setup events.
     audit.run_cycle(&mut db, &mut api, &mut registry, SimTime::from_secs(5));
@@ -53,11 +52,7 @@ fn time_to_repair(event_triggered: bool) -> SimDuration {
     for tick in 2..=40u64 {
         let now = SimTime::from_secs(tick * 5);
         let report = audit.run_cycle(&mut db, &mut api, &mut registry, now);
-        if report
-            .findings
-            .iter()
-            .any(|f| f.table == Some(schema::CONNECTION_TABLE))
-        {
+        if report.findings.iter().any(|f| f.table == Some(schema::CONNECTION_TABLE)) {
             return now.saturating_since(SimTime::from_secs(7));
         }
     }

@@ -11,10 +11,7 @@ use wtnc::inject::RunOutcome;
 
 fn main() {
     let runs_per_cell = 40; // 40 runs x 4 models per column
-    println!(
-        "directed injection at control-flow instructions, {} runs per model\n",
-        runs_per_cell
-    );
+    println!("directed injection at control-flow instructions, {} runs per model\n", runs_per_cell);
     let table = four_column_table(InjectionTarget::DirectedCfi, runs_per_cell, 2, 12, 0xFA57);
 
     println!(

@@ -41,10 +41,7 @@ fn main() {
     let mut healthy = Machine::load(&instrumented.program, MachineConfig::default());
     let t = healthy.spawn_thread(instrumented.program.entry);
     healthy.run(&mut NoSyscalls, 100_000);
-    println!(
-        "healthy run: r2 = {} (8+7+...+1 + 1000 = 1036)\n",
-        healthy.reg(t, 2).unwrap()
-    );
+    println!("healthy run: r2 = {} (8+7+...+1 + 1000 = 1036)\n", healthy.reg(t, 2).unwrap());
     let _ = plain;
 
     // Corrupt the bne's target field — the classic control-flow error.
@@ -81,8 +78,5 @@ fn main() {
             StepOutcome::Executed { .. } => {}
         }
     }
-    println!(
-        "thread state after recovery: {:?}",
-        machine.thread_state(victim)
-    );
+    println!("thread state after recovery: {:?}", machine.thread_state(victim));
 }

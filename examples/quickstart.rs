@@ -56,48 +56,29 @@ fn main() {
     // Three corruptions, one for each audit element class.
     let (cfg_off, _) = controller
         .db
-        .field_extent(
-            RecordRef::new(schema::SYSCONFIG_TABLE, 0),
-            schema::sysconfig::MAX_CALLS,
-        )
+        .field_extent(RecordRef::new(schema::SYSCONFIG_TABLE, 0), schema::sysconfig::MAX_CALLS)
         .unwrap();
     controller.inject_bit_flip(cfg_off, 5, SimTime::from_secs(2)); // static data
-    let hdr_off = controller
-        .db
-        .record_offset(RecordRef::new(schema::PROCESS_TABLE, 7))
-        .unwrap();
+    let hdr_off = controller.db.record_offset(RecordRef::new(schema::PROCESS_TABLE, 7)).unwrap();
     controller.inject_bit_flip(hdr_off, 1, SimTime::from_secs(2)); // structural
     let (state_off, _) = controller
         .db
-        .field_extent(
-            RecordRef::new(schema::CONNECTION_TABLE, c),
-            schema::connection::STATE,
-        )
+        .field_extent(RecordRef::new(schema::CONNECTION_TABLE, c), schema::connection::STATE)
         .unwrap();
-    controller.inject_bit_flip(state_off + 0, 7, SimTime::from_secs(2)); // dynamic range
+    controller.inject_bit_flip(state_off, 7, SimTime::from_secs(2)); // dynamic range
 
-    println!(
-        "injected 3 bit flips; latent corruptions = {}",
-        controller.db.taint().latent_count()
-    );
+    println!("injected 3 bit flips; latent corruptions = {}", controller.db.taint().latent_count());
 
     // The periodic audit tick sweeps the whole database.
-    let report = controller
-        .run_audit_cycle(SimTime::from_secs(10))
-        .expect("audit process is alive");
+    let report =
+        controller.run_audit_cycle(SimTime::from_secs(10)).expect("audit process is alive");
     println!(
         "audit cycle: {} findings over {} records",
         report.findings.len(),
         report.records_checked
     );
     for finding in &report.findings {
-        println!(
-            "  [{:?}] {} -> {:?}",
-            finding.element, finding.detail, finding.action
-        );
+        println!("  [{:?}] {} -> {:?}", finding.element, finding.detail, finding.action);
     }
-    println!(
-        "latent corruptions after the cycle = {}",
-        controller.db.taint().latent_count()
-    );
+    println!("latent corruptions after the cycle = {}", controller.db.taint().latent_count());
 }

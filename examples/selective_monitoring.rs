@@ -19,21 +19,12 @@ fn main() {
     let steps = [250u64, 500, 1_000, 2_000];
     for i in 0..12u64 {
         let idx = db.alloc_record_raw(table).unwrap();
-        db.write_field_raw(
-            RecordRef::new(table, idx),
-            field,
-            steps[(i % 4) as usize],
-        )
-        .unwrap();
+        db.write_field_raw(RecordRef::new(table, idx), field, steps[(i % 4) as usize]).unwrap();
     }
     println!("12 resource records populated with the radio's power steps {steps:?}");
 
     let mut monitor = SelectiveMonitor::new(
-        SelectiveConfig {
-            suspect_fraction: 0.25,
-            min_observations: 30,
-            repair_unseen: true,
-        },
+        SelectiveConfig { suspect_fraction: 0.25, min_observations: 30, repair_unseen: true },
         vec![(table, field)],
     );
 
@@ -56,7 +47,7 @@ fn main() {
     // to it, but the learned invariant is not.
     let victim = RecordRef::new(table, 5);
     let (offset, _) = db.field_extent(victim, field).unwrap();
-    db.flip_bit(offset + 1, 6, ).unwrap();
+    db.flip_bit(offset + 1, 6).unwrap();
     println!(
         "\ncorrupted record 5: power_mw is now {} (never observed before)",
         db.read_field_raw(victim, field).unwrap()

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-02a539e654b1a7f2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-02a539e654b1a7f2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-138011548cdbbf57.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-138011548cdbbf57: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-af455f16130eaa15.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-af455f16130eaa15: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_priority-8a8207d0f65a3490.d: crates/bench/benches/ablation_priority.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_priority-8a8207d0f65a3490.rmeta: crates/bench/benches/ablation_priority.rs Cargo.toml
+
+crates/bench/benches/ablation_priority.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

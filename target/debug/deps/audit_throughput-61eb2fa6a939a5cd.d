@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_throughput-61eb2fa6a939a5cd.d: crates/bench/benches/audit_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_throughput-61eb2fa6a939a5cd.rmeta: crates/bench/benches/audit_throughput.rs Cargo.toml
+
+crates/bench/benches/audit_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

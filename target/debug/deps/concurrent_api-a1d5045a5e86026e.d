@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_api-a1d5045a5e86026e.d: crates/bench/benches/concurrent_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_api-a1d5045a5e86026e.rmeta: crates/bench/benches/concurrent_api.rs Cargo.toml
+
+crates/bench/benches/concurrent_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

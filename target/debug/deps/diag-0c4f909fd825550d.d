@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag-0c4f909fd825550d.d: crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-0c4f909fd825550d.rmeta: crates/bench/src/bin/diag.rs Cargo.toml
+
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag-101eea61dd56a69c.d: crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-101eea61dd56a69c.rmeta: crates/bench/src/bin/diag.rs Cargo.toml
+
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-4f407ee899176bd6.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-4f407ee899176bd6: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

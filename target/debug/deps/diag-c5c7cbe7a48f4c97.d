@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-c5c7cbe7a48f4c97.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-c5c7cbe7a48f4c97: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-7fdad33915400e26.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-7fdad33915400e26: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-f07eb417704eb0ed.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-f07eb417704eb0ed: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

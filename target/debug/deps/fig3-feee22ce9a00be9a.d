@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-feee22ce9a00be9a.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-feee22ce9a00be9a: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

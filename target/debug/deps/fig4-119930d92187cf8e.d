@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-119930d92187cf8e.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-119930d92187cf8e: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

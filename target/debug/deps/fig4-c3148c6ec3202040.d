@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c3148c6ec3202040.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c3148c6ec3202040: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_api_overhead-59ec79fe5ebc2827.d: crates/bench/benches/fig4_api_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_api_overhead-59ec79fe5ebc2827.rmeta: crates/bench/benches/fig4_api_overhead.rs Cargo.toml
+
+crates/bench/benches/fig4_api_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

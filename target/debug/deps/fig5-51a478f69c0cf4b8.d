@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-51a478f69c0cf4b8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-51a478f69c0cf4b8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-78e15af356c77e6d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-78e15af356c77e6d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

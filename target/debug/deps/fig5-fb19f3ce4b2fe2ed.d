@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-fb19f3ce4b2fe2ed.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-fb19f3ce4b2fe2ed: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a0fe3c5052c2e1e7.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a0fe3c5052c2e1e7: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

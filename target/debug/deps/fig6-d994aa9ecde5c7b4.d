@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d994aa9ecde5c7b4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d994aa9ecde5c7b4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

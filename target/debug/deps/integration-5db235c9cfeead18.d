@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-5db235c9cfeead18.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-5db235c9cfeead18: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-bdb31230617e8b3e.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-bdb31230617e8b3e: tests/integration.rs
+
+tests/integration.rs:

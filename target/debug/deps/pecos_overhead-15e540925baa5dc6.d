@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pecos_overhead-15e540925baa5dc6.d: crates/bench/benches/pecos_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpecos_overhead-15e540925baa5dc6.rmeta: crates/bench/benches/pecos_overhead.rs Cargo.toml
+
+crates/bench/benches/pecos_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0c034168c4870601.d: crates/audit/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0c034168c4870601.rmeta: crates/audit/tests/properties.rs Cargo.toml
+
+crates/audit/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

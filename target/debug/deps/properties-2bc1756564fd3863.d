@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2bc1756564fd3863.d: crates/pecos/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2bc1756564fd3863: crates/pecos/tests/properties.rs
+
+crates/pecos/tests/properties.rs:

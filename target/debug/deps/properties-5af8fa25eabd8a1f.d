@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5af8fa25eabd8a1f.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5af8fa25eabd8a1f: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-70442ee346f2917a.d: crates/inject/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-70442ee346f2917a: crates/inject/tests/properties.rs
+
+crates/inject/tests/properties.rs:

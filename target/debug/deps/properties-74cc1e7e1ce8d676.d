@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-74cc1e7e1ce8d676.d: crates/inject/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-74cc1e7e1ce8d676: crates/inject/tests/properties.rs
+
+crates/inject/tests/properties.rs:

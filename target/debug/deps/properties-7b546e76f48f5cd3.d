@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7b546e76f48f5cd3.d: crates/inject/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7b546e76f48f5cd3.rmeta: crates/inject/tests/properties.rs Cargo.toml
+
+crates/inject/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

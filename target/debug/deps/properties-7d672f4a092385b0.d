@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7d672f4a092385b0.d: crates/isa/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7d672f4a092385b0: crates/isa/tests/properties.rs
+
+crates/isa/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-861c74dd6db04bb6.d: crates/isa/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-861c74dd6db04bb6.rmeta: crates/isa/tests/properties.rs Cargo.toml
+
+crates/isa/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a8a978c6f08970d7.d: crates/pecos/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a8a978c6f08970d7.rmeta: crates/pecos/tests/properties.rs Cargo.toml
+
+crates/pecos/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

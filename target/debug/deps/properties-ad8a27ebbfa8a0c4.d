@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ad8a27ebbfa8a0c4.d: crates/db/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ad8a27ebbfa8a0c4: crates/db/tests/properties.rs
+
+crates/db/tests/properties.rs:

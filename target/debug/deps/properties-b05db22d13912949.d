@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b05db22d13912949.d: crates/audit/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b05db22d13912949: crates/audit/tests/properties.rs
+
+crates/audit/tests/properties.rs:

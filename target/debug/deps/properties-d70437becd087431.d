@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d70437becd087431.d: crates/db/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d70437becd087431.rmeta: crates/db/tests/properties.rs Cargo.toml
+
+crates/db/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-75572ef51f0715c6.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-75572ef51f0715c6: tests/recovery.rs
+
+tests/recovery.rs:

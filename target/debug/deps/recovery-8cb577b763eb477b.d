@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-8cb577b763eb477b.d: tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-8cb577b763eb477b.rmeta: tests/recovery.rs Cargo.toml
+
+tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

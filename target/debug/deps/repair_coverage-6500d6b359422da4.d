@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repair_coverage-6500d6b359422da4.d: crates/bench/src/bin/repair_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepair_coverage-6500d6b359422da4.rmeta: crates/bench/src/bin/repair_coverage.rs Cargo.toml
+
+crates/bench/src/bin/repair_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

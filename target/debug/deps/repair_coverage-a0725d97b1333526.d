@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repair_coverage-a0725d97b1333526.d: crates/bench/src/bin/repair_coverage.rs
+
+/root/repo/target/debug/deps/repair_coverage-a0725d97b1333526: crates/bench/src/bin/repair_coverage.rs
+
+crates/bench/src/bin/repair_coverage.rs:

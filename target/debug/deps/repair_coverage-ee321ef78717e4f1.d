@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repair_coverage-ee321ef78717e4f1.d: crates/bench/src/bin/repair_coverage.rs
+
+/root/repo/target/debug/deps/repair_coverage-ee321ef78717e4f1: crates/bench/src/bin/repair_coverage.rs
+
+crates/bench/src/bin/repair_coverage.rs:

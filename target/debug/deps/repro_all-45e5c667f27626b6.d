@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-45e5c667f27626b6.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-45e5c667f27626b6: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-6aa681cbe4fa4b7d.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-6aa681cbe4fa4b7d: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

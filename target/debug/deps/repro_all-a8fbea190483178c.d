@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-a8fbea190483178c.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-a8fbea190483178c: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selective_ext-5ecdb073fe043c7e.d: crates/bench/src/bin/selective_ext.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselective_ext-5ecdb073fe043c7e.rmeta: crates/bench/src/bin/selective_ext.rs Cargo.toml
+
+crates/bench/src/bin/selective_ext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selective_ext-69d73b348f8a20cc.d: crates/bench/src/bin/selective_ext.rs
+
+/root/repo/target/debug/deps/selective_ext-69d73b348f8a20cc: crates/bench/src/bin/selective_ext.rs
+
+crates/bench/src/bin/selective_ext.rs:

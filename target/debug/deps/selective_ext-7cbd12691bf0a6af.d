@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selective_ext-7cbd12691bf0a6af.d: crates/bench/src/bin/selective_ext.rs
+
+/root/repo/target/debug/deps/selective_ext-7cbd12691bf0a6af: crates/bench/src/bin/selective_ext.rs
+
+crates/bench/src/bin/selective_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selective_ext-df9917e38a8762d8.d: crates/bench/src/bin/selective_ext.rs
+
+/root/repo/target/debug/deps/selective_ext-df9917e38a8762d8: crates/bench/src/bin/selective_ext.rs
+
+crates/bench/src/bin/selective_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-1888d2664c50acc2.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-1888d2664c50acc2: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

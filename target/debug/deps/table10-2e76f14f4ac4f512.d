@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-2e76f14f4ac4f512.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-2e76f14f4ac4f512: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

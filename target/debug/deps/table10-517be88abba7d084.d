@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-517be88abba7d084.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-517be88abba7d084: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-19cbd6db43c6151d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-19cbd6db43c6151d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

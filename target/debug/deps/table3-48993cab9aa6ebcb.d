@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-48993cab9aa6ebcb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-48993cab9aa6ebcb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-90bf54014f9849d2.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-90bf54014f9849d2: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

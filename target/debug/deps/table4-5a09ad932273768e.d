@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-5a09ad932273768e.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-5a09ad932273768e: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-95a4458d9ed35944.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-95a4458d9ed35944: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

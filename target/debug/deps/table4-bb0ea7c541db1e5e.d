@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-bb0ea7c541db1e5e.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-bb0ea7c541db1e5e: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-4d81be66c8ae76a5.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-4d81be66c8ae76a5: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-9ea74d25e5736ec2.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-9ea74d25e5736ec2: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-ffc9e505ad9c2138.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-ffc9e505ad9c2138: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-409bd51b18b2053c.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-409bd51b18b2053c: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

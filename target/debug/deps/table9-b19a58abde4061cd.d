@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-b19a58abde4061cd.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-b19a58abde4061cd: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-fe2f6c02ee797d95.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-fe2f6c02ee797d95: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

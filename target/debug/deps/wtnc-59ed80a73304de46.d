@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wtnc-59ed80a73304de46.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/wtnc-59ed80a73304de46: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/wtnc-6b00809082b20e1b.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/wtnc-6b00809082b20e1b: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

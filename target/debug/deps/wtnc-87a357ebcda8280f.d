@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wtnc-87a357ebcda8280f.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/wtnc-87a357ebcda8280f: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

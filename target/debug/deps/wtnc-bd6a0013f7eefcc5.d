@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wtnc-bd6a0013f7eefcc5.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/wtnc-bd6a0013f7eefcc5: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

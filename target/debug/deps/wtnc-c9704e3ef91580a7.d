@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc-c9704e3ef91580a7.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-c9704e3ef91580a7.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-c9704e3ef91580a7.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc-d9ce2cb58a8a7ba4.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc-d9ce2cb58a8a7ba4.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

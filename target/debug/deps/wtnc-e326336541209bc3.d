@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc-e326336541209bc3.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-e326336541209bc3.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-e326336541209bc3.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc-e8553e0379142c61.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-e8553e0379142c61.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-e8553e0379142c61.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/wtnc-f2774238ff1fb0b1.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/wtnc-f2774238ff1fb0b1: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_bench-66696c5bf6be9c06.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_bench-66696c5bf6be9c06.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_bench-66696c5bf6be9c06.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

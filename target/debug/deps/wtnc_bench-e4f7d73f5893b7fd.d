@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wtnc_bench-e4f7d73f5893b7fd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/wtnc_bench-e4f7d73f5893b7fd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

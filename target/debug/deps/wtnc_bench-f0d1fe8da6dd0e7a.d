@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_bench-f0d1fe8da6dd0e7a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_bench-f0d1fe8da6dd0e7a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_bench-f0d1fe8da6dd0e7a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wtnc_bench-f2df0e14b9f07c1b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/wtnc_bench-f2df0e14b9f07c1b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

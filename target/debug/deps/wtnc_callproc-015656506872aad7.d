@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wtnc_callproc-015656506872aad7.d: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc_callproc-015656506872aad7.rmeta: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs Cargo.toml
+
+crates/callproc/src/lib.rs:
+crates/callproc/src/asm_client.rs:
+crates/callproc/src/des_client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_callproc-9ed6d042d1333d43.d: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/debug/deps/libwtnc_callproc-9ed6d042d1333d43.rlib: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/debug/deps/libwtnc_callproc-9ed6d042d1333d43.rmeta: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+crates/callproc/src/lib.rs:
+crates/callproc/src/asm_client.rs:
+crates/callproc/src/des_client.rs:

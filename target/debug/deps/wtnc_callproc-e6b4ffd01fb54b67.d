@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_callproc-e6b4ffd01fb54b67.d: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/debug/deps/wtnc_callproc-e6b4ffd01fb54b67: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+crates/callproc/src/lib.rs:
+crates/callproc/src/asm_client.rs:
+crates/callproc/src/des_client.rs:

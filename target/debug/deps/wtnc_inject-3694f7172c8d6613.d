@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/wtnc_inject-3694f7172c8d6613.d: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/recovery_campaign.rs crates/inject/src/text_campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc_inject-3694f7172c8d6613.rmeta: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/recovery_campaign.rs crates/inject/src/text_campaign.rs Cargo.toml
+
+crates/inject/src/lib.rs:
+crates/inject/src/coverage.rs:
+crates/inject/src/db_campaign.rs:
+crates/inject/src/models.rs:
+crates/inject/src/outcome.rs:
+crates/inject/src/parallel.rs:
+crates/inject/src/priority_campaign.rs:
+crates/inject/src/recovery_campaign.rs:
+crates/inject/src/text_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

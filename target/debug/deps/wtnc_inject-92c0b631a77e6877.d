@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wtnc_inject-92c0b631a77e6877.d: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/text_campaign.rs
+
+/root/repo/target/debug/deps/wtnc_inject-92c0b631a77e6877: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/text_campaign.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/coverage.rs:
+crates/inject/src/db_campaign.rs:
+crates/inject/src/models.rs:
+crates/inject/src/outcome.rs:
+crates/inject/src/parallel.rs:
+crates/inject/src/priority_campaign.rs:
+crates/inject/src/text_campaign.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wtnc_inject-c9820b52c7a5dd45.d: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/text_campaign.rs
+
+/root/repo/target/debug/deps/libwtnc_inject-c9820b52c7a5dd45.rlib: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/text_campaign.rs
+
+/root/repo/target/debug/deps/libwtnc_inject-c9820b52c7a5dd45.rmeta: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/text_campaign.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/coverage.rs:
+crates/inject/src/db_campaign.rs:
+crates/inject/src/models.rs:
+crates/inject/src/outcome.rs:
+crates/inject/src/parallel.rs:
+crates/inject/src/priority_campaign.rs:
+crates/inject/src/text_campaign.rs:

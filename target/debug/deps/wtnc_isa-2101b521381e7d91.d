@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wtnc_isa-2101b521381e7d91.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libwtnc_isa-2101b521381e7d91.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libwtnc_isa-2101b521381e7d91.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/machine.rs:
+crates/isa/src/program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_isa-994b7e4a20aec6fd.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/wtnc_isa-994b7e4a20aec6fd: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/machine.rs:
+crates/isa/src/program.rs:

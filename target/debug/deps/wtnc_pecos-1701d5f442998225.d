@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wtnc_pecos-1701d5f442998225.d: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc_pecos-1701d5f442998225.rmeta: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs Cargo.toml
+
+crates/pecos/src/lib.rs:
+crates/pecos/src/instrument.rs:
+crates/pecos/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

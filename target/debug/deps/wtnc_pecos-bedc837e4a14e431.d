@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_pecos-bedc837e4a14e431.d: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/debug/deps/wtnc_pecos-bedc837e4a14e431: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+crates/pecos/src/lib.rs:
+crates/pecos/src/instrument.rs:
+crates/pecos/src/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_pecos-e95470a6c1442e90.d: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/debug/deps/libwtnc_pecos-e95470a6c1442e90.rlib: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/debug/deps/libwtnc_pecos-e95470a6c1442e90.rmeta: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+crates/pecos/src/lib.rs:
+crates/pecos/src/instrument.rs:
+crates/pecos/src/runtime.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_recovery-2af9c9a496af685b.d: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/debug/deps/wtnc_recovery-2af9c9a496af685b: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/engine.rs:
+crates/recovery/src/log.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wtnc_recovery-486beca6c2a7e757.d: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc_recovery-486beca6c2a7e757.rmeta: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs Cargo.toml
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/engine.rs:
+crates/recovery/src/log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

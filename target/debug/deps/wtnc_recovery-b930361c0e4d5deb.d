@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_recovery-b930361c0e4d5deb.d: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/debug/deps/libwtnc_recovery-b930361c0e4d5deb.rlib: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/debug/deps/libwtnc_recovery-b930361c0e4d5deb.rmeta: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/engine.rs:
+crates/recovery/src/log.rs:

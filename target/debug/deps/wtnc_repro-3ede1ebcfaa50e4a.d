@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wtnc_repro-3ede1ebcfaa50e4a.d: src/lib.rs
+
+/root/repo/target/debug/deps/wtnc_repro-3ede1ebcfaa50e4a: src/lib.rs
+
+src/lib.rs:

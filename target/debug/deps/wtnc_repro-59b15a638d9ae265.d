@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_repro-59b15a638d9ae265.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_repro-59b15a638d9ae265.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_repro-59b15a638d9ae265.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_repro-9df99fb6e3d7f11d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc_repro-9df99fb6e3d7f11d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

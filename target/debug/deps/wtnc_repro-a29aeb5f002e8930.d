@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_repro-a29aeb5f002e8930.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_repro-a29aeb5f002e8930.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_repro-a29aeb5f002e8930.rmeta: src/lib.rs
+
+src/lib.rs:

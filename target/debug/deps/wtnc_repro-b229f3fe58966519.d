@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_repro-b229f3fe58966519.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc_repro-b229f3fe58966519.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wtnc_repro-f8bce7dfb53cf65f.d: src/lib.rs
+
+/root/repo/target/debug/deps/wtnc_repro-f8bce7dfb53cf65f: src/lib.rs
+
+src/lib.rs:

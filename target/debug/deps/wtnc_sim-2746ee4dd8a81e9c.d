@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wtnc_sim-2746ee4dd8a81e9c.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwtnc_sim-2746ee4dd8a81e9c.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/ipc.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/call_center-4b250a85b673115e.d: examples/call_center.rs
+
+/root/repo/target/debug/examples/call_center-4b250a85b673115e: examples/call_center.rs
+
+examples/call_center.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/call_center-4edb1c331c19d528.d: examples/call_center.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcall_center-4edb1c331c19d528.rmeta: examples/call_center.rs Cargo.toml
+
+examples/call_center.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/call_center-714e70e84a5ed50e.d: examples/call_center.rs
+
+/root/repo/target/debug/examples/call_center-714e70e84a5ed50e: examples/call_center.rs
+
+examples/call_center.rs:

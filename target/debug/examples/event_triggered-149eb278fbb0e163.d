@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/event_triggered-149eb278fbb0e163.d: examples/event_triggered.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevent_triggered-149eb278fbb0e163.rmeta: examples/event_triggered.rs Cargo.toml
+
+examples/event_triggered.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

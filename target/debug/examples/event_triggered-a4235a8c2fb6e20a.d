@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_triggered-a4235a8c2fb6e20a.d: examples/event_triggered.rs
+
+/root/repo/target/debug/examples/event_triggered-a4235a8c2fb6e20a: examples/event_triggered.rs
+
+examples/event_triggered.rs:

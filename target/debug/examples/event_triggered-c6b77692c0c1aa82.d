@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/event_triggered-c6b77692c0c1aa82.d: examples/event_triggered.rs
+
+/root/repo/target/debug/examples/event_triggered-c6b77692c0c1aa82: examples/event_triggered.rs
+
+examples/event_triggered.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_campaign-0fd4bfa125e24640.d: examples/fault_campaign.rs
+
+/root/repo/target/debug/examples/fault_campaign-0fd4bfa125e24640: examples/fault_campaign.rs
+
+examples/fault_campaign.rs:

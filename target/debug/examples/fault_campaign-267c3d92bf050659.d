@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_campaign-267c3d92bf050659.d: examples/fault_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_campaign-267c3d92bf050659.rmeta: examples/fault_campaign.rs Cargo.toml
+
+examples/fault_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

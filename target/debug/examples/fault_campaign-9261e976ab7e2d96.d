@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_campaign-9261e976ab7e2d96.d: examples/fault_campaign.rs
+
+/root/repo/target/debug/examples/fault_campaign-9261e976ab7e2d96: examples/fault_campaign.rs
+
+examples/fault_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pecos_demo-6b52b586acf1239f.d: examples/pecos_demo.rs
+
+/root/repo/target/debug/examples/pecos_demo-6b52b586acf1239f: examples/pecos_demo.rs
+
+examples/pecos_demo.rs:

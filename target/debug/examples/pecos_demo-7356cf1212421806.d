@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pecos_demo-7356cf1212421806.d: examples/pecos_demo.rs
+
+/root/repo/target/debug/examples/pecos_demo-7356cf1212421806: examples/pecos_demo.rs
+
+examples/pecos_demo.rs:

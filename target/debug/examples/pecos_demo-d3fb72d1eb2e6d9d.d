@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pecos_demo-d3fb72d1eb2e6d9d.d: examples/pecos_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpecos_demo-d3fb72d1eb2e6d9d.rmeta: examples/pecos_demo.rs Cargo.toml
+
+examples/pecos_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

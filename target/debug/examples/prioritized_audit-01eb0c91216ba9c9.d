@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/prioritized_audit-01eb0c91216ba9c9.d: examples/prioritized_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprioritized_audit-01eb0c91216ba9c9.rmeta: examples/prioritized_audit.rs Cargo.toml
+
+examples/prioritized_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prioritized_audit-2d8a3b0b41138c6b.d: examples/prioritized_audit.rs
+
+/root/repo/target/debug/examples/prioritized_audit-2d8a3b0b41138c6b: examples/prioritized_audit.rs
+
+examples/prioritized_audit.rs:

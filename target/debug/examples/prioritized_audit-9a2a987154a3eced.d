@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prioritized_audit-9a2a987154a3eced.d: examples/prioritized_audit.rs
+
+/root/repo/target/debug/examples/prioritized_audit-9a2a987154a3eced: examples/prioritized_audit.rs
+
+examples/prioritized_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-151bfb00e02c8417.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-151bfb00e02c8417: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-74a89e677cd1d832.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-74a89e677cd1d832: examples/quickstart.rs
+
+examples/quickstart.rs:

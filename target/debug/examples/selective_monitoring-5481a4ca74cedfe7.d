@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_monitoring-5481a4ca74cedfe7.d: examples/selective_monitoring.rs
+
+/root/repo/target/debug/examples/selective_monitoring-5481a4ca74cedfe7: examples/selective_monitoring.rs
+
+examples/selective_monitoring.rs:

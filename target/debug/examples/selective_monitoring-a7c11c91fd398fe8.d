@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selective_monitoring-a7c11c91fd398fe8.d: examples/selective_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselective_monitoring-a7c11c91fd398fe8.rmeta: examples/selective_monitoring.rs Cargo.toml
+
+examples/selective_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_monitoring-cd7d84ab90b96e2c.d: examples/selective_monitoring.rs
+
+/root/repo/target/debug/examples/selective_monitoring-cd7d84ab90b96e2c: examples/selective_monitoring.rs
+
+examples/selective_monitoring.rs:

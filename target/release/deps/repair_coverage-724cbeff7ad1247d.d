@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repair_coverage-724cbeff7ad1247d.d: crates/bench/src/bin/repair_coverage.rs
+
+/root/repo/target/release/deps/repair_coverage-724cbeff7ad1247d: crates/bench/src/bin/repair_coverage.rs
+
+crates/bench/src/bin/repair_coverage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc-8a1f6b2e689630a2.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libwtnc-8a1f6b2e689630a2.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libwtnc-8a1f6b2e689630a2.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc-bc2ab9673fe9d9b4.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libwtnc-bc2ab9673fe9d9b4.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libwtnc-bc2ab9673fe9d9b4.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

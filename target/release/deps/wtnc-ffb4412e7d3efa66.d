@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/wtnc-ffb4412e7d3efa66.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/wtnc-ffb4412e7d3efa66: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc_bench-26405aff4138b4f4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwtnc_bench-26405aff4138b4f4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwtnc_bench-26405aff4138b4f4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

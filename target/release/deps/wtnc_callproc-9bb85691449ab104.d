@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wtnc_callproc-9bb85691449ab104.d: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/release/deps/libwtnc_callproc-9bb85691449ab104.rlib: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/release/deps/libwtnc_callproc-9bb85691449ab104.rmeta: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+crates/callproc/src/lib.rs:
+crates/callproc/src/asm_client.rs:
+crates/callproc/src/des_client.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wtnc_isa-0fc794f63d699d7f.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libwtnc_isa-0fc794f63d699d7f.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libwtnc_isa-0fc794f63d699d7f.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/machine.rs:
+crates/isa/src/program.rs:

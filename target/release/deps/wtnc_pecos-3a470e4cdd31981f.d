@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wtnc_pecos-3a470e4cdd31981f.d: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/release/deps/libwtnc_pecos-3a470e4cdd31981f.rlib: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/release/deps/libwtnc_pecos-3a470e4cdd31981f.rmeta: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+crates/pecos/src/lib.rs:
+crates/pecos/src/instrument.rs:
+crates/pecos/src/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wtnc_recovery-ebefc358432815e6.d: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/release/deps/libwtnc_recovery-ebefc358432815e6.rlib: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/release/deps/libwtnc_recovery-ebefc358432815e6.rmeta: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/engine.rs:
+crates/recovery/src/log.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc_repro-6ddb5e70af37a4be.d: src/lib.rs
+
+/root/repo/target/release/deps/libwtnc_repro-6ddb5e70af37a4be.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwtnc_repro-6ddb5e70af37a4be.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc_repro-a2609ca04b7ccd64.d: src/lib.rs
+
+/root/repo/target/release/deps/libwtnc_repro-a2609ca04b7ccd64.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwtnc_repro-a2609ca04b7ccd64.rmeta: src/lib.rs
+
+src/lib.rs:

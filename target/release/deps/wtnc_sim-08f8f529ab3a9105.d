@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wtnc_sim-08f8f529ab3a9105.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libwtnc_sim-08f8f529ab3a9105.rlib: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libwtnc_sim-08f8f529ab3a9105.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/ipc.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

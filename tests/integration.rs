@@ -3,11 +3,13 @@
 //! PECOS ↔ injection).
 
 use wtnc::audit::{AuditConfig, AuditElementKind, RecoveryAction};
-use wtnc::callproc::{AsmClientConfig, BridgeStats, CallOutcome, DbSyscallBridge, DesClient, WorkloadConfig};
+use wtnc::callproc::{
+    AsmClientConfig, BridgeStats, CallOutcome, DbSyscallBridge, DesClient, WorkloadConfig,
+};
 use wtnc::db::{schema, Database, DbApi, RecordRef};
 use wtnc::isa::{asm::Assembly, Machine, MachineConfig, StepOutcome, ThreadState};
 use wtnc::pecos::{handle_exception, instrument, PecosVerdict};
-use wtnc::sim::{Pid, ProcessRegistry, SimDuration, SimTime};
+use wtnc::sim::{Pid, SimDuration, SimTime};
 use wtnc::Controller;
 
 /// End to end: inject → detect → repair → the client keeps serving
@@ -34,10 +36,7 @@ fn injected_errors_are_repaired_and_service_continues() {
 
     // The next audit cycle repairs it; service resumes.
     let report = c.run_audit_cycle(SimTime::from_secs(40)).unwrap();
-    assert!(report
-        .findings
-        .iter()
-        .any(|f| f.element == AuditElementKind::StaticData));
+    assert!(report.findings.iter().any(|f| f.element == AuditElementKind::StaticData));
     let (h2, _) = client
         .start_call(&mut c.db, &mut c.api, &mut c.registry, SimTime::from_secs(41))
         .expect("service resumes after repair");
@@ -107,11 +106,8 @@ fn pecos_instrumentation_is_transparent_to_the_client() {
 
     let run = |instrumented: bool| -> (BridgeStats, u32) {
         let asm = Assembly::parse(&source).unwrap();
-        let program = if instrumented {
-            instrument(&asm).unwrap().program
-        } else {
-            asm.assemble().unwrap()
-        };
+        let program =
+            if instrumented { instrument(&asm).unwrap().program } else { asm.assemble().unwrap() };
         let mut db = Database::build(schema::standard_schema()).unwrap();
         let mut api = DbApi::new();
         let pid = Pid(1);
@@ -161,7 +157,9 @@ fn pecos_detection_preserves_sibling_threads() {
     // the text, every thread that *reaches* the corrupted branch is
     // caught and terminated gracefully — none may crash.
     let bne = (0..inst.program.len())
-        .find(|&a| matches!(wtnc::isa::decode(inst.program.text[a]), Ok(wtnc::isa::Inst::Bne { .. })))
+        .find(|&a| {
+            matches!(wtnc::isa::decode(inst.program.text[a]), Ok(wtnc::isa::Inst::Bne { .. }))
+        })
         .unwrap();
     machine.text_mut()[bne] ^= 0x0000_0004;
 
@@ -200,17 +198,11 @@ fn burst_corruption_triggers_escalated_recovery() {
     let mut c = Controller::standard().with_audit(AuditConfig::default());
     // Smash a swath of headers in the process table.
     for i in 0..6u32 {
-        let base = c
-            .db
-            .record_offset(RecordRef::new(schema::PROCESS_TABLE, i))
-            .unwrap();
+        let base = c.db.record_offset(RecordRef::new(schema::PROCESS_TABLE, i)).unwrap();
         c.inject_bit_flip(base + 1, 5, SimTime::from_secs(1));
     }
     let report = c.run_audit_cycle(SimTime::from_secs(10)).unwrap();
-    assert!(report
-        .findings
-        .iter()
-        .any(|f| f.action == RecoveryAction::ReloadedDatabase));
+    assert!(report.findings.iter().any(|f| f.action == RecoveryAction::ReloadedDatabase));
     assert_eq!(c.db.region(), c.db.golden());
     assert_eq!(c.db.taint().latent_count(), 0);
 }
@@ -227,13 +219,12 @@ fn zombie_call_reclaimed_without_collateral_damage() {
 
     // Break the victim's semantic loop (connection record 1 belongs to
     // the second call).
-    c.db
-        .write_field_raw(
-            RecordRef::new(schema::CONNECTION_TABLE, 1),
-            schema::connection::CHANNEL_ID,
-            55_555,
-        )
-        .unwrap();
+    c.db.write_field_raw(
+        RecordRef::new(schema::CONNECTION_TABLE, 1),
+        schema::connection::CHANNEL_ID,
+        55_555,
+    )
+    .unwrap();
 
     let report = c.run_audit_cycle(SimTime::from_secs(10)).unwrap();
     assert!(report.by_element(AuditElementKind::Semantic).count() > 0);
@@ -335,7 +326,12 @@ fn sustained_churn_escalates_hierarchically() {
         // A flaky memory bank keeps corrupting the connection table.
         let idx = c
             .api
-            .alloc_record(&mut c.db, client, schema::CONNECTION_TABLE, SimTime::from_secs(cycle * 10))
+            .alloc_record(
+                &mut c.db,
+                client,
+                schema::CONNECTION_TABLE,
+                SimTime::from_secs(cycle * 10),
+            )
             .unwrap();
         let rec = RecordRef::new(schema::CONNECTION_TABLE, idx);
         let (off, _) = c.db.field_extent(rec, schema::connection::STATE).unwrap();

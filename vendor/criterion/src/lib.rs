@@ -1,0 +1,192 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access; this crate keeps the
+//! workspace's `harness = false` benchmarks compiling and runnable.
+//! Measurement is deliberately simple — a warm-up pass, then a timed
+//! batch whose mean is printed per benchmark — with none of
+//! criterion's statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+/// Input-recreation granularity for [`Bencher::iter_batched`]; only a
+/// hint in the real API, ignored here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Recreate per iteration.
+    PerIteration,
+}
+
+/// Units for a group's reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed) so one-off setup costs don't dominate.
+        std::hint::black_box(routine());
+        let iterations = 10u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iterations = iterations;
+    }
+
+    /// Like [`Bencher::iter`], but re-creates the input with `setup`
+    /// (untimed) before each timed call of `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let iterations = 10u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iterations as u32
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    // Holds the `Criterion` borrow for the group's lifetime, matching
+    // the real API's exclusive-group discipline.
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration, for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        self.report(&format!("{}/{}", id.function, id.parameter), &bencher);
+        self
+    }
+
+    /// Runs one unparameterised benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        self.report(name, &bencher);
+        self
+    }
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let mean = bencher.mean();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {mean:?}/iter{rate}", self.name);
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+}
+
+/// Opaque-to-the-optimiser identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

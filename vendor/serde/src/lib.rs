@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros (the
+//! workspace only ever derives; it never calls serializer methods) and
+//! declares the two marker traits so fully-qualified bounds keep
+//! resolving. The derive macros expand to nothing, so no type in the
+//! workspace actually implements the traits — which is fine, because
+//! nothing requires the bounds either.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
