@@ -63,6 +63,7 @@
 
 mod escalation;
 mod finding;
+mod genskip;
 mod heartbeat;
 mod process;
 mod progress;

@@ -61,6 +61,14 @@ pub struct AuditConfig {
     /// When true, write-class API events queue their table for an
     /// immediate event-triggered audit on the next cycle.
     pub event_triggered: bool,
+    /// Change-aware audits: elements consult the dirty-block bitmap and
+    /// mutation generations to skip provably unchanged state. On by
+    /// default — the parity property guarantees identical findings.
+    pub incremental: bool,
+    /// Every `n`-th element pass re-checks everything even in
+    /// incremental mode, bounding the window for anything that could
+    /// slip past the tracking (0 = never force a full sweep).
+    pub full_rescan_period: u32,
 }
 
 impl Default for AuditConfig {
@@ -72,6 +80,8 @@ impl Default for AuditConfig {
             orphan_grace: SimDuration::from_secs(60),
             scope: AuditScope::Full,
             event_triggered: false,
+            incremental: true,
+            full_rescan_period: 8,
         }
     }
 }
@@ -110,14 +120,26 @@ impl AuditProcess {
     /// Creates the audit process against a freshly built (pristine)
     /// database — golden checksums are derived from its current image.
     pub fn new(config: AuditConfig, db: &Database) -> Self {
+        let mut static_audit = StaticDataAudit::new(db);
+        static_audit.incremental = config.incremental;
+        static_audit.full_rescan_period = config.full_rescan_period;
+        let mut structural = StructuralAudit::new(config.structural_escalation);
+        structural.incremental = config.incremental;
+        structural.full_rescan_period = config.full_rescan_period;
+        let mut range = RangeAudit::new();
+        range.incremental = config.incremental;
+        range.full_rescan_period = config.full_rescan_period;
+        let mut semantic = SemanticAudit::new(config.orphan_grace);
+        semantic.incremental = config.incremental;
+        semantic.full_rescan_period = config.full_rescan_period;
         AuditProcess {
             config,
             heartbeat: HeartbeatElement::new(),
             progress: ProgressIndicator::new(config.progress),
-            static_audit: StaticDataAudit::new(db),
-            structural: StructuralAudit::new(config.structural_escalation),
-            range: RangeAudit::new(),
-            semantic: SemanticAudit::new(config.orphan_grace),
+            static_audit,
+            structural,
+            range,
+            semantic,
             scheduler: Box::new(RoundRobinScheduler::new()),
             extra: Vec::new(),
             event_tables: BTreeSet::new(),
@@ -287,6 +309,25 @@ impl AuditProcess {
             records_checked += self.semantic.audit_table(db, table, &locked, now, &mut findings);
             for element in &mut self.extra {
                 records_checked += element.audit_table(db, table, &locked, now, &mut findings);
+            }
+        }
+
+        // Settle the density signal: a dynamic table that was just
+        // audited with no findings has its accumulated dirty bits
+        // dropped, so the scheduler's dirty-density term tracks *new*
+        // mutations. (Static chunks clear their own bits only after
+        // CRC verification; their extents are untouched here.)
+        if self.config.incremental {
+            for &table in &tables {
+                if findings.iter().any(|f| f.table == Some(table)) {
+                    continue;
+                }
+                let extent = db.catalog().table(table).ok().map(|tm| {
+                    (tm.def.nature == wtnc_db::TableNature::Dynamic, tm.offset, tm.data_len())
+                });
+                if let Some((true, offset, len)) = extent {
+                    db.dirty_mut().clear_contained(offset, len);
+                }
             }
         }
 

@@ -16,6 +16,7 @@ use wtnc_db::{Database, FieldId, FieldKind, RecordRef, TableId, TableNature, Tai
 use wtnc_sim::SimTime;
 
 use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
+use crate::genskip::GenSkip;
 
 /// The range-check audit element.
 #[derive(Debug, Clone, Default)]
@@ -26,12 +27,19 @@ pub struct RangeAudit {
     /// Detect-only mode: out-of-range fields are flagged (targeted at
     /// the field) instead of reset/freed.
     pub deferred: bool,
+    /// Change-aware mode: skip records whose generation is unchanged
+    /// since they were last verified clean. Off by default.
+    pub incremental: bool,
+    /// Every `n`-th pass over a table ignores generations even in
+    /// incremental mode (0 = never force a full sweep).
+    pub full_rescan_period: u32,
+    skip: GenSkip,
 }
 
 impl RangeAudit {
     /// Creates the element with the paper's recovery policy.
     pub fn new() -> Self {
-        RangeAudit { free_dynamic_records: true, deferred: false }
+        RangeAudit { free_dynamic_records: true, ..RangeAudit::default() }
     }
 
     /// Audits the dynamic ranged fields of every active record of one
@@ -64,16 +72,28 @@ impl RangeAudit {
             return 0;
         }
 
+        let due_full = self.skip.begin_pass(table, record_count as usize, self.full_rescan_period);
+        let use_gen = self.incremental && !due_full;
         let mut checked = 0u64;
         for index in 0..record_count {
             let rec = RecordRef::new(table, index);
+            let gen = db.record_generation(rec);
+            if use_gen && self.skip.is_clean(table, index, gen) {
+                continue;
+            }
             if !db.is_active(rec).unwrap_or(false) {
+                // A free record produces no range findings, and any
+                // reactivation mutates the header: safe to skip until
+                // the generation moves.
+                self.skip.set_clean(table, index, gen);
                 continue;
             }
             if locked(rec) {
+                // Not verified — stays checkable next cycle.
                 continue;
             }
             checked += 1;
+            let mut clean = true;
             let mut freed = false;
             for &(field, lo, hi, default) in &ruled {
                 if freed {
@@ -84,6 +104,7 @@ impl RangeAudit {
                 if value >= lo && value <= hi {
                     continue;
                 }
+                clean = false;
                 if self.deferred {
                     db.note_errors_detected(table, 1);
                     out.push(Finding {
@@ -139,6 +160,9 @@ impl RangeAudit {
                     target: Some(target),
                     caught,
                 });
+            }
+            if clean {
+                self.skip.set_clean(table, index, gen);
             }
         }
         checked

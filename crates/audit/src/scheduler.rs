@@ -45,7 +45,7 @@ impl AuditScheduler for RoundRobinScheduler {
     }
 }
 
-/// Weights of the three importance criteria.
+/// Weights of the importance criteria.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PriorityWeights {
     /// Weight of normalized access frequency.
@@ -54,11 +54,15 @@ pub struct PriorityWeights {
     pub nature: f64,
     /// Weight of normalized recent error count.
     pub errors: f64,
+    /// Weight of normalized dirty-block density: tables with many
+    /// unverified mutated blocks rank higher, steering audit visits
+    /// toward the data that actually changed.
+    pub dirty: f64,
 }
 
 impl Default for PriorityWeights {
     fn default() -> Self {
-        PriorityWeights { access: 1.0, nature: 0.5, errors: 1.5 }
+        PriorityWeights { access: 1.0, nature: 0.5, errors: 1.5, dirty: 1.0 }
     }
 }
 
@@ -130,7 +134,14 @@ impl PriorityScheduler {
             .collect();
         let err_sum: f64 = err_rates.iter().sum::<f64>().max(1e-9);
 
-        let w_total = (self.weights.access + self.weights.nature + self.weights.errors).max(1e-9);
+        // Dirty-block density: unverified mutations waiting for an
+        // audit. Zero everywhere when the bitmap is clean.
+        let dirt: Vec<f64> = (0..n).map(|i| db.dirty_density(TableId(i as u16))).collect();
+        let dirt_sum: f64 = dirt.iter().sum::<f64>().max(1e-9);
+
+        let w_total =
+            (self.weights.access + self.weights.nature + self.weights.errors + self.weights.dirty)
+                .max(1e-9);
         (0..n)
             .map(|i| {
                 let tm = db.catalog().table(TableId(i as u16)).expect("id in range");
@@ -140,7 +151,8 @@ impl PriorityScheduler {
                 };
                 let weighted = (self.weights.access * self.rate[i] / rate_sum
                     + self.weights.nature * nature_share
-                    + self.weights.errors * err_rates[i] / err_sum)
+                    + self.weights.errors * err_rates[i] / err_sum
+                    + self.weights.dirty * dirt[i] / dirt_sum)
                     / w_total;
                 // 80% importance-driven, 20% uniform floor.
                 0.8 * weighted + 0.2 / n as f64
@@ -242,6 +254,27 @@ mod tests {
         let mut sched = PriorityScheduler::new(PriorityWeights::default());
         d.note_errors_detected(TableId(4), 10);
         assert_eq!(sched.next_table(&d), TableId(4));
+    }
+
+    #[test]
+    fn dirty_density_raises_priority() {
+        let mut d = db();
+        let mut sched = PriorityScheduler::new(PriorityWeights {
+            access: 0.0,
+            nature: 0.0,
+            errors: 0.0,
+            ..PriorityWeights::default()
+        });
+        // Mutate blocks across table 2's whole extent: its density
+        // dwarfs the boundary spill into neighboring tables.
+        let (off, len) = {
+            let tm = d.catalog().table(TableId(2)).expect("table exists");
+            (tm.offset, tm.data_len())
+        };
+        for o in (off..off + len).step_by(64) {
+            d.flip_bit(o, 0).unwrap();
+        }
+        assert_eq!(sched.next_table(&d), TableId(2));
     }
 
     #[test]

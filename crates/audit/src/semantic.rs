@@ -20,6 +20,27 @@ use wtnc_sim::{Pid, SimDuration, SimTime};
 
 use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
 
+/// Verified-clean state of one anchor table, for incremental skipping.
+#[derive(Debug, Clone, Copy)]
+struct CleanPass {
+    /// Sum of the generations of every table in the anchor's link
+    /// closure at the clean pass. Generations only grow, so an
+    /// unchanged sum proves no record in the closure was mutated.
+    closure_sig: u64,
+    /// Earliest `last_access` among tolerated (young, unlinked)
+    /// records; `None` when there were none. Accesses only push
+    /// `last_access` later, so re-checking once the grace period has
+    /// elapsed *from this time* can never miss an orphan.
+    earliest_unlinked_access: Option<SimTime>,
+}
+
+/// Every record one clean walk visited, with its generation at the
+/// time. The walk's verdict depends only on these records' bytes (the
+/// catalog the walk consults is guarded by the static-data element,
+/// which runs first in a cycle and repairs it inline), so while every
+/// generation is unchanged the walk would repeat its clean verdict.
+type WalkWitness = Vec<(RecordRef, u64)>;
+
 /// The referential-integrity audit element.
 #[derive(Debug, Clone)]
 pub struct SemanticAudit {
@@ -31,11 +52,22 @@ pub struct SemanticAudit {
     /// anchor record) instead of freed; owner termination is likewise
     /// left to the recovery engine's ladder.
     pub deferred: bool,
+    /// Change-aware mode: skip a table's walks when no record in its
+    /// link closure has been mutated since the last clean pass and no
+    /// tolerated orphan can have aged out. Off by default.
+    pub incremental: bool,
+    /// Every `n`-th pass over a table re-walks everything even in
+    /// incremental mode (0 = never force a full sweep).
+    pub full_rescan_period: u32,
+    clean: std::collections::BTreeMap<TableId, CleanPass>,
+    passes: std::collections::BTreeMap<TableId, u32>,
+    /// Per-anchor witnesses of the last clean walk (incremental mode).
+    walks: std::collections::BTreeMap<TableId, Vec<Option<WalkWitness>>>,
 }
 
 impl Default for SemanticAudit {
     fn default() -> Self {
-        SemanticAudit { orphan_grace: SimDuration::from_secs(60), deferred: false }
+        Self::new(SimDuration::from_secs(60))
     }
 }
 
@@ -50,10 +82,34 @@ fn link_field(db: &Database, table: TableId) -> Option<(FieldId, TableId)> {
     })
 }
 
+/// Transitive closure of tables reachable from `table` over link
+/// fields (including `table` itself).
+fn link_closure(db: &Database, table: TableId) -> Vec<TableId> {
+    let mut closure = vec![table];
+    let mut i = 0;
+    while i < closure.len() {
+        if let Some((_, target)) = link_field(db, closure[i]) {
+            if !closure.contains(&target) {
+                closure.push(target);
+            }
+        }
+        i += 1;
+    }
+    closure
+}
+
 impl SemanticAudit {
     /// Creates the element with a custom orphan grace period.
     pub fn new(orphan_grace: SimDuration) -> Self {
-        SemanticAudit { orphan_grace, deferred: false }
+        SemanticAudit {
+            orphan_grace,
+            deferred: false,
+            incremental: false,
+            full_rescan_period: 0,
+            clean: std::collections::BTreeMap::new(),
+            passes: std::collections::BTreeMap::new(),
+            walks: std::collections::BTreeMap::new(),
+        }
     }
 
     /// Audits the semantic loops anchored at `table`. Locked records
@@ -75,11 +131,67 @@ impl SemanticAudit {
         };
         let record_count = tm.def.record_count;
         let max_hops = db.catalog().table_count();
+
+        // Incremental skip: a walk's outcome depends only on records in
+        // the anchor table's link closure (plus orphan aging). If no
+        // closure table was mutated since the last clean pass and no
+        // tolerated unlinked record can have aged past the grace
+        // period, every walk would repeat its clean verdict.
+        let closure_sig = link_closure(db, table)
+            .iter()
+            .fold(0u64, |acc, t| acc.wrapping_add(db.table_generation(*t)));
+        let pass = self.passes.entry(table).or_insert(0);
+        let due_full = if self.full_rescan_period > 0 && *pass + 1 >= self.full_rescan_period {
+            *pass = 0;
+            true
+        } else {
+            *pass += 1;
+            false
+        };
+        let use_witness = self.incremental && !due_full;
+        if use_witness {
+            if let Some(cp) = self.clean.get(&table) {
+                let orphan_possible = cp
+                    .earliest_unlinked_access
+                    .is_some_and(|t0| at.saturating_since(t0) > self.orphan_grace);
+                if cp.closure_sig == closure_sig && !orphan_possible {
+                    return 0;
+                }
+            }
+        }
+        let mut abstained = false;
+        let mut earliest_unlinked: Option<SimTime> = None;
+        let findings_before = out.len();
         let mut checked = 0u64;
+        // Taken out of the map so `self.free_zombies` stays callable
+        // inside the loop; reinserted at the end.
+        let mut walks = self.walks.remove(&table).unwrap_or_default();
+        walks.resize(record_count as usize, None);
 
         'records: for index in 0..record_count {
             let start = RecordRef::new(table, index);
-            if !db.is_active(start).unwrap_or(false) || locked(start) {
+            // Per-anchor witness skip: the last walk from this anchor
+            // was clean, and none of the records it visited has been
+            // mutated since — re-walking would repeat the verdict.
+            if use_witness {
+                if let Some(w) = &walks[index as usize] {
+                    if w.iter().all(|&(r, g)| db.record_generation(r) == g) {
+                        continue;
+                    }
+                }
+            }
+            walks[index as usize] = None;
+            if !db.is_active(start).unwrap_or(false) {
+                // Free records produce no findings; any reactivation
+                // mutates the header and so bumps the generation.
+                if self.incremental {
+                    walks[index as usize] = Some(vec![(start, db.record_generation(start))]);
+                }
+                continue;
+            }
+            if locked(start) {
+                // Unverified walk: the table cannot be recorded clean.
+                abstained = true;
                 continue;
             }
             checked += 1;
@@ -91,6 +203,12 @@ impl SemanticAudit {
                 if at.saturating_since(meta.last_access) > self.orphan_grace {
                     let owner = meta.last_writer;
                     self.free_zombies(db, &[start], owner, at, out, "orphan record never linked");
+                } else {
+                    // Tolerated for now — remember when it could age out.
+                    earliest_unlinked = Some(match earliest_unlinked {
+                        Some(t0) => t0.min(meta.last_access),
+                        None => meta.last_access,
+                    });
                 }
                 continue;
             }
@@ -112,6 +230,7 @@ impl SemanticAudit {
                 if locked(next) {
                     // Intervening transaction: invalidate this walk, try
                     // again next cycle.
+                    abstained = true;
                     continue 'records;
                 }
                 if !db.is_active(next).unwrap_or(false) {
@@ -121,6 +240,10 @@ impl SemanticAudit {
                 }
                 if next == start {
                     // Loop closed consistently.
+                    if self.incremental {
+                        walks[index as usize] =
+                            Some(visited.iter().map(|&r| (r, db.record_generation(r))).collect());
+                    }
                     continue 'records;
                 }
                 if visited.contains(&next) {
@@ -138,6 +261,11 @@ impl SemanticAudit {
                 }
                 let Some((next_field, _)) = link_field(db, next.table) else {
                     // Chain (not loop) schema: a valid terminal record.
+                    if self.incremental {
+                        visited.push(next);
+                        walks[index as usize] =
+                            Some(visited.iter().map(|&r| (r, db.record_generation(r))).collect());
+                    }
                     continue 'records;
                 };
                 visited.push(next);
@@ -147,6 +275,18 @@ impl SemanticAudit {
             // Never returned to start within the hop budget.
             let owner = db.record_meta(start).expect("record exists").last_writer;
             self.free_zombies(db, &visited, owner, at, out, "loop exceeds hop budget");
+        }
+
+        self.walks.insert(table, walks);
+        if out.len() == findings_before && !abstained {
+            self.clean.insert(
+                table,
+                CleanPass { closure_sig, earliest_unlinked_access: earliest_unlinked },
+            );
+        } else {
+            // Findings mutated the closure (or walks went unverified):
+            // the entry is stale either way.
+            self.clean.remove(&table);
         }
         checked
     }

@@ -10,11 +10,48 @@
 //! descriptors referenced on every API call) and the data region of
 //! every table whose nature is `Config`. Each region is checksummed as
 //! its own chunk so recovery can reload only the affected portion.
+//!
+//! # Incremental checking
+//!
+//! With [`StaticDataAudit::incremental`] set, the element keeps golden
+//! *and* live CRCs per dirty-tracker block and consults the database's
+//! dirty bitmap each cycle:
+//!
+//! * a chunk with **no dirty blocks** is provably unchanged since its
+//!   last verified-clean pass and is skipped outright;
+//! * otherwise only the **dirty blocks** are re-hashed; the per-block
+//!   CRCs are folded with a precomputed [`Crc32Shift`] operator into
+//!   the CRC of the whole chunk, which is compared against the same
+//!   whole-chunk golden a full scan would use — the folded value *is*
+//!   `crc32(chunk)` exactly, so incremental and full scans agree on
+//!   every mismatch.
+//!
+//! Dirty bits are cleared (blocks fully inside the chunk only) solely
+//! after a verified-clean fold, so a cached block CRC is trusted only
+//! while no mutation has touched the block. A configurable
+//! [`StaticDataAudit::full_rescan_period`] forces a periodic re-hash of
+//! every block as a belt-and-braces bound on anything that could slip
+//! past the bitmap.
 
-use wtnc_db::{crc32, Catalog, Database, TableId, TableNature, TaintFate};
+use wtnc_db::{
+    crc32, Catalog, Crc32Shift, Database, TableId, TableNature, TaintFate, DIRTY_BLOCK_SIZE,
+};
 use wtnc_sim::SimTime;
 
 use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
+
+/// Global-grid blocks overlapping `[offset, offset + len)`, yielded as
+/// `(block_index, byte_start, byte_len)` intersected with the range.
+fn block_spans(offset: usize, len: usize) -> impl Iterator<Item = (usize, usize, usize)> {
+    let end = offset + len;
+    let first = offset / DIRTY_BLOCK_SIZE;
+    let last = end.div_ceil(DIRTY_BLOCK_SIZE);
+    (first..last).map(move |b| {
+        let s = (b * DIRTY_BLOCK_SIZE).max(offset);
+        let e = ((b + 1) * DIRTY_BLOCK_SIZE).min(end);
+        (b, s, e - s)
+    })
+}
 
 #[derive(Debug, Clone)]
 struct Chunk {
@@ -22,17 +59,34 @@ struct Chunk {
     table: Option<TableId>,
     offset: usize,
     len: usize,
+    /// Whole-chunk golden CRC — what a full scan compares against.
     golden: u32,
+    /// Live per-block CRCs. Entry `i` is trusted iff global block
+    /// `first_block + i` is not dirty (every mutation sets the bit, and
+    /// the bit is only cleared after this cache was re-verified).
+    block_live: Vec<u32>,
+    /// Checks since the last all-blocks re-hash of this chunk.
+    passes_since_full: u32,
 }
 
 /// The static-data audit element.
 #[derive(Debug, Clone)]
 pub struct StaticDataAudit {
     chunks: Vec<Chunk>,
+    /// Fold operators, one per distinct block byte-length seen (at most
+    /// a handful: full blocks plus chunk-boundary fragments).
+    shifts: Vec<Crc32Shift>,
     /// Detect-only mode: mismatching chunks are flagged (with their
     /// extent as the finding target) instead of reloaded, so an
     /// external recovery engine can schedule and verify the repair.
     pub deferred: bool,
+    /// Change-aware mode: skip chunks with no dirty blocks and re-hash
+    /// only dirty blocks elsewhere. Off by default (full rescan every
+    /// cycle, the paper's baseline behavior).
+    pub incremental: bool,
+    /// Every `n`-th check of a chunk re-hashes all of its blocks even
+    /// in incremental mode (0 = never force a full sweep).
+    pub full_rescan_period: u32,
 }
 
 impl StaticDataAudit {
@@ -40,44 +94,64 @@ impl StaticDataAudit {
     /// (assumed pristine) database image.
     pub fn new(db: &Database) -> Self {
         let catalog = db.catalog();
-        let mut chunks = vec![Chunk {
-            table: None,
-            offset: 0,
-            len: catalog.catalog_len(),
-            golden: crc32(&db.region()[..catalog.catalog_len()]),
-        }];
+        let mut regions = vec![(None, 0usize, catalog.catalog_len())];
         for tm in catalog.tables() {
             if tm.def.nature == TableNature::Config {
-                let (offset, len) = (tm.offset, tm.data_len());
-                chunks.push(Chunk {
-                    table: Some(tm.id),
-                    offset,
-                    len,
-                    golden: crc32(&db.region()[offset..offset + len]),
-                });
+                regions.push((Some(tm.id), tm.offset, tm.data_len()));
             }
         }
-        StaticDataAudit { chunks, deferred: false }
+        let chunks = regions
+            .into_iter()
+            .map(|(table, offset, len)| Chunk {
+                table,
+                offset,
+                len,
+                golden: crc32(&db.region()[offset..offset + len]),
+                block_live: block_spans(offset, len)
+                    .map(|(_, s, l)| crc32(&db.region()[s..s + l]))
+                    .collect(),
+                passes_since_full: 0,
+            })
+            .collect();
+        StaticDataAudit {
+            chunks,
+            shifts: Vec::new(),
+            deferred: false,
+            incremental: false,
+            full_rescan_period: 0,
+        }
+    }
+
+    /// The fold operator for a `len`-byte block, built once per
+    /// distinct length.
+    fn shift_for(&mut self, len: usize) -> Crc32Shift {
+        if let Some(s) = self.shifts.iter().find(|s| s.len() == len) {
+            return *s;
+        }
+        let s = Crc32Shift::new(len);
+        self.shifts.push(s);
+        s
     }
 
     /// Repairs (or, deferred, flags) one mismatching chunk.
     fn handle_mismatch(
         &self,
         db: &mut Database,
-        chunk: &Chunk,
+        table: Option<TableId>,
+        (offset, len): (usize, usize),
         at: SimTime,
         detail: String,
         out: &mut Vec<Finding>,
     ) {
-        let target = Some(FindingTarget::Range { offset: chunk.offset, len: chunk.len });
+        let target = Some(FindingTarget::Range { offset, len });
         if self.deferred {
-            if let Some(t) = chunk.table {
+            if let Some(t) = table {
                 db.note_errors_detected(t, 1);
             }
             out.push(Finding {
                 element: AuditElementKind::StaticData,
                 at,
-                table: chunk.table,
+                table,
                 record: None,
                 detail,
                 action: RecoveryAction::Flagged,
@@ -86,22 +160,86 @@ impl StaticDataAudit {
             });
             return;
         }
-        db.reload_range(chunk.offset, chunk.len).expect("chunk extents are within the region");
-        let caught =
-            db.taint_mut().resolve_range(chunk.offset, chunk.len, TaintFate::Caught { at });
-        if let Some(t) = chunk.table {
+        db.reload_range(offset, len).expect("chunk extents are within the region");
+        let caught = db.taint_mut().resolve_range(offset, len, TaintFate::Caught { at });
+        if let Some(t) = table {
             db.note_errors_detected(t, caught.len().max(1) as u64);
         }
         out.push(Finding {
             element: AuditElementKind::StaticData,
             at,
-            table: chunk.table,
+            table,
             record: None,
             detail,
-            action: RecoveryAction::ReloadedRange { offset: chunk.offset, len: chunk.len },
+            action: RecoveryAction::ReloadedRange { offset, len },
             target,
             caught,
         });
+    }
+
+    /// Checks chunk `ci`, incrementally when allowed. On mismatch the
+    /// finding (and recovery) is identical to a full scan's, because
+    /// the folded per-block CRC equals the whole-chunk CRC exactly.
+    fn check_chunk(
+        &mut self,
+        db: &mut Database,
+        ci: usize,
+        at: SimTime,
+        detail: impl FnOnce(Option<TableId>) -> String,
+        out: &mut Vec<Finding>,
+    ) {
+        let (table, offset, len) = {
+            let c = &self.chunks[ci];
+            (c.table, c.offset, c.len)
+        };
+        if len == 0 {
+            return;
+        }
+        let due_full = self.full_rescan_period > 0
+            && self.chunks[ci].passes_since_full + 1 >= self.full_rescan_period;
+        let use_dirty_bits = self.incremental && !due_full;
+
+        if use_dirty_bits && !db.dirty().any_dirty_in(offset, len) {
+            // Nothing mutated any block since the last verified-clean
+            // pass: the chunk is provably unchanged.
+            self.chunks[ci].passes_since_full += 1;
+            return;
+        }
+
+        // Fold per-block CRCs, re-hashing only what may have changed.
+        let first_block = offset / DIRTY_BLOCK_SIZE;
+        let mut folded = 0u32;
+        let mut first = true;
+        for (b, s, l) in block_spans(offset, len) {
+            let recompute = !use_dirty_bits || db.dirty().is_dirty(b);
+            let c = if recompute {
+                let v = crc32(&db.region()[s..s + l]);
+                self.chunks[ci].block_live[b - first_block] = v;
+                v
+            } else {
+                self.chunks[ci].block_live[b - first_block]
+            };
+            folded = if first {
+                first = false;
+                c
+            } else {
+                self.shift_for(l).combine(folded, c)
+            };
+        }
+        self.chunks[ci].passes_since_full =
+            if due_full || !self.incremental { 0 } else { self.chunks[ci].passes_since_full + 1 };
+
+        if folded == self.chunks[ci].golden {
+            // Verified clean: the cached block CRCs are now trusted, so
+            // the bits may drop. Boundary blocks shared with neighbors
+            // stay dirty (only partially verified here).
+            db.dirty_mut().clear_contained(offset, len);
+            return;
+        }
+        // Mismatch: dirty bits stay set (deferred mode must re-flag
+        // next cycle exactly like a full scan; a repair re-marks the
+        // range anyway).
+        self.handle_mismatch(db, table, (offset, len), at, detail(table), out);
     }
 
     /// Number of protected chunks (catalog + config tables).
@@ -109,28 +247,32 @@ impl StaticDataAudit {
         self.chunks.len()
     }
 
-    /// Re-derives the golden checksums from the *current* image. Call
-    /// after a legitimate configuration change.
+    /// Re-derives the golden checksums (whole-chunk and per-block) from
+    /// the *current* image. Call after a legitimate configuration
+    /// change.
     pub fn rebaseline(&mut self, db: &Database) {
         for chunk in &mut self.chunks {
             chunk.golden = crc32(&db.region()[chunk.offset..chunk.offset + chunk.len]);
+            for (i, (_, s, l)) in block_spans(chunk.offset, chunk.len).enumerate() {
+                chunk.block_live[i] = crc32(&db.region()[s..s + l]);
+            }
         }
     }
 
     /// Checks every chunk; on mismatch reloads the affected portion
     /// from the golden disk image.
     pub fn audit(&mut self, db: &mut Database, at: SimTime, out: &mut Vec<Finding>) {
-        let chunks = self.chunks.clone();
-        for chunk in &chunks {
-            let bytes = &db.region()[chunk.offset..chunk.offset + chunk.len];
-            if crc32(bytes) == chunk.golden {
-                continue;
-            }
-            let detail = match chunk.table {
-                Some(t) => format!("checksum mismatch in config table {}", t.0),
-                None => "checksum mismatch in system catalog".to_owned(),
-            };
-            self.handle_mismatch(db, chunk, at, detail, out);
+        for ci in 0..self.chunks.len() {
+            self.check_chunk(
+                db,
+                ci,
+                at,
+                |table| match table {
+                    Some(t) => format!("checksum mismatch in config table {}", t.0),
+                    None => "checksum mismatch in system catalog".to_owned(),
+                },
+                out,
+            );
         }
     }
 
@@ -145,20 +287,11 @@ impl StaticDataAudit {
         at: SimTime,
         out: &mut Vec<Finding>,
     ) {
-        let indices: Vec<usize> = self
-            .chunks
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.table.is_none() || c.table == Some(table))
-            .map(|(i, _)| i)
-            .collect();
-        for i in indices {
-            let chunk = self.chunks[i].clone();
-            let bytes = &db.region()[chunk.offset..chunk.offset + chunk.len];
-            if crc32(bytes) == chunk.golden {
-                continue;
+        for ci in 0..self.chunks.len() {
+            let t = self.chunks[ci].table;
+            if t.is_none() || t == Some(table) {
+                self.check_chunk(db, ci, at, |_| "checksum mismatch".to_owned(), out);
             }
-            self.handle_mismatch(db, &chunk, at, "checksum mismatch".to_owned(), out);
         }
     }
 
@@ -261,5 +394,108 @@ mod tests {
         // API's job.)
         assert!(out.is_empty());
         assert!(audit.matches_catalog(d.catalog()));
+    }
+
+    #[test]
+    fn incremental_detects_raw_corruption() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        audit.incremental = true;
+        // A clean incremental pass first, so dirty bits from build-time
+        // activity (none) are settled.
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        // Raw injector flip inside the catalog: the bitmap must catch
+        // it even though no API call was involved.
+        d.flip_bit(10, 3).unwrap();
+        audit.audit(&mut d, SimTime::from_secs(1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].table.is_none());
+        // Repaired; a further pass is clean again.
+        let mut out2 = Vec::new();
+        audit.audit(&mut d, SimTime::from_secs(2), &mut out2);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn incremental_skips_clean_chunks_and_clears_bits() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        audit.incremental = true;
+        // Dirty one catalog block, then verify clean (bytes unchanged
+        // when we poke the same value back).
+        let byte = d.peek(0, 1).unwrap()[0];
+        d.poke(0, &[byte]).unwrap();
+        assert!(d.dirty().any_dirty_in(0, 1));
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        // The verified-clean pass dropped the catalog's contained bits.
+        let cat_len = d.catalog().catalog_len();
+        let contained_end = (cat_len / wtnc_db::DIRTY_BLOCK_SIZE) * wtnc_db::DIRTY_BLOCK_SIZE;
+        assert!(!d.dirty().any_dirty_in(0, contained_end.max(1)));
+    }
+
+    #[test]
+    fn deferred_incremental_reflags_every_cycle() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        audit.incremental = true;
+        audit.deferred = true;
+        d.flip_bit(4, 0).unwrap();
+        let mut out = Vec::new();
+        audit.audit(&mut d, SimTime::ZERO, &mut out);
+        audit.audit(&mut d, SimTime::from_secs(1), &mut out);
+        // Flag-only mode leaves the corruption (and the dirty bits) in
+        // place, so both cycles report it — same as a full scan.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.action == RecoveryAction::Flagged));
+    }
+
+    #[test]
+    fn full_rescan_period_forces_a_sweep() {
+        let mut d = db();
+        let mut audit = StaticDataAudit::new(&d);
+        audit.incremental = true;
+        audit.full_rescan_period = 3;
+        let mut out = Vec::new();
+        // Every third check of a chunk re-hashes all blocks; on the
+        // other passes a clean chunk is skipped via the bitmap. The
+        // observable contract: repeated clean audits stay clean and
+        // corruption introduced at any point is still caught.
+        for i in 0..4 {
+            audit.audit(&mut d, SimTime::from_secs(i), &mut out);
+        }
+        assert!(out.is_empty());
+        d.flip_bit(4, 2).unwrap();
+        for i in 4..8 {
+            audit.audit(&mut d, SimTime::from_secs(i), &mut out);
+        }
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn incremental_and_full_agree_on_every_single_byte_corruption() {
+        // Corrupt each chunk at a few offsets; the incremental fold
+        // must flag exactly when the full scan does.
+        let d0 = db();
+        let reference = StaticDataAudit::new(&d0);
+        for ci in 0..reference.chunks.len() {
+            let (offset, len) = (reference.chunks[ci].offset, reference.chunks[ci].len);
+            for probe in [0, len / 3, len / 2, len - 1] {
+                let mut d = db();
+                let mut full = StaticDataAudit::new(&d);
+                let mut incr = StaticDataAudit::new(&d);
+                incr.incremental = true;
+                incr.deferred = true;
+                full.deferred = true;
+                d.flip_bit(offset + probe, 5).unwrap();
+                let (mut of, mut oi) = (Vec::new(), Vec::new());
+                full.audit(&mut d, SimTime::ZERO, &mut of);
+                incr.audit(&mut d, SimTime::ZERO, &mut oi);
+                assert_eq!(of, oi, "chunk {ci} probe {probe}");
+            }
+        }
     }
 }

@@ -16,6 +16,7 @@ use wtnc_db::{Database, RecordRef, TableId, TaintFate};
 use wtnc_sim::SimTime;
 
 use crate::finding::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
+use crate::genskip::GenSkip;
 
 /// The structural audit element.
 #[derive(Debug, Clone)]
@@ -28,6 +29,13 @@ pub struct StructuralAudit {
     /// consecutive-damage escalation is left to the recovery engine's
     /// ladder.
     pub deferred: bool,
+    /// Change-aware mode: skip records whose generation is unchanged
+    /// since they were last verified clean. Off by default.
+    pub incremental: bool,
+    /// Every `n`-th pass over a table ignores generations even in
+    /// incremental mode (0 = never force a full sweep).
+    pub full_rescan_period: u32,
+    skip: GenSkip,
 }
 
 impl Default for StructuralAudit {
@@ -40,7 +48,13 @@ impl StructuralAudit {
     /// Creates the element. `escalation_threshold` consecutive damaged
     /// headers in one table escalate to a full reload.
     pub fn new(escalation_threshold: u32) -> Self {
-        StructuralAudit { escalation_threshold: escalation_threshold.max(2), deferred: false }
+        StructuralAudit {
+            escalation_threshold: escalation_threshold.max(2),
+            deferred: false,
+            incremental: false,
+            full_rescan_period: 0,
+            skip: GenSkip::default(),
+        }
     }
 
     /// Audits one table's headers; returns the number of records
@@ -59,11 +73,20 @@ impl StructuralAudit {
         let record_count = tm.def.record_count;
         let record_size = tm.record_size;
         let table_offset = tm.offset;
+        let due_full = self.skip.begin_pass(table, record_count as usize, self.full_rescan_period);
+        let use_gen = self.incremental && !due_full;
         let mut consecutive = 0u32;
         let mut damaged: Vec<u32> = Vec::new();
 
         for index in 0..record_count {
             let rec = RecordRef::new(table, index);
+            let gen = db.record_generation(rec);
+            if use_gen && self.skip.is_clean(table, index, gen) {
+                // Provably unchanged since its last verified-clean
+                // check: a full scan would find it clean too.
+                consecutive = 0;
+                continue;
+            }
             let hdr = db.header(rec).expect("index within table");
             let expected_id = encode_record_id(table.0, index);
             let id_ok = hdr.record_id == expected_id;
@@ -73,6 +96,7 @@ impl StructuralAudit {
 
             if id_ok && status_ok && links_ok {
                 consecutive = 0;
+                self.skip.set_clean(table, index, gen);
                 continue;
             }
             damaged.push(index);

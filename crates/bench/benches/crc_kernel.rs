@@ -1,0 +1,21 @@
+//! CRC-32 kernel microbenchmark: the slice-by-8 kernel against the
+//! one-byte-at-a-time reference it replaced in the static-data audit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wtnc::db::{crc32, crc32_bytewise};
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc_kernel");
+    for size in [64usize, 256, 4096, 65536] {
+        let data: Vec<u8> = (0..size).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("slice8", size), &data, |b, d| b.iter(|| crc32(d)));
+        group.bench_with_input(BenchmarkId::new("bytewise", size), &data, |b, d| {
+            b.iter(|| crc32_bytewise(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc);
+criterion_main!(benches);

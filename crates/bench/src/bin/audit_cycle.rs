@@ -1,0 +1,175 @@
+//! Incremental-audit cycle benchmark: wall-clock time of one audit
+//! cycle, full-scan vs change-aware, across dirty-block fractions.
+//!
+//! Each measured cycle first touches a controlled fraction of the
+//! database's 256-byte blocks with *valid* writes (the workload the
+//! incremental engine targets: mutated but correct data), then times
+//! `AuditProcess::run_cycle` in both worlds. The incremental world
+//! re-checksums only the dirty blocks and generation-skips unchanged
+//! records; the full world scans everything every time.
+//!
+//! Emits `results/BENCH_audit_cycle.json`. Set `WTNC_BENCH_SMOKE=1`
+//! for a one-iteration CI smoke pass.
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin audit_cycle
+//! ```
+
+use std::time::Instant;
+
+use wtnc::audit::{AuditConfig, AuditProcess};
+use wtnc::db::{schema, Database, DbApi, DIRTY_BLOCK_SIZE};
+use wtnc::sim::{ProcessRegistry, SimTime};
+
+const SLOTS: u32 = 512;
+
+fn populated_db() -> Database {
+    let mut db = Database::build(schema::standard_schema_with_slots(SLOTS)).unwrap();
+    // Fill ~70% of the dynamic tables with linked call loops so the
+    // structural/range/semantic elements have real records to walk.
+    for _ in 0..(SLOTS * 7 / 10) {
+        let p = db.alloc_record_raw(schema::PROCESS_TABLE).unwrap();
+        let c = db.alloc_record_raw(schema::CONNECTION_TABLE).unwrap();
+        let r = db.alloc_record_raw(schema::RESOURCE_TABLE).unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::PROCESS_TABLE, p),
+            schema::process::CONNECTION_ID,
+            c as u64,
+        )
+        .unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::CONNECTION_TABLE, c),
+            schema::connection::CHANNEL_ID,
+            r as u64,
+        )
+        .unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::RESOURCE_TABLE, r),
+            schema::resource::PROCESS_ID,
+            p as u64,
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Touches `frac` of the region's blocks with same-value writes:
+/// the dirty tracker marks them (and bumps the owning records'
+/// generations) but the data stays valid, so the audits re-verify
+/// and find nothing — the steady-state cost being measured.
+fn touch_blocks(db: &mut Database, frac: f64, salt: usize) -> usize {
+    let n_blocks = db.region_len() / DIRTY_BLOCK_SIZE;
+    let k = ((n_blocks as f64 * frac) as usize).max(1);
+    for i in 0..k {
+        let block = (i * n_blocks / k + salt) % n_blocks;
+        let offset = block * DIRTY_BLOCK_SIZE + (salt * 7 + i) % DIRTY_BLOCK_SIZE;
+        let byte = db.region()[offset];
+        db.poke(offset, &[byte]).unwrap();
+    }
+    k
+}
+
+struct World {
+    db: Database,
+    api: DbApi,
+    registry: ProcessRegistry,
+    audit: AuditProcess,
+    tick: u64,
+}
+
+impl World {
+    fn new(base: &Database, incremental: bool) -> Self {
+        let db = base.clone();
+        let audit = AuditProcess::new(
+            AuditConfig {
+                incremental,
+                // Steady-state incremental cost: periodic forced
+                // sweeps are benchmarked by the full-scan world.
+                full_rescan_period: 0,
+                ..AuditConfig::default()
+            },
+            &db,
+        );
+        World { db, api: DbApi::new(), registry: ProcessRegistry::new(), audit, tick: 0 }
+    }
+
+    /// Runs one cycle and returns (elapsed seconds, findings count).
+    fn cycle(&mut self) -> (f64, usize) {
+        self.tick += 10;
+        let at = SimTime::from_secs(self.tick);
+        let start = Instant::now();
+        let report = self.audit.run_cycle(&mut self.db, &mut self.api, &mut self.registry, at);
+        (start.elapsed().as_secs_f64(), report.findings.len())
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("WTNC_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let iters: usize = if smoke { 1 } else { 40 };
+    let base = populated_db();
+    let n_blocks = base.region_len() / DIRTY_BLOCK_SIZE;
+
+    println!(
+        "Audit cycle: full scan vs incremental ({} slots, {} KiB region, {} blocks, {iters} iters)\n",
+        SLOTS,
+        base.region_len() / 1024,
+        n_blocks
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>9}",
+        "dirty %", "blocks", "full (us)", "incr (us)", "speedup"
+    );
+
+    let mut points = String::new();
+    for &frac in &[0.01f64, 0.05, 0.10, 0.25, 0.50] {
+        let mut full = World::new(&base, false);
+        let mut incr = World::new(&base, true);
+        // Warm-up cycle: establishes the verified-clean baseline both
+        // engines skip from (and faults in the CRC tables).
+        full.cycle();
+        incr.cycle();
+
+        let (mut t_full, mut t_incr, mut touched) = (0.0f64, 0.0f64, 0usize);
+        for i in 0..iters {
+            touched = touch_blocks(&mut full.db, frac, i + 1);
+            touch_blocks(&mut incr.db, frac, i + 1);
+            let (tf, ff) = full.cycle();
+            let (ti, fi) = incr.cycle();
+            assert_eq!(ff, fi, "parity violated: full={ff} incremental={fi} findings");
+            assert_eq!(ff, 0, "valid writes must produce no findings");
+            t_full += tf;
+            t_incr += ti;
+        }
+        let (avg_full, avg_incr) = (t_full / iters as f64, t_incr / iters as f64);
+        let speedup = avg_full / avg_incr.max(1e-12);
+        println!(
+            "{:>8.0} {:>8} {:>12.1} {:>12.1} {:>8.1}x",
+            frac * 100.0,
+            touched,
+            avg_full * 1e6,
+            avg_incr * 1e6,
+            speedup
+        );
+        points.push_str(&format!(
+            "    {{\"dirty_frac\": {frac}, \"dirty_blocks\": {touched}, \
+             \"full_cycle_us\": {:.2}, \"incremental_cycle_us\": {:.2}, \
+             \"speedup\": {:.2}}},\n",
+            avg_full * 1e6,
+            avg_incr * 1e6,
+            speedup
+        ));
+    }
+    let points = points.trim_end_matches(",\n").to_string();
+
+    let json = format!(
+        "{{\n  \"bench\": \"audit_cycle\",\n  \"slots\": {SLOTS},\n  \
+         \"region_bytes\": {},\n  \"block_size\": {DIRTY_BLOCK_SIZE},\n  \
+         \"iters\": {iters},\n  \"smoke\": {smoke},\n  \"points\": [\n{points}\n  ]\n}}\n",
+        base.region_len()
+    );
+    let path = "results/BENCH_audit_cycle.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

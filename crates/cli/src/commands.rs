@@ -31,7 +31,7 @@ USAGE:
     wtnc audit-demo                        inject -> detect -> repair
     wtnc recover [--budget N]              detect -> diagnose -> repair
                                            -> verify walkthrough
-    wtnc campaign db [--runs N] [--no-audit]
+    wtnc campaign db [--runs N] [--no-audit] [--no-incremental]
     wtnc campaign text [--runs N] [--directed]
     wtnc campaign priority [--runs N] [--proportional]
     wtnc campaign recovery [--runs N] [--budget N]
@@ -313,8 +313,10 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         ["db"] => {
             let runs: usize = flag_num(&flags, "runs", 5)?;
             let audits = !flags.contains_key("no-audit");
+            let incremental = !flags.contains_key("no-incremental");
             let config = DbCampaignConfig {
                 audits,
+                incremental,
                 duration: SimDuration::from_secs(500),
                 ..DbCampaignConfig::default()
             };
@@ -322,7 +324,15 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             println!(
                 "db campaign ({runs} runs, audits {}): injected {}, escaped {} ({:.1}%), \
                  caught {} ({:.1}%), no effect {} ({:.1}%), setup {:.0} ms",
-                if audits { "on" } else { "off" },
+                if audits {
+                    if incremental {
+                        "on"
+                    } else {
+                        "on, full-scan"
+                    }
+                } else {
+                    "off"
+                },
                 r.injected,
                 r.escaped,
                 r.escaped_pct(),
@@ -438,6 +448,7 @@ mod tests {
     #[test]
     fn campaign_db_runs() {
         campaign(&strings(&["db", "--runs", "1"])).unwrap();
+        campaign(&strings(&["db", "--runs", "1", "--no-incremental"])).unwrap();
     }
 
     #[test]

@@ -4,26 +4,60 @@
 //! region by computing a golden checksum of all static data at startup
 //! and comparing it with a periodically computed checksum (32-bit
 //! Cyclic Redundancy Code)" (§4.3.1). This is the classic reflected
-//! polynomial 0xEDB88320 with a lazily built lookup table.
+//! polynomial 0xEDB88320.
+//!
+//! Two things make the audit's hot loop fast:
+//!
+//! * [`crc32`] is a **slice-by-8** kernel: eight lazily built lookup
+//!   tables let the loop consume 8 bytes per step instead of one,
+//!   which on typical hardware is ~4–6× faster than the classic
+//!   bytewise loop (kept as [`crc32_bytewise`] for reference and for
+//!   the `crc_kernel` microbench).
+//! * [`crc32_combine`] (and its amortized form [`Crc32Shift`]) folds
+//!   per-block CRCs into the CRC of the concatenation without touching
+//!   the bytes again, so the incremental static-data audit can verify
+//!   a whole-chunk golden checksum while re-reading only dirty blocks.
 
 use std::sync::OnceLock;
 
-fn table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+/// The reflected CRC-32 (IEEE) polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             }
-            *entry = c;
+            *slot = c;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
         }
         t
     })
 }
 
-/// Computes the CRC-32 (IEEE) of `data`.
+/// Computes the CRC-32 (IEEE) of `data` one byte at a time — the
+/// reference kernel. Prefer [`crc32`]; this exists so tests can prove
+/// the fast kernel equivalent and the microbench can quantify the
+/// speedup.
+pub fn crc32_bytewise(data: &[u8]) -> u32 {
+    let t = &tables()[0];
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Computes the CRC-32 (IEEE) of `data` with a slice-by-8 kernel.
 ///
 /// # Example
 ///
@@ -34,12 +68,141 @@ fn table() -> &'static [u32; 256] {
 /// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
+    let t = tables();
     let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][((lo >> 24) & 0xFF) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][((hi >> 24) & 0xFF) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// CRC combination (zlib's gf2-matrix technique).
+//
+// A CRC is linear over GF(2): appending `len2` bytes of zeroes to a
+// message transforms its CRC by a fixed 32×32 bit-matrix that depends
+// only on `len2`. crc(A ‖ B) is then shift(crc(A), |B|) ^ crc(B).
+// ---------------------------------------------------------------------------
+
+/// A 32×32 GF(2) matrix: column `i` is the image of bit `i`.
+type Gf2Matrix = [u32; 32];
+
+fn gf2_matrix_times(mat: &Gf2Matrix, mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+fn gf2_matrix_square(square: &mut Gf2Matrix, mat: &Gf2Matrix) {
+    for i in 0..32 {
+        square[i] = gf2_matrix_times(mat, mat[i]);
+    }
+}
+
+/// The linear operator advancing a CRC across `len` zero bytes.
+///
+/// Building one costs a handful of 32×32 matrix squarings; applying it
+/// is 32 XORs. The incremental static-data audit builds the operator
+/// for its block size once and reuses it for every fold step, which is
+/// what makes per-block CRC folding cheaper than re-hashing the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32Shift {
+    mat: Gf2Matrix,
+    len: usize,
+}
+
+impl Crc32Shift {
+    /// Builds the shift operator for `len` bytes.
+    pub fn new(len: usize) -> Self {
+        // The operator for one zero *bit* (the register shifts right;
+        // a popped 1-bit folds the polynomial back in).
+        let mut span: Gf2Matrix = [0; 32];
+        span[0] = POLY;
+        let mut row = 1u32;
+        for entry in span.iter_mut().skip(1) {
+            *entry = row;
+            row <<= 1;
+        }
+        // Identity operator (len == 0 must be a no-op).
+        let mut acc: Gf2Matrix = [0; 32];
+        for (i, entry) in acc.iter_mut().enumerate() {
+            *entry = 1u32 << i;
+        }
+        // Square-and-multiply over the bit length.
+        let mut bits = (len as u64) * 8;
+        while bits != 0 {
+            if bits & 1 != 0 {
+                let mut next: Gf2Matrix = [0; 32];
+                for (i, entry) in next.iter_mut().enumerate() {
+                    *entry = gf2_matrix_times(&span, acc[i]);
+                }
+                acc = next;
+            }
+            bits >>= 1;
+            if bits != 0 {
+                let mut sq: Gf2Matrix = [0; 32];
+                gf2_matrix_square(&mut sq, &span);
+                span = sq;
+            }
+        }
+        Crc32Shift { mat: acc, len }
+    }
+
+    /// The byte length this operator advances across.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when this is the zero-length (identity) operator.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `crc32(A ‖ B)` from `crc1 = crc32(A)` and `crc2 = crc32(B)`,
+    /// where `B` is exactly [`Crc32Shift::len`] bytes long.
+    pub fn combine(&self, crc1: u32, crc2: u32) -> u32 {
+        if self.len == 0 {
+            return crc1;
+        }
+        // Undo / redo the final complement so the pure linear shift
+        // applies to the raw register value.
+        gf2_matrix_times(&self.mat, crc1) ^ crc2
+    }
+}
+
+/// Combines `crc1 = crc32(A)` and `crc2 = crc32(B)` into
+/// `crc32(A ‖ B)`, where `len2` is the byte length of `B`.
+///
+/// # Example
+///
+/// ```
+/// use wtnc_db::{crc32, crc32_combine};
+///
+/// let (a, b) = (b"1234".as_slice(), b"56789".as_slice());
+/// assert_eq!(crc32_combine(crc32(a), crc32(b), b.len()), crc32(b"123456789"));
+/// ```
+pub fn crc32_combine(crc1: u32, crc2: u32, len2: usize) -> u32 {
+    Crc32Shift::new(len2).combine(crc1, crc2)
 }
 
 #[cfg(test)]
@@ -51,6 +214,20 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn bytewise_and_slice8_agree() {
+        let mut data = Vec::new();
+        let mut x = 0x1234_5678u32;
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 255, 256, 1024, 4093] {
+            data.clear();
+            for _ in 0..len {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                data.push((x >> 24) as u8);
+            }
+            assert_eq!(crc32(&data), crc32_bytewise(&data), "len {len}");
+        }
     }
 
     #[test]
@@ -69,5 +246,40 @@ mod tests {
     #[test]
     fn order_sensitive() {
         assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+
+    #[test]
+    fn combine_equals_whole_buffer_crc() {
+        let data: Vec<u8> = (0..1500u32).map(|i| (i.wrapping_mul(37) >> 3) as u8).collect();
+        for split in [0usize, 1, 8, 255, 256, 257, 749, 1499, 1500] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32_combine(crc32(a), crc32(b), b.len()), crc32(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn shift_operator_folds_many_blocks() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i ^ (i >> 5)) as u8).collect();
+        let block = 256usize;
+        let shift = Crc32Shift::new(block);
+        assert_eq!(shift.len(), block);
+        let mut folded = 0u32;
+        let mut first = true;
+        for chunk in data.chunks(block) {
+            let c = crc32(chunk);
+            folded = if first {
+                first = false;
+                c
+            } else {
+                shift.combine(folded, c)
+            };
+        }
+        assert_eq!(folded, crc32(&data));
+    }
+
+    #[test]
+    fn combine_with_empty_suffix_is_identity() {
+        let c = crc32(b"hello");
+        assert_eq!(crc32_combine(c, crc32(b""), 0), c);
     }
 }

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use wtnc_sim::{Pid, SimTime};
 
 use crate::catalog::{Catalog, FieldId, TableDef, TableId, TableNature};
+use crate::dirty::{DirtyTracker, DIRTY_BLOCK_SIZE};
 use crate::error::DbError;
 use crate::layout::{
     encode_record_id, read_le, write_le, HDR_GROUP, HDR_NEXT, HDR_PREV, HDR_RECORD_ID, HDR_STATUS,
@@ -99,6 +100,15 @@ pub struct Database {
     /// Per-table scan hints making sequential allocation O(1)
     /// amortized.
     alloc_hints: Vec<u32>,
+    /// Per-block dirty bitmap, marked by every region mutation.
+    dirty: DirtyTracker,
+    /// Monotonic mutation counter; bumped once per region mutation.
+    global_gen: u64,
+    /// Per-table generation: `global_gen` at the table's last mutation.
+    table_gen: Vec<u64>,
+    /// Per-record generation: `global_gen` at the record's last
+    /// mutation.
+    record_gen: Vec<Vec<u64>>,
 }
 
 impl Database {
@@ -143,7 +153,23 @@ impl Database {
 
         let golden = region.clone();
         let alloc_hints = vec![0; catalog.table_count()];
-        Ok(Database { region, golden, catalog, meta, stats, taint: TaintMap::new(), alloc_hints })
+        let dirty = DirtyTracker::new(region.len(), DIRTY_BLOCK_SIZE);
+        let table_gen = vec![0u64; catalog.table_count()];
+        let record_gen =
+            catalog.tables().map(|tm| vec![0u64; tm.def.record_count as usize]).collect();
+        Ok(Database {
+            region,
+            golden,
+            catalog,
+            meta,
+            stats,
+            taint: TaintMap::new(),
+            alloc_hints,
+            dirty,
+            global_gen: 0,
+            table_gen,
+            record_gen,
+        })
     }
 
     /// The parsed (trusted) catalog. The audit process holds layout
@@ -171,6 +197,93 @@ impl Database {
     /// The ground-truth taint ledger.
     pub fn taint(&self) -> &TaintMap {
         &self.taint
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty-block tracking and mutation generations.
+    //
+    // Every region mutation funnels through poke / flip_bit /
+    // reload_range / reload_all / write_header / write_field_raw, and
+    // each of those calls `mark_dirty` — including the injector's raw
+    // bit flips, so nothing bypasses the bitmap. Audit elements consume
+    // the bitmap and generations to skip provably unchanged state.
+    // ------------------------------------------------------------------
+
+    /// Marks `[offset, offset + len)` mutated: dirties the overlapping
+    /// blocks and bumps the global, per-table and per-record
+    /// generations.
+    fn mark_dirty(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.dirty.mark_range(offset, len);
+        self.global_gen += 1;
+        let gen = self.global_gen;
+        let end = offset.saturating_add(len);
+        for tm in self.catalog.tables() {
+            let t_start = tm.offset;
+            let t_end = t_start + tm.data_len();
+            if end <= t_start || offset >= t_end {
+                continue;
+            }
+            let ti = tm.id.0 as usize;
+            self.table_gen[ti] = gen;
+            let lo = offset.max(t_start) - t_start;
+            let hi = end.min(t_end) - t_start;
+            let first = (lo / tm.record_size) as u32;
+            let last = (((hi - 1) / tm.record_size) as u32).min(tm.def.record_count - 1);
+            for r in first..=last {
+                self.record_gen[ti][r as usize] = gen;
+            }
+        }
+    }
+
+    /// The per-block dirty bitmap.
+    pub fn dirty(&self) -> &DirtyTracker {
+        &self.dirty
+    }
+
+    /// Mutable access to the dirty bitmap. Audit elements clear bits
+    /// here after *verifying* (or repairing) the covered bytes; nothing
+    /// else should clear them.
+    pub fn dirty_mut(&mut self) -> &mut DirtyTracker {
+        &mut self.dirty
+    }
+
+    /// The global mutation generation: bumped once per region
+    /// mutation, never reset.
+    pub fn mutation_generation(&self) -> u64 {
+        self.global_gen
+    }
+
+    /// Generation of the last mutation overlapping `table` (0 = never
+    /// mutated since build, or unknown table).
+    pub fn table_generation(&self, table: TableId) -> u64 {
+        self.table_gen.get(table.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Generation of the last mutation overlapping the record slot
+    /// (0 = never mutated since build, or unknown slot).
+    pub fn record_generation(&self, rec: RecordRef) -> u64 {
+        self.record_gen
+            .get(rec.table.0 as usize)
+            .and_then(|t| t.get(rec.index as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of `table`'s blocks currently dirty, in `[0, 1]`
+    /// (0 for unknown tables). Feeds the scheduler's dirty-density
+    /// priority signal.
+    pub fn dirty_density(&self, table: TableId) -> f64 {
+        let Ok(tm) = self.catalog.table(table) else {
+            return 0.0;
+        };
+        let blocks = self.dirty.count_blocks_in(tm.offset, tm.data_len());
+        if blocks == 0 {
+            return 0.0;
+        }
+        self.dirty.count_dirty_in(tm.offset, tm.data_len()) as f64 / blocks as f64
     }
 
     /// Mutable access to the taint ledger (injector and classification
@@ -201,6 +314,7 @@ impl Database {
     pub fn poke(&mut self, offset: usize, bytes: &[u8]) -> Result<(), DbError> {
         self.check_bounds(offset, bytes.len())?;
         self.region[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.mark_dirty(offset, bytes.len());
         Ok(())
     }
 
@@ -220,6 +334,7 @@ impl Database {
         let old = self.region[offset];
         let new = old ^ (1 << bit);
         self.region[offset] = new;
+        self.mark_dirty(offset, 1);
         Ok((old, new))
     }
 
@@ -240,6 +355,7 @@ impl Database {
     pub fn reload_range(&mut self, offset: usize, len: usize) -> Result<(), DbError> {
         self.check_bounds(offset, len)?;
         self.region[offset..offset + len].copy_from_slice(&self.golden[offset..offset + len]);
+        self.mark_dirty(offset, len);
         Ok(())
     }
 
@@ -247,6 +363,7 @@ impl Database {
     /// escalated recovery for multi-record structural damage.
     pub fn reload_all(&mut self) {
         self.region.copy_from_slice(&self.golden);
+        self.mark_dirty(0, self.region.len());
     }
 
     /// Updates the golden image for `[offset, offset+len)` to match the
@@ -434,6 +551,7 @@ impl Database {
         r[base + HDR_GROUP] = hdr.group;
         write_le(&mut r[base + HDR_NEXT..], 2, hdr.next as u64);
         write_le(&mut r[base + HDR_PREV..], 2, hdr.prev as u64);
+        self.mark_dirty(base, RECORD_HEADER_SIZE);
         Ok(())
     }
 
@@ -481,6 +599,7 @@ impl Database {
         let off = base + tm.field_offsets[field.0 as usize];
         let width = f.width.bytes();
         write_le(&mut self.region[off..], width, value);
+        self.mark_dirty(off, width);
         Ok(())
     }
 
@@ -966,6 +1085,41 @@ mod tests {
         assert_eq!((m.reads, m.writes), (1, 1));
         let s = db.table_stats(TableId(1)).unwrap();
         assert_eq!((s.reads, s.writes), (1, 1));
+    }
+
+    #[test]
+    fn mutations_mark_dirty_blocks_and_generations() {
+        let mut db = Database::build(schema()).unwrap();
+        assert_eq!(db.dirty().dirty_count(), 0, "fresh build starts clean");
+        assert_eq!(db.mutation_generation(), 0);
+
+        // An API-path field write marks the record, table and block.
+        let t = TableId(1);
+        let i = db.alloc_record_raw(t).unwrap();
+        let rec = RecordRef::new(t, i);
+        let gen_after_alloc = db.mutation_generation();
+        assert!(gen_after_alloc > 0);
+        assert!(db.table_generation(t) > 0);
+        assert!(db.record_generation(rec) > 0);
+        assert!(db.dirty().dirty_count() > 0);
+
+        // A raw injector flip also bumps generations: nothing bypasses.
+        let (off, _) = db.field_extent(rec, FieldId(0)).unwrap();
+        db.flip_bit(off, 0).unwrap();
+        assert!(db.mutation_generation() > gen_after_alloc);
+        assert_eq!(db.record_generation(rec), db.mutation_generation());
+        assert!(db.dirty().any_dirty_in(off, 1));
+
+        // A golden reload of the slot is itself a mutation.
+        let before = db.mutation_generation();
+        let (base, size) = db.restore_record(rec).unwrap();
+        assert!(db.mutation_generation() > before);
+        assert!(db.dirty().any_dirty_in(base, size));
+
+        // Untouched table keeps generation 0. (Its dirty *density* may
+        // still be nonzero: 256-byte blocks can span table boundaries.)
+        assert_eq!(db.table_generation(TableId(0)), 0);
+        assert!(db.dirty_density(t) > 0.0);
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod api;
 mod catalog;
 mod crc;
 mod database;
+mod dirty;
 mod error;
 mod events;
 pub mod layout;
@@ -69,8 +70,9 @@ pub use api::{ApiCosts, DbApi, LockTable};
 pub use catalog::{
     Catalog, FieldDef, FieldId, FieldKind, FieldWidth, TableDef, TableId, TableNature,
 };
-pub use crc::crc32;
+pub use crc::{crc32, crc32_bytewise, crc32_combine, Crc32Shift};
 pub use database::{Database, RecordMeta, RecordRef, TableStats};
+pub use dirty::{DirtyTracker, DIRTY_BLOCK_SIZE};
 pub use error::DbError;
 pub use events::{DbEvent, DbOp};
 pub use taint::{TaintEntry, TaintFate, TaintKind, TaintMap};

@@ -37,6 +37,10 @@ pub struct DbCampaignConfig {
     /// the extension experiment closing part of the "lack of rule"
     /// escape category.
     pub selective_monitoring: bool,
+    /// Change-aware auditing: elements consult the dirty-block bitmap
+    /// and mutation generations to skip provably unchanged state. The
+    /// parity property guarantees identical findings either way.
+    pub incremental: bool,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -59,6 +63,7 @@ impl Default for DbCampaignConfig {
             workload,
             slots: 14,
             selective_monitoring: false,
+            incremental: true,
             seed: 0xDB01,
         }
     }
@@ -193,7 +198,11 @@ pub fn run_once(config: &DbCampaignConfig, seed: u64) -> DbCampaignResult {
     let mut registry = ProcessRegistry::new();
     let mut audit = config.audits.then(|| {
         let mut audit = AuditProcess::new(
-            AuditConfig { periodic_interval: config.audit_period, ..AuditConfig::default() },
+            AuditConfig {
+                periodic_interval: config.audit_period,
+                incremental: config.incremental,
+                ..AuditConfig::default()
+            },
             &db,
         );
         if config.selective_monitoring {

@@ -62,8 +62,15 @@ where
     slots.into_iter().map(|s| s.expect("every run produced a result")).collect()
 }
 
-/// A reasonable worker count for campaign runs.
+/// A reasonable worker count for campaign runs: the `WTNC_WORKERS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
 pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("WTNC_WORKERS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        if n >= 1 {
+            return n;
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8a8d2ac57684611c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8a8d2ac57684611c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_cycle-08683d54ae34e1e8.d: crates/bench/src/bin/audit_cycle.rs
+
+/root/repo/target/debug/deps/audit_cycle-08683d54ae34e1e8: crates/bench/src/bin/audit_cycle.rs
+
+crates/bench/src/bin/audit_cycle.rs:

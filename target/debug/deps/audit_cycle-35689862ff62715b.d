@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_cycle-35689862ff62715b.d: crates/bench/src/bin/audit_cycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_cycle-35689862ff62715b.rmeta: crates/bench/src/bin/audit_cycle.rs Cargo.toml
+
+crates/bench/src/bin/audit_cycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

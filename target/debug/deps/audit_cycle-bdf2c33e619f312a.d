@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_cycle-bdf2c33e619f312a.d: crates/bench/src/bin/audit_cycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_cycle-bdf2c33e619f312a.rmeta: crates/bench/src/bin/audit_cycle.rs Cargo.toml
+
+crates/bench/src/bin/audit_cycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

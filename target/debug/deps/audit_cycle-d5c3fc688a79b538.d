@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_cycle-d5c3fc688a79b538.d: crates/bench/src/bin/audit_cycle.rs
+
+/root/repo/target/debug/deps/audit_cycle-d5c3fc688a79b538: crates/bench/src/bin/audit_cycle.rs
+
+crates/bench/src/bin/audit_cycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crc_kernel-8da38b48c6f2cebb.d: crates/bench/benches/crc_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrc_kernel-8da38b48c6f2cebb.rmeta: crates/bench/benches/crc_kernel.rs Cargo.toml
+
+crates/bench/benches/crc_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

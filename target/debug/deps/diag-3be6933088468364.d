@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-3be6933088468364.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-3be6933088468364: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

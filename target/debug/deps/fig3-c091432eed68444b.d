@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-c091432eed68444b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-c091432eed68444b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c3ae9c1e528ab295.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c3ae9c1e528ab295: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-503eedc5ffa2b29b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-503eedc5ffa2b29b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-81798dc8682b9b93.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-81798dc8682b9b93: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

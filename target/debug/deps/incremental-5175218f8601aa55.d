@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental-5175218f8601aa55.d: crates/audit/tests/incremental.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental-5175218f8601aa55.rmeta: crates/audit/tests/incremental.rs Cargo.toml
+
+crates/audit/tests/incremental.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

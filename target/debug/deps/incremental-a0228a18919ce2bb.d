@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental-a0228a18919ce2bb.d: crates/audit/tests/incremental.rs
+
+/root/repo/target/debug/deps/incremental-a0228a18919ce2bb: crates/audit/tests/incremental.rs
+
+crates/audit/tests/incremental.rs:

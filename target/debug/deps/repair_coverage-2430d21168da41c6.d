@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repair_coverage-2430d21168da41c6.d: crates/bench/src/bin/repair_coverage.rs
+
+/root/repo/target/debug/deps/repair_coverage-2430d21168da41c6: crates/bench/src/bin/repair_coverage.rs
+
+crates/bench/src/bin/repair_coverage.rs:

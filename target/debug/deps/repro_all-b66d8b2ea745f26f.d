@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-b66d8b2ea745f26f.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-b66d8b2ea745f26f: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selective_ext-d4d0086ea2ab2a47.d: crates/bench/src/bin/selective_ext.rs
+
+/root/repo/target/debug/deps/selective_ext-d4d0086ea2ab2a47: crates/bench/src/bin/selective_ext.rs
+
+crates/bench/src/bin/selective_ext.rs:

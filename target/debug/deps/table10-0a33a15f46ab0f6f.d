@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-0a33a15f46ab0f6f.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-0a33a15f46ab0f6f: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f152a51dc33408b6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-f152a51dc33408b6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c78a67d34fb23f2c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c78a67d34fb23f2c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

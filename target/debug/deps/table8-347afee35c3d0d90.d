@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-347afee35c3d0d90.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-347afee35c3d0d90: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-19ca9c6eea160165.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-19ca9c6eea160165: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc-33c9abd9cf2a4982.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-33c9abd9cf2a4982.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc-33c9abd9cf2a4982.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

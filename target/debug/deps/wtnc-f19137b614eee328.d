@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/wtnc-f19137b614eee328.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/wtnc-f19137b614eee328: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/wtnc_audit-5ab29365f89bca94.d: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
+/root/repo/target/debug/deps/wtnc_audit-5ab29365f89bca94.d: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
 
-/root/repo/target/debug/deps/libwtnc_audit-5ab29365f89bca94.rlib: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
+/root/repo/target/debug/deps/libwtnc_audit-5ab29365f89bca94.rlib: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
 
-/root/repo/target/debug/deps/libwtnc_audit-5ab29365f89bca94.rmeta: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
+/root/repo/target/debug/deps/libwtnc_audit-5ab29365f89bca94.rmeta: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
 
 crates/audit/src/lib.rs:
 crates/audit/src/escalation.rs:
 crates/audit/src/finding.rs:
+crates/audit/src/genskip.rs:
 crates/audit/src/heartbeat.rs:
 crates/audit/src/process.rs:
 crates/audit/src/progress.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/wtnc_audit-631c087947803eed.d: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs Cargo.toml
+/root/repo/target/debug/deps/wtnc_audit-631c087947803eed.d: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs Cargo.toml
 
-/root/repo/target/debug/deps/libwtnc_audit-631c087947803eed.rmeta: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs Cargo.toml
+/root/repo/target/debug/deps/libwtnc_audit-631c087947803eed.rmeta: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs Cargo.toml
 
 crates/audit/src/lib.rs:
 crates/audit/src/escalation.rs:
 crates/audit/src/finding.rs:
+crates/audit/src/genskip.rs:
 crates/audit/src/heartbeat.rs:
 crates/audit/src/process.rs:
 crates/audit/src/progress.rs:

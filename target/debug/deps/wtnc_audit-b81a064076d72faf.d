@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/wtnc_audit-b81a064076d72faf.d: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
+/root/repo/target/debug/deps/wtnc_audit-b81a064076d72faf.d: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
 
-/root/repo/target/debug/deps/wtnc_audit-b81a064076d72faf: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
+/root/repo/target/debug/deps/wtnc_audit-b81a064076d72faf: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
 
 crates/audit/src/lib.rs:
 crates/audit/src/escalation.rs:
 crates/audit/src/finding.rs:
+crates/audit/src/genskip.rs:
 crates/audit/src/heartbeat.rs:
 crates/audit/src/process.rs:
 crates/audit/src/progress.rs:

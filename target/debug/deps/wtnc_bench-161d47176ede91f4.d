@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_bench-161d47176ede91f4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_bench-161d47176ede91f4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_bench-161d47176ede91f4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

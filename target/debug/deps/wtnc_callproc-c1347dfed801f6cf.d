@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_callproc-c1347dfed801f6cf.d: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/debug/deps/libwtnc_callproc-c1347dfed801f6cf.rlib: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/debug/deps/libwtnc_callproc-c1347dfed801f6cf.rmeta: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+crates/callproc/src/lib.rs:
+crates/callproc/src/asm_client.rs:
+crates/callproc/src/des_client.rs:

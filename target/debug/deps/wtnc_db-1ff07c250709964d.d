@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/wtnc_db-1ff07c250709964d.d: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+/root/repo/target/debug/deps/wtnc_db-1ff07c250709964d.d: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
 
-/root/repo/target/debug/deps/libwtnc_db-1ff07c250709964d.rlib: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+/root/repo/target/debug/deps/libwtnc_db-1ff07c250709964d.rlib: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
 
-/root/repo/target/debug/deps/libwtnc_db-1ff07c250709964d.rmeta: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+/root/repo/target/debug/deps/libwtnc_db-1ff07c250709964d.rmeta: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
 
 crates/db/src/lib.rs:
 crates/db/src/api.rs:
 crates/db/src/catalog.rs:
 crates/db/src/crc.rs:
 crates/db/src/database.rs:
+crates/db/src/dirty.rs:
 crates/db/src/error.rs:
 crates/db/src/events.rs:
 crates/db/src/layout.rs:

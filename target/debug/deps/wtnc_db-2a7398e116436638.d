@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/wtnc_db-2a7398e116436638.d: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs Cargo.toml
+/root/repo/target/debug/deps/wtnc_db-2a7398e116436638.d: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs Cargo.toml
 
-/root/repo/target/debug/deps/libwtnc_db-2a7398e116436638.rmeta: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs Cargo.toml
+/root/repo/target/debug/deps/libwtnc_db-2a7398e116436638.rmeta: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs Cargo.toml
 
 crates/db/src/lib.rs:
 crates/db/src/api.rs:
 crates/db/src/catalog.rs:
 crates/db/src/crc.rs:
 crates/db/src/database.rs:
+crates/db/src/dirty.rs:
 crates/db/src/error.rs:
 crates/db/src/events.rs:
 crates/db/src/layout.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wtnc_inject-2ffa151320270a62.d: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/recovery_campaign.rs crates/inject/src/text_campaign.rs
+
+/root/repo/target/debug/deps/libwtnc_inject-2ffa151320270a62.rlib: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/recovery_campaign.rs crates/inject/src/text_campaign.rs
+
+/root/repo/target/debug/deps/libwtnc_inject-2ffa151320270a62.rmeta: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/recovery_campaign.rs crates/inject/src/text_campaign.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/coverage.rs:
+crates/inject/src/db_campaign.rs:
+crates/inject/src/models.rs:
+crates/inject/src/outcome.rs:
+crates/inject/src/parallel.rs:
+crates/inject/src/priority_campaign.rs:
+crates/inject/src/recovery_campaign.rs:
+crates/inject/src/text_campaign.rs:

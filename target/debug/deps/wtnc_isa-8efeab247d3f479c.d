@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wtnc_isa-8efeab247d3f479c.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libwtnc_isa-8efeab247d3f479c.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libwtnc_isa-8efeab247d3f479c.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/machine.rs:
+crates/isa/src/program.rs:

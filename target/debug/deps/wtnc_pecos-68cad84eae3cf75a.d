@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_pecos-68cad84eae3cf75a.d: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/debug/deps/libwtnc_pecos-68cad84eae3cf75a.rlib: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/debug/deps/libwtnc_pecos-68cad84eae3cf75a.rmeta: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+crates/pecos/src/lib.rs:
+crates/pecos/src/instrument.rs:
+crates/pecos/src/runtime.rs:

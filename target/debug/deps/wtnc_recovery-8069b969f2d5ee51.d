@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wtnc_recovery-8069b969f2d5ee51.d: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/debug/deps/libwtnc_recovery-8069b969f2d5ee51.rlib: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/debug/deps/libwtnc_recovery-8069b969f2d5ee51.rmeta: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/engine.rs:
+crates/recovery/src/log.rs:

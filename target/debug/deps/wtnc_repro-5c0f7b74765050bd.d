@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wtnc_repro-5c0f7b74765050bd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_repro-5c0f7b74765050bd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwtnc_repro-5c0f7b74765050bd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wtnc_sim-e335c1add3befdbd.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libwtnc_sim-e335c1add3befdbd.rlib: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libwtnc_sim-e335c1add3befdbd.rmeta: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/ipc.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-cd5d0710a499e10d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-cd5d0710a499e10d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

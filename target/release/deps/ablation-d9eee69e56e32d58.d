@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-d9eee69e56e32d58.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-d9eee69e56e32d58: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

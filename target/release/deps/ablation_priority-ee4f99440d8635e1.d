@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_priority-ee4f99440d8635e1.d: crates/bench/benches/ablation_priority.rs
+
+/root/repo/target/release/deps/ablation_priority-ee4f99440d8635e1: crates/bench/benches/ablation_priority.rs
+
+crates/bench/benches/ablation_priority.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_cycle-a69748fc0ecaa056.d: crates/bench/src/bin/audit_cycle.rs
+
+/root/repo/target/release/deps/audit_cycle-a69748fc0ecaa056: crates/bench/src/bin/audit_cycle.rs
+
+crates/bench/src/bin/audit_cycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_cycle-ed1a7643fcb9e634.d: crates/bench/src/bin/audit_cycle.rs
+
+/root/repo/target/release/deps/audit_cycle-ed1a7643fcb9e634: crates/bench/src/bin/audit_cycle.rs
+
+crates/bench/src/bin/audit_cycle.rs:

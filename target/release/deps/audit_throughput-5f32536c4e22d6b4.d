@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_throughput-5f32536c4e22d6b4.d: crates/bench/benches/audit_throughput.rs
+
+/root/repo/target/release/deps/audit_throughput-5f32536c4e22d6b4: crates/bench/benches/audit_throughput.rs
+
+crates/bench/benches/audit_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_api-35041159f2acfb26.d: crates/bench/benches/concurrent_api.rs
+
+/root/repo/target/release/deps/concurrent_api-35041159f2acfb26: crates/bench/benches/concurrent_api.rs
+
+crates/bench/benches/concurrent_api.rs:

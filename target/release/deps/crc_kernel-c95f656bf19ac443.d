@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crc_kernel-c95f656bf19ac443.d: crates/bench/benches/crc_kernel.rs
+
+/root/repo/target/release/deps/crc_kernel-c95f656bf19ac443: crates/bench/benches/crc_kernel.rs
+
+crates/bench/benches/crc_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-9435e13e20df0d28.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-9435e13e20df0d28: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-c2bf457e71aac7ac.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-c2bf457e71aac7ac: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-44555d93a5c7f97b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-44555d93a5c7f97b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

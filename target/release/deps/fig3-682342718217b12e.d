@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-682342718217b12e.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-682342718217b12e: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-444f86c47bb09ab0.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-444f86c47bb09ab0: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-b4e9f8ce2b837906.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-b4e9f8ce2b837906: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

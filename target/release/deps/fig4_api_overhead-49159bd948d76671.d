@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_api_overhead-49159bd948d76671.d: crates/bench/benches/fig4_api_overhead.rs
+
+/root/repo/target/release/deps/fig4_api_overhead-49159bd948d76671: crates/bench/benches/fig4_api_overhead.rs
+
+crates/bench/benches/fig4_api_overhead.rs:

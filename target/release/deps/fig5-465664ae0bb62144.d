@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-465664ae0bb62144.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-465664ae0bb62144: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

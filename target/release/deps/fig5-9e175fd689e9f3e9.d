@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-9e175fd689e9f3e9.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-9e175fd689e9f3e9: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

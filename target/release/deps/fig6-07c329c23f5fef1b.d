@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-07c329c23f5fef1b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-07c329c23f5fef1b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

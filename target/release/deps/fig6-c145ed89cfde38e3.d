@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-c145ed89cfde38e3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-c145ed89cfde38e3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

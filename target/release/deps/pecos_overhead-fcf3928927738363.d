@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pecos_overhead-fcf3928927738363.d: crates/bench/benches/pecos_overhead.rs
+
+/root/repo/target/release/deps/pecos_overhead-fcf3928927738363: crates/bench/benches/pecos_overhead.rs
+
+crates/bench/benches/pecos_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repair_coverage-47d093584f44faf2.d: crates/bench/src/bin/repair_coverage.rs
+
+/root/repo/target/release/deps/repair_coverage-47d093584f44faf2: crates/bench/src/bin/repair_coverage.rs
+
+crates/bench/src/bin/repair_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-086c1a0123dbd569.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-086c1a0123dbd569: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

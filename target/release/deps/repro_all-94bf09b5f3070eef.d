@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-94bf09b5f3070eef.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-94bf09b5f3070eef: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

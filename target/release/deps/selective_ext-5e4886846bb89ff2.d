@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/selective_ext-5e4886846bb89ff2.d: crates/bench/src/bin/selective_ext.rs
+
+/root/repo/target/release/deps/selective_ext-5e4886846bb89ff2: crates/bench/src/bin/selective_ext.rs
+
+crates/bench/src/bin/selective_ext.rs:

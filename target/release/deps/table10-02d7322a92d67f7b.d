@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10-02d7322a92d67f7b.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/release/deps/table10-02d7322a92d67f7b: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

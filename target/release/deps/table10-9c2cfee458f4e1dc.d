@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10-9c2cfee458f4e1dc.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/release/deps/table10-9c2cfee458f4e1dc: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

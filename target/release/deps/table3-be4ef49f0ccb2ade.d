@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-be4ef49f0ccb2ade.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-be4ef49f0ccb2ade: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

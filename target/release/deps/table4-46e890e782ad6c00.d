@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-46e890e782ad6c00.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-46e890e782ad6c00: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-95bc0f77555bda96.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-95bc0f77555bda96: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

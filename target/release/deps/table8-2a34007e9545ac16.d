@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-2a34007e9545ac16.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-2a34007e9545ac16: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-4c4340a0e58c7b13.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-4c4340a0e58c7b13: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-24efd07081328281.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-24efd07081328281: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

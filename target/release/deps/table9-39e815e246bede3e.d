@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-39e815e246bede3e.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-39e815e246bede3e: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/wtnc-9b62536b8cb62ec5.d: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/wtnc-9b62536b8cb62ec5: crates/cli/src/main.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:

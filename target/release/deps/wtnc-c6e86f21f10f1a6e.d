@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wtnc-c6e86f21f10f1a6e.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/wtnc-c6e86f21f10f1a6e: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/wtnc_audit-2568695434b3f6cf.d: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
+
+/root/repo/target/release/deps/wtnc_audit-2568695434b3f6cf: crates/audit/src/lib.rs crates/audit/src/escalation.rs crates/audit/src/finding.rs crates/audit/src/genskip.rs crates/audit/src/heartbeat.rs crates/audit/src/process.rs crates/audit/src/progress.rs crates/audit/src/ranged.rs crates/audit/src/scheduler.rs crates/audit/src/selective.rs crates/audit/src/semantic.rs crates/audit/src/static_data.rs crates/audit/src/structural.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/escalation.rs:
+crates/audit/src/finding.rs:
+crates/audit/src/genskip.rs:
+crates/audit/src/heartbeat.rs:
+crates/audit/src/process.rs:
+crates/audit/src/progress.rs:
+crates/audit/src/ranged.rs:
+crates/audit/src/scheduler.rs:
+crates/audit/src/selective.rs:
+crates/audit/src/semantic.rs:
+crates/audit/src/static_data.rs:
+crates/audit/src/structural.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wtnc_bench-0d6e9351e62fb653.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/wtnc_bench-0d6e9351e62fb653: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc_callproc-2fe2fa53b6b0b918.d: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+/root/repo/target/release/deps/wtnc_callproc-2fe2fa53b6b0b918: crates/callproc/src/lib.rs crates/callproc/src/asm_client.rs crates/callproc/src/des_client.rs
+
+crates/callproc/src/lib.rs:
+crates/callproc/src/asm_client.rs:
+crates/callproc/src/des_client.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wtnc_db-d9c288815f43b1b0.d: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+
+/root/repo/target/release/deps/wtnc_db-d9c288815f43b1b0: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+
+crates/db/src/lib.rs:
+crates/db/src/api.rs:
+crates/db/src/catalog.rs:
+crates/db/src/crc.rs:
+crates/db/src/database.rs:
+crates/db/src/dirty.rs:
+crates/db/src/error.rs:
+crates/db/src/events.rs:
+crates/db/src/layout.rs:
+crates/db/src/schema.rs:
+crates/db/src/taint.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/wtnc_db-f6a3109ea66b949c.d: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+/root/repo/target/release/deps/wtnc_db-f6a3109ea66b949c.d: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
 
-/root/repo/target/release/deps/libwtnc_db-f6a3109ea66b949c.rlib: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+/root/repo/target/release/deps/libwtnc_db-f6a3109ea66b949c.rlib: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
 
-/root/repo/target/release/deps/libwtnc_db-f6a3109ea66b949c.rmeta: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
+/root/repo/target/release/deps/libwtnc_db-f6a3109ea66b949c.rmeta: crates/db/src/lib.rs crates/db/src/api.rs crates/db/src/catalog.rs crates/db/src/crc.rs crates/db/src/database.rs crates/db/src/dirty.rs crates/db/src/error.rs crates/db/src/events.rs crates/db/src/layout.rs crates/db/src/schema.rs crates/db/src/taint.rs
 
 crates/db/src/lib.rs:
 crates/db/src/api.rs:
 crates/db/src/catalog.rs:
 crates/db/src/crc.rs:
 crates/db/src/database.rs:
+crates/db/src/dirty.rs:
 crates/db/src/error.rs:
 crates/db/src/events.rs:
 crates/db/src/layout.rs:

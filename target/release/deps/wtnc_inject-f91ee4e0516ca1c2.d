@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wtnc_inject-f91ee4e0516ca1c2.d: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/recovery_campaign.rs crates/inject/src/text_campaign.rs
+
+/root/repo/target/release/deps/wtnc_inject-f91ee4e0516ca1c2: crates/inject/src/lib.rs crates/inject/src/coverage.rs crates/inject/src/db_campaign.rs crates/inject/src/models.rs crates/inject/src/outcome.rs crates/inject/src/parallel.rs crates/inject/src/priority_campaign.rs crates/inject/src/recovery_campaign.rs crates/inject/src/text_campaign.rs
+
+crates/inject/src/lib.rs:
+crates/inject/src/coverage.rs:
+crates/inject/src/db_campaign.rs:
+crates/inject/src/models.rs:
+crates/inject/src/outcome.rs:
+crates/inject/src/parallel.rs:
+crates/inject/src/priority_campaign.rs:
+crates/inject/src/recovery_campaign.rs:
+crates/inject/src/text_campaign.rs:

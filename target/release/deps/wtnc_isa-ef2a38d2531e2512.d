@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wtnc_isa-ef2a38d2531e2512.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/wtnc_isa-ef2a38d2531e2512: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/inst.rs crates/isa/src/machine.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/machine.rs:
+crates/isa/src/program.rs:

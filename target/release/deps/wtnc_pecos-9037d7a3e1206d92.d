@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc_pecos-9037d7a3e1206d92.d: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+/root/repo/target/release/deps/wtnc_pecos-9037d7a3e1206d92: crates/pecos/src/lib.rs crates/pecos/src/instrument.rs crates/pecos/src/runtime.rs
+
+crates/pecos/src/lib.rs:
+crates/pecos/src/instrument.rs:
+crates/pecos/src/runtime.rs:

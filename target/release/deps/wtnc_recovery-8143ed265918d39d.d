@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wtnc_recovery-8143ed265918d39d.d: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+/root/repo/target/release/deps/wtnc_recovery-8143ed265918d39d: crates/recovery/src/lib.rs crates/recovery/src/engine.rs crates/recovery/src/log.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/engine.rs:
+crates/recovery/src/log.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wtnc_repro-5ce5fab06ab70e38.d: src/lib.rs
+
+/root/repo/target/release/deps/wtnc_repro-5ce5fab06ab70e38: src/lib.rs
+
+src/lib.rs:

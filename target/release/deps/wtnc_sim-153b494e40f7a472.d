@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wtnc_sim-153b494e40f7a472.d: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/wtnc_sim-153b494e40f7a472: crates/sim/src/lib.rs crates/sim/src/events.rs crates/sim/src/ipc.rs crates/sim/src/process.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/events.rs:
+crates/sim/src/ipc.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-622ad047f73cf1ea.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-622ad047f73cf1ea: examples/quickstart.rs
+
+examples/quickstart.rs:
