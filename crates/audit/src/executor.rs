@@ -1,0 +1,315 @@
+//! Deterministic worker pool for parallel audit execution.
+//!
+//! One audit cycle is sharded into read-only *screen* jobs over a
+//! consistent snapshot (see `wtnc_db::DbSnapshot`). The pool runs the
+//! jobs on `workers - 1` helper threads plus the calling (owner)
+//! thread and returns the results **indexed by job slot**, never by
+//! completion order — so the audit's verdicts are bit-identical
+//! regardless of thread count or scheduling. All mutation happens
+//! afterwards, on the owner thread, in the serial engine's order.
+//!
+//! The pool is kept alive across cycles (audits run every few hundred
+//! milliseconds of simulated time; re-spawning OS threads each cycle
+//! would dwarf the work) and is rebuilt only when the configured worker
+//! count changes.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning for the parallel audit executor, carried by `AuditConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Total workers for one cycle, including the owner thread. `1`
+    /// (the default) keeps the untouched serial engine.
+    pub workers: usize,
+    /// Cycles whose estimated scan span is below this many bytes run
+    /// serially — sharding tiny scans costs more than it saves.
+    pub min_shard_bytes: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { workers: 1, min_shard_bytes: 4096 }
+    }
+}
+
+impl ParallelConfig {
+    /// A config with `workers` threads and the default shard floor.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig { workers: workers.max(1), ..ParallelConfig::default() }
+    }
+
+    /// Reads `WTNC_WORKERS` (positive integer) from the environment,
+    /// falling back to the serial default when unset or invalid.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("WTNC_WORKERS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
+        ParallelConfig::with_workers(workers)
+    }
+}
+
+/// A screen job: runs on any thread, returns its result by value.
+pub(crate) type Task<R> = Box<dyn FnOnce() -> R + Send + 'static>;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+struct DoneState {
+    count: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// Increments the done counter when dropped, so a panicking job still
+/// counts as finished and the owner wakes up (to find the empty result
+/// slot and propagate the failure) instead of waiting forever.
+struct DoneGuard(Arc<DoneState>);
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        let mut count = self.0.count.lock().expect("done counter lock");
+        *count += 1;
+        self.0.all_done.notify_all();
+    }
+}
+
+/// A fixed set of helper threads draining a shared job queue. The
+/// owner thread participates in draining, so `threads + 1` jobs run
+/// concurrently at peak.
+struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("wtnc-audit-worker".to_owned())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn audit worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs every task to completion and returns the results in task
+    /// order (slot-indexed, independent of completion order).
+    fn run<R: Send + 'static>(&self, tasks: Vec<Task<R>>) -> Vec<R> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let results: Arc<Mutex<Vec<Option<R>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let done = Arc::new(DoneState { count: Mutex::new(0), all_done: Condvar::new() });
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            for (slot, task) in tasks.into_iter().enumerate() {
+                let results = Arc::clone(&results);
+                let done = Arc::clone(&done);
+                st.queue.push_back(Box::new(move || {
+                    let _guard = DoneGuard(done);
+                    let r = task();
+                    results.lock().expect("results lock")[slot] = Some(r);
+                }));
+            }
+        }
+        self.shared.available.notify_all();
+        // The owner drains the queue alongside the helpers…
+        loop {
+            let job = self.shared.state.lock().expect("pool lock").queue.pop_front();
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        // …then waits for in-flight jobs on helper threads.
+        let mut finished = done.count.lock().expect("done counter lock");
+        while *finished < n {
+            finished = done.all_done.wait(finished).expect("done counter lock");
+        }
+        drop(finished);
+        let slots = std::mem::take(&mut *results.lock().expect("results lock"));
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(slot, r)| r.unwrap_or_else(|| panic!("audit screen job {slot} panicked")))
+            .collect()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.available.wait(st).expect("pool lock");
+            }
+        };
+        job();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Lazily-created, size-tracked pool owned by the audit process.
+#[derive(Default)]
+pub(crate) struct Executor {
+    pool: Option<WorkerPool>,
+}
+
+impl Executor {
+    /// Runs `tasks` with `workers` total threads (owner included) and
+    /// returns the results in task order. `workers <= 1` runs inline.
+    pub(crate) fn run<R: Send + 'static>(&mut self, workers: usize, tasks: Vec<Task<R>>) -> Vec<R> {
+        let threads = workers.saturating_sub(1);
+        if threads == 0 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        if self.pool.as_ref().is_none_or(|p| p.threads() != threads) {
+            self.pool = Some(WorkerPool::new(threads));
+        }
+        self.pool.as_ref().expect("pool just ensured").run(tasks)
+    }
+}
+
+/// Splits `count` items into `shards` contiguous, near-equal ranges
+/// (the first `count % shards` ranges get one extra item). Slot order
+/// is ascending, so concatenating shard results restores item order.
+pub(crate) fn split_range(count: u32, shards: usize) -> Vec<std::ops::Range<u32>> {
+    let shards = (shards.max(1) as u32).min(count.max(1));
+    let base = count / shards;
+    let extra = count % shards;
+    let mut out = Vec::with_capacity(shards as usize);
+    let mut lo = 0u32;
+    for s in 0..shards {
+        let len = base + u32::from(s < extra);
+        out.push(lo..lo + len);
+        lo += len;
+    }
+    out
+}
+
+/// How many shards a scan of `span_bytes` warrants: one per
+/// `min_shard_bytes` of work, capped by the worker count, at least one.
+pub(crate) fn shard_count(span_bytes: usize, workers: usize, min_shard_bytes: usize) -> usize {
+    (span_bytes / min_shard_bytes.max(1)).clamp(1, workers.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_slot_ordered_regardless_of_completion() {
+        let mut ex = Executor::default();
+        // Early slots sleep longest so completion order is reversed.
+        let tasks: Vec<Task<u64>> = (0u64..16)
+            .map(|i| {
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_micros((16 - i) * 100));
+                    i * 7
+                }) as Task<u64>
+            })
+            .collect();
+        let out = ex.run(4, tasks);
+        assert_eq!(out, (0u64..16).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mut ex = Executor::default();
+        let mk = || -> Vec<Task<u64>> {
+            (0..32)
+                .map(|i| Box::new(move || (i as u64).wrapping_mul(0x9E37)) as Task<u64>)
+                .collect()
+        };
+        assert_eq!(ex.run(1, mk()), ex.run(8, mk()));
+    }
+
+    #[test]
+    fn pool_is_reused_and_rebuilt_on_resize() {
+        let mut ex = Executor::default();
+        let _ = ex.run(3, vec![Box::new(|| 1) as Task<i32>]);
+        assert_eq!(ex.pool.as_ref().unwrap().threads(), 2);
+        let _ = ex.run(3, vec![Box::new(|| 2) as Task<i32>]);
+        assert_eq!(ex.pool.as_ref().unwrap().threads(), 2);
+        let _ = ex.run(5, vec![Box::new(|| 3) as Task<i32>]);
+        assert_eq!(ex.pool.as_ref().unwrap().threads(), 4);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let mut ex = Executor::default();
+        let out: Vec<u8> = ex.run(4, Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn split_range_covers_exactly_once() {
+        for (count, shards) in [(0u32, 3usize), (1, 4), (7, 3), (512, 8), (10, 1), (3, 9)] {
+            let ranges = split_range(count, shards);
+            let mut next = 0u32;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, count);
+            assert!(ranges.len() <= shards.max(1));
+        }
+    }
+
+    #[test]
+    fn shard_count_honors_floor_and_cap() {
+        assert_eq!(shard_count(100, 8, 4096), 1);
+        assert_eq!(shard_count(8192, 8, 4096), 2);
+        assert_eq!(shard_count(1 << 20, 4, 4096), 4);
+        assert_eq!(shard_count(0, 4, 0), 1);
+    }
+
+    #[test]
+    fn env_config_parses_workers() {
+        // Only the default path is testable without mutating the
+        // process environment (tests run multi-threaded).
+        assert_eq!(ParallelConfig::default().workers, 1);
+        assert_eq!(ParallelConfig::with_workers(0).workers, 1);
+        assert!(ParallelConfig::from_env().workers >= 1);
+    }
+}

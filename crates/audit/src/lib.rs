@@ -62,9 +62,11 @@
 #![warn(missing_docs)]
 
 mod escalation;
+mod executor;
 mod finding;
 mod genskip;
 mod heartbeat;
+mod links;
 mod process;
 mod progress;
 mod ranged;
@@ -75,6 +77,7 @@ mod static_data;
 mod structural;
 
 pub use escalation::{EscalationConfig, EscalationPolicy};
+pub use executor::ParallelConfig;
 pub use finding::{AuditElementKind, AuditReport, Finding, FindingTarget, RecoveryAction};
 pub use heartbeat::{HeartbeatElement, Manager, ManagerConfig};
 pub use process::{AuditConfig, AuditElement, AuditProcess, AuditScope};

@@ -1,0 +1,34 @@
+//! Link-topology helpers shared by the semantic audit, the scheduler's
+//! co-scheduling logic and the parallel executor.
+//!
+//! Both functions consult only the (immutable) catalog, so they are
+//! equally valid against the live database and a frozen snapshot.
+
+use wtnc_db::{Catalog, FieldId, FieldKind, TableId};
+
+/// The first dynamic link field of a table, if any.
+pub(crate) fn link_field(catalog: &Catalog, table: TableId) -> Option<(FieldId, TableId)> {
+    let tm = catalog.table(table).ok()?;
+    tm.def.fields.iter().enumerate().find_map(|(i, f)| {
+        (f.kind == FieldKind::Dynamic)
+            .then_some(())
+            .and(f.link)
+            .map(|target| (FieldId(i as u16), target))
+    })
+}
+
+/// Transitive closure of tables reachable from `table` over link
+/// fields (including `table` itself).
+pub(crate) fn link_closure(catalog: &Catalog, table: TableId) -> Vec<TableId> {
+    let mut closure = vec![table];
+    let mut i = 0;
+    while i < closure.len() {
+        if let Some((_, target)) = link_field(catalog, closure[i]) {
+            if !closure.contains(&target) {
+                closure.push(target);
+            }
+        }
+        i += 1;
+    }
+    closure
+}

@@ -1,0 +1,159 @@
+//! Parity property for the parallel audit executor: sharding one audit
+//! cycle across a deterministic worker pool must change *nothing*
+//! observable. Findings are gathered per shard and applied in the
+//! serial engine's order, so a cycle run with 1, 2 or 8 workers must
+//! report exactly the same findings, perform exactly the same repairs,
+//! and leave exactly the same database bytes behind.
+//!
+//! Three identical worlds run the same operation stream — one serial,
+//! one with 2 workers, one with 8 (more workers than screen shards, to
+//! exercise queue contention and idle helpers). After every cycle the
+//! findings must match field-for-field, and at the end all three
+//! database images must be byte-identical.
+
+use proptest::prelude::*;
+use wtnc_audit::{AuditConfig, AuditProcess, ParallelConfig};
+use wtnc_db::{schema, Database, DbApi, FieldId, TableId};
+use wtnc_sim::{Pid, ProcessRegistry, SimTime};
+
+/// One step of the randomized workload (same shape as the incremental
+/// parity suite: API traffic, raw corruptions, external repairs).
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { table: u8 },
+    Write { table: u8, index: u32, field: u8, value: u64 },
+    Free { table: u8, index: u32 },
+    Flip { frac: f64, bit: u8 },
+    Repair { frac: f64, len: usize },
+}
+
+fn dynamic_table(choice: u8) -> TableId {
+    [schema::PROCESS_TABLE, schema::CONNECTION_TABLE, schema::RESOURCE_TABLE][choice as usize % 3]
+}
+
+fn apply(op: &Op, db: &mut Database, api: &mut DbApi, pid: Pid, at: SimTime) {
+    match *op {
+        Op::Alloc { table } => {
+            let _ = api.alloc_record(db, pid, dynamic_table(table), at);
+        }
+        Op::Write { table, index, field, value } => {
+            let t = dynamic_table(table);
+            let nfields = db.catalog().table(t).map(|tm| tm.def.fields.len()).unwrap_or(1);
+            let fid = FieldId((field as usize % nfields.max(1)) as u16);
+            let idx = index % schema::STANDARD_DYNAMIC_SLOTS;
+            let _ = api.write_fld(db, pid, t, idx, fid, value, at);
+        }
+        Op::Free { table, index } => {
+            let idx = index % schema::STANDARD_DYNAMIC_SLOTS;
+            let _ = api.free_record(db, pid, dynamic_table(table), idx, at);
+        }
+        Op::Flip { frac, bit } => {
+            let offset = ((db.region_len() - 1) as f64 * frac) as usize;
+            let _ = db.flip_bit(offset, bit);
+        }
+        Op::Repair { frac, len } => {
+            let offset = ((db.region_len() - 1) as f64 * frac) as usize;
+            let len = len.min(db.region_len() - offset);
+            let _ = db.reload_range(offset, len);
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3).prop_map(|table| Op::Alloc { table }),
+        (0u8..3, 0u32..schema::STANDARD_DYNAMIC_SLOTS, 0u8..16, 0u64..300)
+            .prop_map(|(table, index, field, value)| Op::Write { table, index, field, value }),
+        (0u8..3, 0u32..schema::STANDARD_DYNAMIC_SLOTS)
+            .prop_map(|(table, index)| Op::Free { table, index }),
+        (0.0f64..1.0, 0u8..8).prop_map(|(frac, bit)| Op::Flip { frac, bit }),
+        (0.0f64..1.0, 1usize..128).prop_map(|(frac, len)| Op::Repair { frac, len }),
+    ]
+}
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole guarantee: findings, repairs and the resulting
+    /// database bytes are identical for any worker count.
+    #[test]
+    fn parallel_audit_matches_serial(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        ops_per_cycle in 1usize..12,
+        incremental in any::<bool>(),
+    ) {
+        let db = Database::build(schema::standard_schema()).unwrap();
+        let mut worlds = Vec::new();
+        for workers in WORKER_COUNTS {
+            let db = db.clone();
+            let mut api = DbApi::new();
+            let registry = ProcessRegistry::new();
+            let audit = AuditProcess::new(
+                AuditConfig {
+                    incremental,
+                    full_rescan_period: 3,
+                    // Zero floor: even tiny scans shard, so the
+                    // parallel path (not the size gate) is exercised.
+                    parallel: ParallelConfig { workers, min_shard_bytes: 0 },
+                    coschedule_tables: 2,
+                    ..AuditConfig::default()
+                },
+                &db,
+            );
+            api.init(Pid(1));
+            worlds.push((db, api, registry, audit));
+        }
+
+        let mut cycle = 0u64;
+        for batch in ops.chunks(ops_per_cycle) {
+            let at = SimTime::from_secs(cycle * 10);
+            cycle += 1;
+            let mut reports = Vec::new();
+            for (db, api, registry, audit) in &mut worlds {
+                for op in batch {
+                    apply(op, db, api, Pid(1), at);
+                }
+                reports.push(audit.run_cycle(db, api, registry, at));
+            }
+            for (w, report) in reports.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    &reports[0].findings,
+                    &report.findings,
+                    "cycle {} diverged (1 worker vs {})",
+                    cycle,
+                    WORKER_COUNTS[w]
+                );
+            }
+        }
+
+        // Quiet trailing cycles: deferred aging (orphan grace) and
+        // generation-skip bookkeeping must stay in lockstep too.
+        for extra in 0..3 {
+            let at = SimTime::from_secs((cycle + extra) * 10 + 100);
+            let mut reports = Vec::new();
+            for (db, api, registry, audit) in &mut worlds {
+                reports.push(audit.run_cycle(db, api, registry, at));
+            }
+            for (w, report) in reports.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    &reports[0].findings,
+                    &report.findings,
+                    "quiet cycle {} diverged (1 worker vs {})",
+                    extra,
+                    WORKER_COUNTS[w]
+                );
+            }
+        }
+
+        for w in 1..WORKER_COUNTS.len() {
+            prop_assert_eq!(
+                worlds[0].0.region(),
+                worlds[w].0.region(),
+                "final database images differ (1 worker vs {})",
+                WORKER_COUNTS[w]
+            );
+        }
+    }
+}

@@ -162,9 +162,10 @@ fn main() {
     let points = points.trim_end_matches(",\n").to_string();
 
     let json = format!(
-        "{{\n  \"bench\": \"audit_cycle\",\n  \"slots\": {SLOTS},\n  \
+        "{{\n  \"bench\": \"audit_cycle\",\n  \"host\": {},\n  \"slots\": {SLOTS},\n  \
          \"region_bytes\": {},\n  \"block_size\": {DIRTY_BLOCK_SIZE},\n  \
          \"iters\": {iters},\n  \"smoke\": {smoke},\n  \"points\": [\n{points}\n  ]\n}}\n",
+        wtnc_bench::host_info_json(),
         base.region_len()
     );
     let path = "results/BENCH_audit_cycle.json";

@@ -1,0 +1,194 @@
+//! Parallel audit scaling benchmark: wall-clock time of one audit
+//! cycle as the worker-pool size grows, across dirty-block fractions.
+//!
+//! Each measured cycle touches a controlled fraction of the database's
+//! blocks with *valid* writes, then times `AuditProcess::run_cycle`
+//! once per worker count. Every world sees the identical workload, so
+//! besides timing this doubles as an end-to-end determinism check: the
+//! bench asserts zero findings everywhere and byte-identical database
+//! images between the serial world and every parallel world.
+//!
+//! Emits `results/BENCH_audit_scaling.json` including the host's CPU
+//! count — speedups measured on a single-core container are honest
+//! (≈1.0x) and must not be read as the engine's multi-core ceiling.
+//!
+//! Set `WTNC_BENCH_SMOKE=1` (or pass `--smoke`) for a one-iteration CI
+//! pass, and `WTNC_WORKERS=n` to measure a single worker count (the
+//! serial baseline is always measured for the speedup column).
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin audit_scaling
+//! ```
+
+use std::time::Instant;
+
+use wtnc::audit::{AuditConfig, AuditProcess, ParallelConfig};
+use wtnc::db::{schema, Database, DbApi, DIRTY_BLOCK_SIZE};
+use wtnc::sim::{ProcessRegistry, SimTime};
+
+const SLOTS: u32 = 512;
+
+fn populated_db() -> Database {
+    let mut db = Database::build(schema::standard_schema_with_slots(SLOTS)).unwrap();
+    // Fill ~70% of the dynamic tables with linked call loops so the
+    // structural/range/semantic screens have real records to walk.
+    for _ in 0..(SLOTS * 7 / 10) {
+        let p = db.alloc_record_raw(schema::PROCESS_TABLE).unwrap();
+        let c = db.alloc_record_raw(schema::CONNECTION_TABLE).unwrap();
+        let r = db.alloc_record_raw(schema::RESOURCE_TABLE).unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::PROCESS_TABLE, p),
+            schema::process::CONNECTION_ID,
+            c as u64,
+        )
+        .unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::CONNECTION_TABLE, c),
+            schema::connection::CHANNEL_ID,
+            r as u64,
+        )
+        .unwrap();
+        db.write_field_raw(
+            wtnc::db::RecordRef::new(schema::RESOURCE_TABLE, r),
+            schema::resource::PROCESS_ID,
+            p as u64,
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Touches `frac` of the region's blocks with same-value writes: the
+/// dirty tracker marks them but the data stays valid, so the audit
+/// re-verifies everything and finds nothing — the steady-state cost.
+fn touch_blocks(db: &mut Database, frac: f64, salt: usize) -> usize {
+    let n_blocks = db.region_len() / DIRTY_BLOCK_SIZE;
+    let k = ((n_blocks as f64 * frac) as usize).max(1);
+    for i in 0..k {
+        let block = (i * n_blocks / k + salt) % n_blocks;
+        let offset = block * DIRTY_BLOCK_SIZE + (salt * 7 + i) % DIRTY_BLOCK_SIZE;
+        let byte = db.region()[offset];
+        db.poke(offset, &[byte]).unwrap();
+    }
+    k
+}
+
+struct World {
+    db: Database,
+    api: DbApi,
+    registry: ProcessRegistry,
+    audit: AuditProcess,
+    tick: u64,
+}
+
+impl World {
+    fn new(base: &Database, workers: usize) -> Self {
+        let db = base.clone();
+        let audit = AuditProcess::new(
+            AuditConfig {
+                incremental: true,
+                full_rescan_period: 0,
+                // Shard even small scans: the point is measuring the
+                // executor, not the size gate.
+                parallel: ParallelConfig { workers, min_shard_bytes: 256 },
+                coschedule_tables: 3,
+                ..AuditConfig::default()
+            },
+            &db,
+        );
+        World { db, api: DbApi::new(), registry: ProcessRegistry::new(), audit, tick: 0 }
+    }
+
+    fn cycle(&mut self) -> (f64, usize) {
+        self.tick += 10;
+        let at = SimTime::from_secs(self.tick);
+        let start = Instant::now();
+        let report = self.audit.run_cycle(&mut self.db, &mut self.api, &mut self.registry, at);
+        (start.elapsed().as_secs_f64(), report.findings.len())
+    }
+}
+
+/// Runs the measured loop for one (worker count, dirty fraction) cell
+/// and returns (avg cycle seconds, final database image).
+fn measure(base: &Database, workers: usize, frac: f64, iters: usize) -> (f64, Vec<u8>) {
+    let mut world = World::new(base, workers);
+    // Warm-up cycle: establishes the verified-clean baseline and, for
+    // parallel worlds, spawns the pool threads outside the timed loop.
+    world.cycle();
+    let mut elapsed = 0.0f64;
+    for i in 0..iters {
+        touch_blocks(&mut world.db, frac, i + 1);
+        let (t, findings) = world.cycle();
+        assert_eq!(findings, 0, "valid writes must produce no findings (workers={workers})");
+        elapsed += t;
+    }
+    (elapsed / iters as f64, world.db.region().to_vec())
+}
+
+fn main() {
+    let smoke = std::env::var("WTNC_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+        || std::env::args().any(|a| a == "--smoke");
+    let iters: usize = if smoke { 1 } else { 30 };
+
+    // WTNC_WORKERS narrows the sweep to one parallel point (plus the
+    // always-measured serial baseline) — used by the CI matrix.
+    let env_workers = ParallelConfig::from_env().workers;
+    let worker_counts: Vec<usize> =
+        if env_workers > 1 { vec![1, env_workers] } else { vec![1, 2, 4, 8] };
+
+    let base = populated_db();
+    let n_blocks = base.region_len() / DIRTY_BLOCK_SIZE;
+    let host = wtnc_bench::host_info_json();
+
+    println!(
+        "Audit scaling: worker-pool sweep ({} slots, {} KiB region, {} blocks, {iters} iters)",
+        SLOTS,
+        base.region_len() / 1024,
+        n_blocks
+    );
+    println!("host: {host}\n");
+    println!("{:>8} {:>8} {:>12} {:>9}  parity", "dirty %", "workers", "cycle (us)", "speedup");
+
+    let mut points = String::new();
+    for &frac in &[0.10f64, 0.25, 0.50] {
+        let (serial_us, serial_image) = measure(&base, 1, frac, iters);
+        for &workers in &worker_counts {
+            let (avg, image) = if workers == 1 {
+                (serial_us, serial_image.clone())
+            } else {
+                measure(&base, workers, frac, iters)
+            };
+            assert_eq!(
+                image, serial_image,
+                "parity violated: {workers}-worker image differs from serial at {frac} dirty"
+            );
+            let speedup = serial_us / avg.max(1e-12);
+            println!(
+                "{:>8.0} {:>8} {:>12.1} {:>8.2}x  ok",
+                frac * 100.0,
+                workers,
+                avg * 1e6,
+                speedup
+            );
+            points.push_str(&format!(
+                "    {{\"dirty_frac\": {frac}, \"workers\": {workers}, \
+                 \"cycle_us\": {:.2}, \"speedup_vs_serial\": {:.3}}},\n",
+                avg * 1e6,
+                speedup
+            ));
+        }
+    }
+    let points = points.trim_end_matches(",\n").to_string();
+
+    let json = format!(
+        "{{\n  \"bench\": \"audit_scaling\",\n  \"host\": {host},\n  \"slots\": {SLOTS},\n  \
+         \"region_bytes\": {},\n  \"block_size\": {DIRTY_BLOCK_SIZE},\n  \
+         \"iters\": {iters},\n  \"smoke\": {smoke},\n  \"points\": [\n{points}\n  ]\n}}\n",
+        base.region_len()
+    );
+    let path = "results/BENCH_audit_scaling.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

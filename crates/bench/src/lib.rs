@@ -22,6 +22,19 @@ pub fn scaled_runs(paper_default: usize) -> usize {
     ((paper_default as f64 * scale).round() as usize).max(1)
 }
 
+/// A JSON object describing the machine a benchmark ran on, embedded
+/// in every `results/BENCH_*.json`: wall-clock numbers measured on a
+/// single-core container do not transfer to multi-core hosts, so the
+/// artifact must say what it was measured on.
+pub fn host_info_json() -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!(
+        "{{\"cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
 /// Formats a percentage with its binomial 95% confidence interval the
 /// way the paper's Tables 8 and 9 do: `52% (47, 58)`.
 pub fn pct_ci(counts: &OutcomeCounts, outcome: RunOutcome) -> String {

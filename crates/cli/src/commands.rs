@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use wtnc::audit::AuditConfig;
+use wtnc::audit::{AuditConfig, ParallelConfig};
 use wtnc::db::schema;
 use wtnc::inject::db_campaign::{run_campaign as run_db_campaign, DbCampaignConfig};
 use wtnc::inject::recovery_campaign::{
@@ -32,10 +32,15 @@ USAGE:
     wtnc recover [--budget N]              detect -> diagnose -> repair
                                            -> verify walkthrough
     wtnc campaign db [--runs N] [--no-audit] [--no-incremental]
+                     [--audit-workers N]
     wtnc campaign text [--runs N] [--directed]
     wtnc campaign priority [--runs N] [--proportional]
     wtnc campaign recovery [--runs N] [--budget N]
-    wtnc help                              this text";
+    wtnc help                              this text
+
+Audit cycles shard across a deterministic worker pool when
+--audit-workers (or the WTNC_WORKERS environment variable) is above 1;
+findings are identical for any worker count.";
 
 /// Parses `--flag value` pairs and positional arguments.
 fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
@@ -212,7 +217,8 @@ pub fn pecos(args: &[String]) -> Result<(), String> {
 
 /// `wtnc audit-demo`
 pub fn audit_demo(_args: &[String]) -> Result<(), String> {
-    let mut controller = Controller::standard().with_audit(AuditConfig::default());
+    let mut controller = Controller::standard()
+        .with_audit(AuditConfig { parallel: ParallelConfig::from_env(), ..AuditConfig::default() });
     println!(
         "controller: {} tables, {} byte image, audit process alive",
         controller.db.catalog().table_count(),
@@ -241,7 +247,7 @@ pub fn recover(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse(args)?;
     let budget: u32 = flag_num(&flags, "budget", RecoveryConfig::default().cycle_budget)?;
     let mut controller = Controller::standard()
-        .with_audit(AuditConfig::default())
+        .with_audit(AuditConfig { parallel: ParallelConfig::from_env(), ..AuditConfig::default() })
         .with_recovery(RecoveryConfig { cycle_budget: budget, ..RecoveryConfig::default() });
     println!(
         "controller: {} tables, {} byte image; audits detect-only; \
@@ -314,9 +320,12 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             let runs: usize = flag_num(&flags, "runs", 5)?;
             let audits = !flags.contains_key("no-audit");
             let incremental = !flags.contains_key("no-incremental");
+            let audit_workers: usize =
+                flag_num(&flags, "audit-workers", ParallelConfig::from_env().workers)?;
             let config = DbCampaignConfig {
                 audits,
                 incremental,
+                audit_workers: audit_workers.max(1),
                 duration: SimDuration::from_secs(500),
                 ..DbCampaignConfig::default()
             };
@@ -449,6 +458,7 @@ mod tests {
     fn campaign_db_runs() {
         campaign(&strings(&["db", "--runs", "1"])).unwrap();
         campaign(&strings(&["db", "--runs", "1", "--no-incremental"])).unwrap();
+        campaign(&strings(&["db", "--runs", "1", "--audit-workers", "2"])).unwrap();
     }
 
     #[test]

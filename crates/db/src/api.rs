@@ -158,6 +158,17 @@ impl LockTable {
         out
     }
 
+    /// Every held lock, sorted by `(table, index)`. The parallel audit
+    /// executor snapshots this set at cycle start: locks cannot change
+    /// while the audit elements run, so membership here is exactly the
+    /// serial elements' `holder(..).is_some()` test.
+    pub fn held(&self) -> Vec<(RecordRef, Pid)> {
+        let mut out: Vec<_> =
+            self.locks.iter().map(|(&(t, i), &(p, _))| (RecordRef::new(t, i), p)).collect();
+        out.sort_by_key(|&(r, _)| (r.table, r.index));
+        out
+    }
+
     /// Number of held locks.
     pub fn len(&self) -> usize {
         self.locks.len()

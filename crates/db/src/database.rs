@@ -1,6 +1,8 @@
 //! The database proper: the contiguous memory region, raw accessors,
 //! shadow metadata and the golden disk image.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use wtnc_sim::{Pid, SimTime};
 
@@ -14,7 +16,7 @@ use crate::layout::{
 use crate::taint::{TaintKind, TaintMap};
 
 /// A `(table, record index)` pair naming one record slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RecordRef {
     /// The table.
     pub table: TableId,
@@ -93,7 +95,9 @@ pub struct RecordHeader {
 pub struct Database {
     region: Vec<u8>,
     golden: Vec<u8>,
-    catalog: Catalog,
+    /// The parsed catalog, immutable after build. Shared (`Arc`) so
+    /// audit snapshots can reference the layout without copying it.
+    catalog: Arc<Catalog>,
     meta: Vec<Vec<RecordMeta>>,
     stats: Vec<TableStats>,
     taint: TaintMap,
@@ -160,7 +164,7 @@ impl Database {
         Ok(Database {
             region,
             golden,
-            catalog,
+            catalog: Arc::new(catalog),
             meta,
             stats,
             taint: TaintMap::new(),
@@ -192,6 +196,19 @@ impl Database {
     /// Read-only view of the golden disk image.
     pub fn golden(&self) -> &[u8] {
         &self.golden
+    }
+
+    /// Captures an epoch-stamped consistent snapshot of the audited
+    /// state (region bytes, catalog reference, mutation generations)
+    /// for parallel audit screening. See [`crate::DbSnapshot`].
+    pub fn snapshot(&self) -> crate::snapshot::DbSnapshot {
+        crate::snapshot::DbSnapshot {
+            epoch: self.global_gen,
+            catalog: Arc::clone(&self.catalog),
+            region: self.region.clone().into_boxed_slice(),
+            table_gen: self.table_gen.clone(),
+            record_gen: self.record_gen.clone(),
+        }
     }
 
     /// The ground-truth taint ledger.

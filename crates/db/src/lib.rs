@@ -64,6 +64,7 @@ mod error;
 mod events;
 pub mod layout;
 pub mod schema;
+mod snapshot;
 mod taint;
 
 pub use api::{ApiCosts, DbApi, LockTable};
@@ -75,4 +76,5 @@ pub use database::{Database, RecordMeta, RecordRef, TableStats};
 pub use dirty::{DirtyTracker, DIRTY_BLOCK_SIZE};
 pub use error::DbError;
 pub use events::{DbEvent, DbOp};
+pub use snapshot::{DbRead, DbSnapshot};
 pub use taint::{TaintEntry, TaintFate, TaintKind, TaintMap};

@@ -1,0 +1,275 @@
+//! Consistent read-only snapshots for parallel audit execution.
+//!
+//! The parallel audit executor shards one audit cycle across worker
+//! threads. Workers must observe a *stable* database image — the audit
+//! elements' detection logic assumes the bytes under a record do not
+//! move between the header check and the field reads. [`DbSnapshot`]
+//! is that image: an epoch-stamped copy of the region plus the
+//! mutation generations the incremental engine skips by.
+//!
+//! The [`DbRead`] trait abstracts the read-side API shared by the live
+//! [`Database`] and a [`DbSnapshot`], so an audit element's detection
+//! pass can be written once and run against either. The decode logic
+//! (header layout, field extents) lives in the trait's provided
+//! methods; both implementors only supply raw access to the catalog,
+//! the region bytes and the generation counters.
+//!
+//! A snapshot is *cheap*, not free: the region of the standard schema
+//! is ~53 KiB, so taking one per audit cycle costs a few microseconds
+//! of `memcpy` — far below the cost of the cycle it enables to run in
+//! parallel. The `epoch` field carries the owner's mutation generation
+//! at capture time; [`DbSnapshot::is_fresh`] tells the executor whether
+//! screening results computed against the snapshot still describe the
+//! live database (no repair or client write has intervened).
+
+use std::sync::Arc;
+
+use crate::catalog::{Catalog, FieldId, TableId};
+use crate::database::{Database, RecordHeader, RecordRef};
+use crate::error::DbError;
+use crate::layout::{
+    read_le, HDR_GROUP, HDR_NEXT, HDR_PREV, HDR_RECORD_ID, HDR_STATUS, STATUS_ACTIVE,
+};
+
+/// Read-side database access shared by the live [`Database`] and a
+/// [`DbSnapshot`].
+///
+/// Audit detection passes are written against this trait so the same
+/// code screens a frozen snapshot on a worker thread and re-checks the
+/// live database on the owner thread.
+pub trait DbRead {
+    /// The parsed (trusted) catalog.
+    fn catalog(&self) -> &Catalog;
+
+    /// Read-only view of the whole region.
+    fn region(&self) -> &[u8];
+
+    /// Generation of the last mutation overlapping the record slot
+    /// (0 = never mutated, or unknown slot).
+    fn record_generation(&self, rec: RecordRef) -> u64;
+
+    /// Generation of the last mutation overlapping `table` (0 = never
+    /// mutated, or unknown table).
+    fn table_generation(&self, table: TableId) -> u64;
+
+    /// Size of the region in bytes.
+    fn region_len(&self) -> usize {
+        self.region().len()
+    }
+
+    /// Byte offset of a record within the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    fn record_offset(&self, rec: RecordRef) -> Result<usize, DbError> {
+        let tm = self.catalog().table(rec.table)?;
+        if rec.index >= tm.def.record_count {
+            return Err(DbError::BadRecordIndex {
+                table: rec.table,
+                index: rec.index,
+                capacity: tm.def.record_count,
+            });
+        }
+        Ok(tm.record_offset(rec.index))
+    }
+
+    /// Record size (header + fields) for a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`].
+    fn record_size(&self, table: TableId) -> Result<usize, DbError> {
+        Ok(self.catalog().table(table)?.record_size)
+    }
+
+    /// Decodes a record header from the region bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    fn header(&self, rec: RecordRef) -> Result<RecordHeader, DbError> {
+        let base = self.record_offset(rec)?;
+        let r = self.region();
+        Ok(RecordHeader {
+            record_id: read_le(&r[base + HDR_RECORD_ID..], 4) as u32,
+            status: r[base + HDR_STATUS],
+            group: r[base + HDR_GROUP],
+            next: read_le(&r[base + HDR_NEXT..], 2) as u16,
+            prev: read_le(&r[base + HDR_PREV..], 2) as u16,
+        })
+    }
+
+    /// True if the record slot's status byte is exactly
+    /// [`crate::layout::STATUS_ACTIVE`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`] or [`DbError::BadRecordIndex`].
+    fn is_active(&self, rec: RecordRef) -> Result<bool, DbError> {
+        Ok(self.header(rec)?.status == STATUS_ACTIVE)
+    }
+
+    /// Reads one field of an (active or free) record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`], [`DbError::BadRecordIndex`]
+    /// or [`DbError::UnknownField`].
+    fn read_field_raw(&self, rec: RecordRef, field: FieldId) -> Result<u64, DbError> {
+        let tm = self.catalog().table(rec.table)?;
+        let f = self.catalog().field(rec.table, field)?;
+        let base = self.record_offset(rec)?;
+        let off = base + tm.field_offsets[field.0 as usize];
+        Ok(read_le(&self.region()[off..], f.width.bytes()))
+    }
+
+    /// Byte range `(offset, len)` of one field within the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownTable`], [`DbError::BadRecordIndex`]
+    /// or [`DbError::UnknownField`].
+    fn field_extent(&self, rec: RecordRef, field: FieldId) -> Result<(usize, usize), DbError> {
+        let tm = self.catalog().table(rec.table)?;
+        let f = self.catalog().field(rec.table, field)?;
+        let base = self.record_offset(rec)?;
+        Ok((base + tm.field_offsets[field.0 as usize], f.width.bytes()))
+    }
+}
+
+/// An epoch-stamped, immutable copy of the database's audited state:
+/// region bytes, catalog (shared, the catalog never changes after
+/// build) and the mutation generations.
+///
+/// Workers screen against a snapshot; the owner applies their verdicts
+/// only while [`DbSnapshot::is_fresh`] still holds.
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) region: Box<[u8]>,
+    pub(crate) table_gen: Vec<u64>,
+    pub(crate) record_gen: Vec<Vec<u64>>,
+}
+
+impl DbSnapshot {
+    /// The owner's mutation generation at capture time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True while no mutation has hit the live database since this
+    /// snapshot was taken — i.e. screening verdicts computed against
+    /// the snapshot still describe `db` exactly.
+    pub fn is_fresh(&self, db: &Database) -> bool {
+        self.epoch == db.mutation_generation()
+    }
+}
+
+impl DbRead for DbSnapshot {
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn region(&self) -> &[u8] {
+        &self.region
+    }
+
+    fn record_generation(&self, rec: RecordRef) -> u64 {
+        self.record_gen
+            .get(rec.table.0 as usize)
+            .and_then(|t| t.get(rec.index as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn table_generation(&self, table: TableId) -> u64 {
+        self.table_gen.get(table.0 as usize).copied().unwrap_or(0)
+    }
+}
+
+impl DbRead for Database {
+    fn catalog(&self) -> &Catalog {
+        Database::catalog(self)
+    }
+
+    fn region(&self) -> &[u8] {
+        Database::region(self)
+    }
+
+    fn record_generation(&self, rec: RecordRef) -> u64 {
+        Database::record_generation(self, rec)
+    }
+
+    fn table_generation(&self, table: TableId) -> u64 {
+        Database::table_generation(self, table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema;
+
+    #[test]
+    fn snapshot_reads_match_live_database() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let t = schema::PROCESS_TABLE;
+        let i = db.alloc_record_raw(t).unwrap();
+        let rec = RecordRef::new(t, i);
+        db.write_field_raw(rec, FieldId(1), 42).unwrap();
+
+        let snap = db.snapshot();
+        assert!(snap.is_fresh(&db));
+        assert_eq!(snap.region(), db.region());
+        assert_eq!(snap.epoch(), db.mutation_generation());
+        assert_eq!(snap.header(rec).unwrap(), db.header(rec).unwrap());
+        assert_eq!(
+            snap.read_field_raw(rec, FieldId(1)).unwrap(),
+            db.read_field_raw(rec, FieldId(1)).unwrap()
+        );
+        assert_eq!(snap.record_generation(rec), db.record_generation(rec));
+        assert_eq!(snap.table_generation(t), db.table_generation(t));
+        assert!(snap.is_active(rec).unwrap());
+    }
+
+    #[test]
+    fn snapshot_goes_stale_on_mutation_and_stays_frozen() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let t = schema::PROCESS_TABLE;
+        let i = db.alloc_record_raw(t).unwrap();
+        let rec = RecordRef::new(t, i);
+
+        let snap = db.snapshot();
+        let before = snap.read_field_raw(rec, FieldId(1)).unwrap();
+        db.write_field_raw(rec, FieldId(1), before + 7).unwrap();
+
+        assert!(!snap.is_fresh(&db), "mutation must invalidate the epoch");
+        // The snapshot still reads the pre-mutation value.
+        assert_eq!(snap.read_field_raw(rec, FieldId(1)).unwrap(), before);
+        assert_ne!(db.read_field_raw(rec, FieldId(1)).unwrap(), before);
+    }
+
+    #[test]
+    fn trait_defaults_agree_with_inherent_database_reads() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let t = schema::CONNECTION_TABLE;
+        let i = db.alloc_record_raw(t).unwrap();
+        let rec = RecordRef::new(t, i);
+        // Call the trait's provided methods on the live database and
+        // compare with the inherent implementations.
+        assert_eq!(DbRead::header(&db, rec).unwrap(), db.header(rec).unwrap());
+        assert_eq!(DbRead::record_offset(&db, rec).unwrap(), db.record_offset(rec).unwrap());
+        assert_eq!(DbRead::record_size(&db, t).unwrap(), db.record_size(t).unwrap());
+        assert_eq!(
+            DbRead::read_field_raw(&db, rec, FieldId(0)).unwrap(),
+            db.read_field_raw(rec, FieldId(0)).unwrap()
+        );
+        assert_eq!(
+            DbRead::field_extent(&db, rec, FieldId(0)).unwrap(),
+            db.field_extent(rec, FieldId(0)).unwrap()
+        );
+        assert_eq!(DbRead::region_len(&db), db.region_len());
+    }
+}

@@ -27,12 +27,11 @@ where
         return seeds.iter().enumerate().map(|(i, &s)| f(i, s)).collect();
     }
 
+    // Workers pull the next run off a shared counter and tag each
+    // result with its run index; one sort by index afterwards restores
+    // seed order regardless of completion order.
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    // Hand each worker a disjoint view of the result slots via raw
-    // indexing through a Mutex-free channel: collect (index, result)
-    // pairs per worker and merge afterwards.
-    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -52,14 +51,13 @@ where
             })
             .collect();
         for h in handles {
-            per_worker.push(h.join().expect("campaign worker panicked"));
+            indexed.extend(h.join().expect("campaign worker panicked"));
         }
     });
 
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots.into_iter().map(|s| s.expect("every run produced a result")).collect()
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(indexed.iter().enumerate().all(|(k, &(i, _))| k == i), "every run ran once");
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// A reasonable worker count for campaign runs: the `WTNC_WORKERS`
@@ -90,6 +88,22 @@ mod tests {
             assert_eq!(*idx, i);
             assert_eq!(*doubled, seeds[i] * 2);
         }
+    }
+
+    #[test]
+    fn seed_order_survives_reversed_completion_order() {
+        // Early runs sleep longest, so with many workers the *last*
+        // seeds complete first — the strongest scramble of completion
+        // order the merge must undo.
+        let seeds: Vec<u64> = (0..24).map(|i| i * 3 + 1).collect();
+        let n = seeds.len();
+        let out = run_seeded(&seeds, 8, |i, s| {
+            std::thread::sleep(std::time::Duration::from_micros(((n - i) as u64) * 120));
+            (i as u64) << 32 | s
+        });
+        let expected: Vec<u64> =
+            seeds.iter().enumerate().map(|(i, &s)| (i as u64) << 32 | s).collect();
+        assert_eq!(out, expected);
     }
 
     #[test]
