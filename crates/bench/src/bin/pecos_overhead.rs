@@ -1,0 +1,174 @@
+//! PECOS run-time overhead on the call-processing client (paper §6.2,
+//! discussed next to Table 10): throughput of the bare vs the
+//! instrumented client, with the machine's predecoded fast path on and
+//! off. Writes `results/BENCH_pecos_overhead.json`.
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin pecos_overhead
+//! WTNC_BENCH_SMOKE=1 cargo run --release -p wtnc-bench --bin pecos_overhead
+//! ```
+
+use std::time::Instant;
+use wtnc::callproc::{AsmClientConfig, BridgeStats, DbSyscallBridge};
+use wtnc::db::{Database, DbApi};
+use wtnc::isa::{asm::Assembly, Machine, MachineConfig, Program, ThreadState};
+use wtnc::pecos::{instrument, PecosMeta};
+use wtnc::sim::ProcessRegistry;
+use wtnc_bench::{host_info_json, write_results};
+
+struct Cell {
+    program_label: &'static str,
+    fast_path: bool,
+    steps_per_run: u64,
+    supersteps_per_run: u64,
+    wall_us_best: f64,
+    inst_per_sec: f64,
+}
+
+/// One complete client run: fresh database, one thread, run to halt.
+/// Returns (retired steps, fused supersteps, wall time of the machine
+/// run alone — database construction is excluded from the timing).
+fn run_once(program: &Program, meta: Option<&PecosMeta>, fast_path: bool) -> (u64, u64, f64) {
+    let mut db = Database::build(wtnc::db::schema::standard_schema()).expect("schema builds");
+    let mut api = DbApi::without_instrumentation();
+    let mut registry = ProcessRegistry::new();
+    let pid = registry.spawn("asm-client", wtnc::sim::SimTime::ZERO);
+    api.init(pid);
+
+    let mut machine =
+        Machine::load(program, MachineConfig { fast_path, ..MachineConfig::default() });
+    if fast_path {
+        if let Some(m) = meta {
+            m.install_fast_path(&mut machine);
+        }
+    }
+    let t = machine.spawn_thread(program.entry);
+    let pids = [pid];
+    let mut stats = BridgeStats::default();
+    let mut bridge = DbSyscallBridge::new(&mut db, &mut api, &pids, &mut stats);
+    let start = Instant::now();
+    machine.run(&mut bridge, 10_000_000);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(machine.thread_state(t), ThreadState::Halted, "client must halt cleanly");
+    (machine.total_steps(), machine.fused_supersteps(), secs)
+}
+
+fn measure(
+    program_label: &'static str,
+    program: &Program,
+    meta: Option<&PecosMeta>,
+    fast_path: bool,
+    reps: usize,
+) -> Cell {
+    // Warm-up run (also yields the deterministic per-run step counts).
+    let (steps_per_run, supersteps_per_run, _) = run_once(program, meta, fast_path);
+    // Best-of-N: the minimum is the least noise-contaminated estimate
+    // of the machine's actual cost (scheduler preemptions and cache
+    // evictions only ever add time).
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..reps {
+        best_secs = best_secs.min(run_once(program, meta, fast_path).2);
+    }
+    let wall_us_best = best_secs * 1e6;
+    let inst_per_sec = steps_per_run as f64 / best_secs;
+    Cell { program_label, fast_path, steps_per_run, supersteps_per_run, wall_us_best, inst_per_sec }
+}
+
+fn main() {
+    let smoke =
+        std::env::var("WTNC_BENCH_SMOKE").is_ok() || std::env::args().any(|a| a == "--smoke");
+    let (iterations, reps) = if smoke { (6u16, 5usize) } else { (120, 200) };
+
+    let source = AsmClientConfig { iterations, ..AsmClientConfig::default() }.program_source();
+    let asm = Assembly::parse(&source).expect("client parses");
+    let bare = asm.assemble().expect("client assembles");
+    let inst = instrument(&asm).expect("client instruments");
+
+    println!(
+        "PECOS overhead — call-processing client, {iterations} iterations, 1 thread, \
+         {reps} timed runs per cell{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "program", "fast path", "steps/run", "fused/run", "best µs/run", "inst/sec"
+    );
+
+    let cells = [
+        measure("bare", &bare, None, false, reps),
+        measure("bare", &bare, None, true, reps),
+        measure("instrumented", &inst.program, Some(&inst.meta), false, reps),
+        measure("instrumented", &inst.program, Some(&inst.meta), true, reps),
+    ];
+    for c in &cells {
+        println!(
+            "{:<14} {:>10} {:>12} {:>12} {:>14.1} {:>14.0}",
+            c.program_label,
+            c.fast_path,
+            c.steps_per_run,
+            c.supersteps_per_run,
+            c.wall_us_best,
+            c.inst_per_sec
+        );
+    }
+
+    // Derived figures: the fast-path speedup on each program, and the
+    // PECOS overheads the paper discusses (§6.2: "less than 10% for
+    // the target application" on dedicated hardware).
+    let by = |label: &str, fast: bool| {
+        cells.iter().find(|c| c.program_label == label && c.fast_path == fast).unwrap()
+    };
+    let fast_speedup_instrumented =
+        by("instrumented", true).inst_per_sec / by("instrumented", false).inst_per_sec;
+    let fast_speedup_bare = by("bare", true).inst_per_sec / by("bare", false).inst_per_sec;
+    let step_overhead =
+        by("instrumented", true).steps_per_run as f64 / by("bare", true).steps_per_run as f64 - 1.0;
+    let wall_overhead_fast =
+        by("instrumented", true).wall_us_best / by("bare", true).wall_us_best - 1.0;
+    let wall_overhead_slow =
+        by("instrumented", false).wall_us_best / by("bare", false).wall_us_best - 1.0;
+
+    println!("\nfast-path speedup (instrumented client): {fast_speedup_instrumented:.2}x");
+    println!("fast-path speedup (bare client):         {fast_speedup_bare:.2}x");
+    println!(
+        "PECOS dynamic instruction overhead: {:.1}%   wall-clock overhead: {:.1}% (fast) / \
+         {:.1}% (slow)",
+        step_overhead * 100.0,
+        wall_overhead_fast * 100.0,
+        wall_overhead_slow * 100.0
+    );
+    println!(
+        "paper reference: §6.2 reports sub-10% overhead for the embedded target; the \
+         fused-superstep engine is this reproduction's analogue of that specialisation"
+    );
+
+    let cells_json: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"program\": \"{}\", \"fast_path\": {}, \"steps_per_run\": {}, \
+                 \"supersteps_per_run\": {}, \"wall_us_best\": {:.3}, \"inst_per_sec\": {:.0}}}",
+                c.program_label,
+                c.fast_path,
+                c.steps_per_run,
+                c.supersteps_per_run,
+                c.wall_us_best,
+                c.inst_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pecos_overhead\",\n  \"host\": {},\n  \"smoke\": {smoke},\n  \
+         \"iterations\": {iterations},\n  \"reps\": {reps},\n  \"cells\": [\n{}\n  ],\n  \
+         \"derived\": {{\"fast_speedup_instrumented\": {fast_speedup_instrumented:.3}, \
+         \"fast_speedup_bare\": {fast_speedup_bare:.3}, \
+         \"pecos_step_overhead_pct\": {:.2}, \"pecos_wall_overhead_fast_pct\": {:.2}, \
+         \"pecos_wall_overhead_slow_pct\": {:.2}}}\n}}\n",
+        host_info_json(),
+        cells_json.join(",\n"),
+        step_overhead * 100.0,
+        wall_overhead_fast * 100.0,
+        wall_overhead_slow * 100.0
+    );
+    write_results("pecos_overhead", &json);
+}

@@ -10,7 +10,7 @@ use wtnc::inject::coverage::table10;
 use wtnc::inject::db_campaign::{run_campaign, DbCampaignConfig};
 use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
 use wtnc::sim::SimDuration;
-use wtnc_bench::scaled_runs;
+use wtnc_bench::{host_info_json, scaled_runs, write_results};
 
 fn main() {
     let text_runs = scaled_runs(100);
@@ -43,4 +43,24 @@ fn main() {
         "\npaper reference: combined coverage 35% (neither) / 73% (audit only) / 42% (PECOS \
          only) / 80% (both); audits and PECOS cover mostly disjoint error classes"
     );
+
+    let rows: Vec<String> = table
+        .columns
+        .iter()
+        .map(|col| {
+            format!(
+                "    {{\"name\": \"{}\", \"client_pct\": {:.2}, \"database_pct\": {:.2}, \
+                 \"combined_pct\": {:.2}}}",
+                col.name, col.client, col.database, col.combined
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"table10\",\n  \"host\": {},\n  \"client_error_fraction\": 0.25,\n  \
+         \"text_runs_per_cell\": {text_runs},\n  \"db_runs_per_arm\": {db_runs},\n  \
+         \"columns\": [\n{}\n  ]\n}}\n",
+        host_info_json(),
+        rows.join(",\n")
+    );
+    write_results("table10", &json);
 }

@@ -8,7 +8,9 @@
 //! ```
 
 use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
-use wtnc_bench::{print_outcome_matrix, scaled_runs};
+use wtnc_bench::{
+    host_info_json, outcome_columns_json, print_outcome_matrix, scaled_runs, write_results,
+};
 
 fn main() {
     let runs = scaled_runs(200); // paper: 200 runs per campaign cell
@@ -23,4 +25,11 @@ fn main() {
         "paper reference: PECOS detection 83% / 77% (of activated), system detection drops \
          52% -> 19%, hangs 6 -> 0 cases, fail-silence violations ~1 case"
     );
+    let json = format!(
+        "{{\n  \"bench\": \"table8\",\n  \"host\": {},\n  \"target\": \"DirectedCfi\",\n  \
+         \"runs_per_cell\": {runs},\n  \"seed\": 31416,\n  \"columns\": {}\n}}\n",
+        host_info_json(),
+        outcome_columns_json(&columns)
+    );
+    write_results("table8", &json);
 }

@@ -8,7 +8,9 @@
 //! ```
 
 use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
-use wtnc_bench::{print_outcome_matrix, scaled_runs};
+use wtnc_bench::{
+    host_info_json, outcome_columns_json, print_outcome_matrix, scaled_runs, write_results,
+};
 
 fn main() {
     let runs = scaled_runs(200);
@@ -23,4 +25,11 @@ fn main() {
         "paper reference: PECOS detection 45% / 49%, system detection 66% -> 39%, \
          fail-silence violations 5% -> 2%, audits pick up ~7% (client->database propagation ~8%)"
     );
+    let json = format!(
+        "{{\n  \"bench\": \"table9\",\n  \"host\": {},\n  \"target\": \"RandomText\",\n  \
+         \"runs_per_cell\": {runs},\n  \"seed\": 31417,\n  \"columns\": {}\n}}\n",
+        host_info_json(),
+        outcome_columns_json(&columns)
+    );
+    write_results("table9", &json);
 }

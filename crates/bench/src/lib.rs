@@ -35,6 +35,41 @@ pub fn host_info_json() -> String {
     )
 }
 
+/// Serializes an [`OutcomeCounts`] tally as a JSON object keyed by
+/// outcome name, plus the derived totals the tables print.
+pub fn outcome_counts_json(counts: &OutcomeCounts) -> String {
+    let mut fields: Vec<String> =
+        RunOutcome::ALL.iter().map(|&o| format!("\"{o:?}\": {}", counts.count(o))).collect();
+    fields.push(format!("\"total\": {}", counts.total()));
+    fields.push(format!("\"activated\": {}", counts.activated()));
+    fields.push(format!("\"coverage_pct\": {:.2}", counts.coverage()));
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Serializes campaign columns (name → tally) as a JSON array, the
+/// machine-readable mirror of [`print_outcome_matrix`].
+pub fn outcome_columns_json(columns: &[(String, OutcomeCounts)]) -> String {
+    let rows: Vec<String> = columns
+        .iter()
+        .map(|(name, counts)| {
+            format!("    {{\"name\": \"{name}\", \"counts\": {}}}", outcome_counts_json(counts))
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+/// Writes a `results/BENCH_<name>.json` artifact, reporting the path
+/// (or the error — benches must not fail just because `results/` is
+/// missing on some checkout).
+pub fn write_results(name: &str, json: &str) {
+    let path = format!("results/BENCH_{name}.json");
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
 /// Formats a percentage with its binomial 95% confidence interval the
 /// way the paper's Tables 8 and 9 do: `52% (47, 58)`.
 pub fn pct_ci(counts: &OutcomeCounts, outcome: RunOutcome) -> String {

@@ -186,7 +186,8 @@ pub fn pecos(args: &[String]) -> Result<(), String> {
         return Err(format!("program has {} CFIs; index {which} out of range", cfis.len()));
     };
     let mut machine = Machine::load(&inst.program, MachineConfig::default());
-    machine.text_mut()[target] ^= 0x0000_0010; // flip a target bit
+    inst.meta.install_fast_path(&mut machine);
+    machine.store_text(target, inst.program.text[target] ^ 0x0000_0010); // flip a target bit
     let t = machine.spawn_thread(inst.program.entry);
     println!("corrupted the CFI at text address {target}; running...");
     for _ in 0..1_000_000u64 {

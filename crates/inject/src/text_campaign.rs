@@ -54,6 +54,15 @@ pub struct TextCampaignConfig {
     pub step_budget: u64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Run the client on the machine's predecoded fast path. Outcomes
+    /// are identical either way (the engines are semantics-preserving);
+    /// `false` exists for parity testing and overhead benchmarks.
+    #[serde(default = "default_fast_path")]
+    pub fast_path: bool,
+}
+
+fn default_fast_path() -> bool {
+    true
 }
 
 impl Default for TextCampaignConfig {
@@ -69,6 +78,7 @@ impl Default for TextCampaignConfig {
             audit_every_steps: 4_000,
             step_budget: 400_000,
             seed: 0xD5A1,
+            fast_path: default_fast_path(),
         }
     }
 }
@@ -117,7 +127,13 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
         )
     });
 
-    let mut machine = Machine::load(&program, MachineConfig::default());
+    let machine_cfg = MachineConfig { fast_path: config.fast_path, ..MachineConfig::default() };
+    let mut machine = Machine::load(&program, machine_cfg);
+    if config.fast_path {
+        if let Some(m) = &meta {
+            m.install_fast_path(&mut machine);
+        }
+    }
     let mut pids: Vec<Pid> = Vec::with_capacity(config.threads);
     for _ in 0..config.threads {
         let pid = registry.spawn("asm-client", SimTime::ZERO);
@@ -142,10 +158,8 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
     // region (assertion start); otherwise at the target itself.
     let trigger = match &meta {
         Some(m) => m
-            .assertion_ranges
-            .iter()
-            .find(|&&(_, end)| end as usize == target)
-            .map(|&(start, _)| start as usize)
+            .assertion_block_for_cfi(target as u16)
+            .map(|(start, _)| start as usize)
             .unwrap_or(target),
         None => target,
     };
@@ -179,7 +193,7 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
                 if !injected {
                     if let Some((tid, pc)) = machine.peek_next() {
                         if pc as usize == trigger {
-                            machine.text_mut()[target] = corrupted_word;
+                            machine.store_text(target, corrupted_word);
                             injected = true;
                             injecting_thread = Some(tid);
                         }
@@ -192,7 +206,7 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
                         if injected && !restored && pc as usize == target {
                             activated = true;
                             if Some(thread) == injecting_thread {
-                                machine.text_mut()[target] = original_word;
+                                machine.store_text(target, original_word);
                                 restored = true;
                             }
                         }
@@ -205,7 +219,7 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
                             && info.pc as usize == target
                             && Some(info.thread) == injecting_thread
                         {
-                            machine.text_mut()[target] = original_word;
+                            machine.store_text(target, original_word);
                             restored = true;
                         }
                         let verdict = match &meta {
@@ -220,7 +234,7 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
                                 // restore so other threads proceed
                                 // cleanly once the detection is counted.
                                 if injected && !restored {
-                                    machine.text_mut()[target] = original_word;
+                                    machine.store_text(target, original_word);
                                     restored = true;
                                 }
                             }
@@ -376,6 +390,7 @@ mod tests {
             audit_every_steps: 2_000,
             step_budget: 200_000,
             seed: 0xBEEF,
+            fast_path: true,
         }
     }
 

@@ -1,0 +1,110 @@
+//! Fast-path regression tests: the predecoded engine must observe
+//! every text-segment injection, including corruptions landing inside
+//! an assertion block whose decoded slots and fused plan are already
+//! cached — and campaign classifications must be bit-identical across
+//! the two engines.
+
+use wtnc_inject::text_campaign::{run_one, InjectionTarget, TextCampaignConfig};
+use wtnc_inject::ErrorModel;
+use wtnc_isa::{ExceptionKind, Machine, MachineConfig, NoSyscalls, StepOutcome};
+use wtnc_pecos::instrument_source;
+
+/// A corruption landing inside an already-cached (decoded + fused)
+/// assertion block is observed by that block's very next execution:
+/// both engines raise the same illegal-instruction exception at the
+/// corrupted word.
+#[test]
+fn warmed_assertion_block_observes_interior_injection() {
+    // One protected CFI (the loop bne); its 9-instruction assertion
+    // block executes once per iteration.
+    let src = r#"
+    start:
+        movi r9, 4
+    loop:
+        addi r9, r9, -1
+        add  r1, r1, r9
+        bne  r9, r0, loop
+        halt
+    "#;
+    let inst = instrument_source(src).unwrap();
+    assert_eq!(inst.meta.assertion_ranges.len(), 1);
+    let (start, end) = inst.meta.assertion_ranges[0];
+    assert_eq!(end - start, 9, "branch blocks are nine instructions");
+
+    // Reference run to learn the total step count.
+    let mut ref_m = Machine::load(&inst.program, MachineConfig::default());
+    inst.meta.install_fast_path(&mut ref_m);
+    ref_m.spawn_thread(inst.program.entry);
+    ref_m.run(&mut NoSyscalls, 1_000_000);
+    let total = ref_m.total_steps();
+    assert!(ref_m.fused_supersteps() >= 4, "every loop iteration should fuse");
+
+    // Drive both engines: warm for half the program (several block
+    // executions), inject an undecodable word over the block's DIVU,
+    // then continue. The stale Hot slot (and stale fused plan) must
+    // not survive the store.
+    let drive = |fast_path: bool| {
+        let mut m =
+            Machine::load(&inst.program, MachineConfig { fast_path, ..MachineConfig::default() });
+        if fast_path {
+            inst.meta.install_fast_path(&mut m);
+        }
+        let t = m.spawn_thread(inst.program.entry);
+        let warm = m.run(&mut NoSyscalls, total / 2);
+        assert!(matches!(warm, StepOutcome::Executed { .. }), "warm-up must not finish the run");
+        m.store_text((end - 1) as usize, 0xFF00_0000); // poison the DIVU
+        let out = m.run(&mut NoSyscalls, 1_000_000);
+        let regs: Vec<u64> = (0..16).map(|r| m.reg(t, r).unwrap()).collect();
+        (out, m.thread_state(t), m.pc(t), regs, m.total_steps(), m.fused_supersteps())
+    };
+    let fast = drive(true);
+    let slow = drive(false);
+
+    // The corruption was observed at the corrupted word...
+    match fast.0 {
+        StepOutcome::Exception(info) => {
+            assert_eq!(info.kind, ExceptionKind::IllegalInstruction);
+            assert_eq!(info.pc, end - 1, "fault must land on the corrupted word");
+        }
+        other => panic!("stale cache executed through the corruption: {other:?}"),
+    }
+    // ...the warm phase really did fuse the block...
+    assert!(fast.5 > 0, "warm phase never fused the assertion block");
+    // ...and the two engines agree on everything observable.
+    assert_eq!(
+        (&fast.0, &fast.1, &fast.2, &fast.3, &fast.4),
+        (&slow.0, &slow.1, &slow.2, &slow.3, &slow.4),
+        "engines diverged after an interior block injection"
+    );
+}
+
+/// Campaign classifications are identical on both engines for a grid
+/// of seeds across both targeting modes — the fast path changes
+/// wall-clock only, never outcomes. Directed-CFI runs corrupt exactly
+/// the input word of a warmed fused plan; random-text runs also land
+/// inside assertion blocks and target tables.
+#[test]
+fn run_one_outcomes_identical_across_engines() {
+    for &target in &[InjectionTarget::DirectedCfi, InjectionTarget::RandomText] {
+        for &model in &[ErrorModel::Datainf, ErrorModel::Dataof] {
+            let config = |fast_path: bool| TextCampaignConfig {
+                pecos: true,
+                audits: false,
+                model,
+                target,
+                runs: 1,
+                threads: 2,
+                iterations: 6,
+                audit_every_steps: 2_000,
+                step_budget: 150_000,
+                seed: 0,
+                fast_path,
+            };
+            for seed in 0..20u64 {
+                let fast = run_one(&config(true), seed);
+                let slow = run_one(&config(false), seed);
+                assert_eq!(fast, slow, "outcome diverged for {target:?}/{model:?} seed {seed}");
+            }
+        }
+    }
+}

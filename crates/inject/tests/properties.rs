@@ -27,6 +27,7 @@ proptest! {
         audits in any::<bool>(),
         model in arb_model(),
         directed in any::<bool>(),
+        fast_path in any::<bool>(),
         seed in any::<u64>(),
     ) {
         let config = TextCampaignConfig {
@@ -44,6 +45,7 @@ proptest! {
             audit_every_steps: 2_000,
             step_budget: 150_000,
             seed: 0,
+            fast_path,
         };
         let outcome = run_one(&config, seed);
         prop_assert!(RunOutcome::ALL.contains(&outcome));

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+mod decoded;
 mod inst;
 mod machine;
 mod program;

@@ -16,6 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::decoded::{DecodedCache, FusedPlan, PlanSlot};
 use crate::inst::{decode, Inst};
 use crate::program::Program;
 use crate::ThreadId;
@@ -29,11 +30,21 @@ pub struct MachineConfig {
     /// Maximum size of a PECOS target table; a stored count above this
     /// is treated as a failed assertion (corrupted table).
     pub max_pckt_table: u32,
+    /// Use the predecoded fast path (decoded-instruction cache, sorted
+    /// `PCKT` target tables, fused assertion supersteps). Detection
+    /// semantics are identical either way; `false` keeps the original
+    /// word-at-a-time engine for parity testing and benchmarking.
+    #[serde(default = "default_fast_path")]
+    pub fast_path: bool,
+}
+
+fn default_fast_path() -> bool {
+    true
 }
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { data_words: 4_096, max_pckt_table: 1_024 }
+        MachineConfig { data_words: 4_096, max_pckt_table: 1_024, fast_path: default_fast_path() }
     }
 }
 
@@ -149,12 +160,22 @@ pub struct Machine {
     config: MachineConfig,
     next: usize,
     total_steps: u64,
+    supersteps: u64,
+    cache: DecodedCache,
 }
 
 impl Machine {
     /// Loads a program. Threads must be spawned explicitly.
     pub fn load(program: &Program, config: MachineConfig) -> Self {
-        Machine { text: program.text.clone(), threads: Vec::new(), config, next: 0, total_steps: 0 }
+        Machine {
+            cache: DecodedCache::new(program.text.len()),
+            text: program.text.clone(),
+            threads: Vec::new(),
+            config,
+            next: 0,
+            total_steps: 0,
+            supersteps: 0,
+        }
     }
 
     /// Spawns a thread at `entry` with a fresh register file and data
@@ -177,9 +198,43 @@ impl Machine {
         &self.text
     }
 
-    /// Shared text segment (write) — the injector's entry point.
+    /// Shared text segment (write) — the injector's escape hatch for
+    /// arbitrary mutation. The whole decoded cache is conservatively
+    /// invalidated because the caller may write any word through the
+    /// returned slice; prefer [`Machine::store_text`] for single-word
+    /// writes.
     pub fn text_mut(&mut self) -> &mut [u32] {
+        self.cache.invalidate_all();
         &mut self.text
+    }
+
+    /// Writes one text word (the injector's corruption primitive) and
+    /// invalidates exactly the cached state derived from it: the
+    /// word's decoded slot, any fused assertion plan reading it, and
+    /// any materialized `PCKT` table containing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the text segment.
+    pub fn store_text(&mut self, addr: usize, word: u32) {
+        self.text[addr] = word;
+        self.cache.invalidate_word(addr);
+    }
+
+    /// Registers the PECOS assertion blocks `[start, end)` (with the
+    /// protected CFI at `end`) as candidates for fused superstep
+    /// execution in [`Machine::run`]. Blocks whose instructions do not
+    /// match a known instrumenter shape — or that are later corrupted
+    /// into not matching — simply execute word-at-a-time; installing
+    /// regions never changes observable behavior, only speed.
+    pub fn install_fused_regions(&mut self, ranges: &[(u16, u16)]) {
+        self.cache.install_regions(ranges);
+    }
+
+    /// Per-thread data memory (read) — lets parity tests compare final
+    /// memory images across engines.
+    pub fn data(&self, t: ThreadId) -> Option<&[u64]> {
+        Some(&self.threads.get(t)?.data)
     }
 
     /// Number of spawned threads.
@@ -232,6 +287,12 @@ impl Machine {
     /// Instructions executed across all threads.
     pub fn total_steps(&self) -> u64 {
         self.total_steps
+    }
+
+    /// Assertion blocks executed as fused supersteps (diagnostic: lets
+    /// tests and benches verify the fast path actually engaged).
+    pub fn fused_supersteps(&self) -> u64 {
+        self.supersteps
     }
 
     /// Terminates a thread as a recovery action (PECOS signal handler,
@@ -289,10 +350,18 @@ impl Machine {
         let Some(&word) = self.text.get(pc as usize) else {
             return self.fault(tid, pc, ExceptionKind::TextFault { addr: pc as u32 });
         };
-        // Decode.
-        let inst = match decode(word) {
-            Ok(i) => i,
-            Err(_) => return self.fault(tid, pc, ExceptionKind::IllegalInstruction),
+        // Decode — through the predecoded cache on the fast path, so
+        // strict decoding runs once per word instead of once per step.
+        let inst = if self.config.fast_path {
+            match self.cache.decode_at(pc as usize, word) {
+                Some(i) => i,
+                None => return self.fault(tid, pc, ExceptionKind::IllegalInstruction),
+            }
+        } else {
+            match decode(word) {
+                Ok(i) => i,
+                Err(_) => return self.fault(tid, pc, ExceptionKind::IllegalInstruction),
+            }
         };
         // Execute.
         match self.execute(tid, pc, inst, sys) {
@@ -303,16 +372,173 @@ impl Machine {
 
     /// Runs until `max_steps` instructions have retired, a thread
     /// faults, or the machine goes idle. Returns the last outcome.
+    ///
+    /// On the fast path, an installed assertion block reached by the
+    /// only runnable thread executes as one fused superstep instead of
+    /// instruction by instruction — with identical retired-step
+    /// accounting, register effects, and fault PCs.
     pub fn run(&mut self, sys: &mut dyn SyscallHandler, max_steps: u64) -> StepOutcome {
         let mut last = StepOutcome::Idle;
-        for _ in 0..max_steps {
-            last = self.step(sys);
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            if let Some((out, retired)) = self.try_superstep(remaining) {
+                remaining -= retired;
+                last = out;
+            } else if let Some((out, retired)) = self.run_batch(sys, remaining) {
+                remaining -= retired;
+                last = out;
+            } else {
+                remaining -= 1;
+                last = self.step(sys);
+            }
             match last {
                 StepOutcome::Executed { .. } => {}
                 _ => break,
             }
         }
         last
+    }
+
+    /// Fast-path dispatch batch: when exactly one thread is runnable,
+    /// steps it repeatedly without the per-step round-robin scan and
+    /// modulo arithmetic of [`Machine::step`] — stopping at a fused
+    /// region start (handed back to [`Machine::try_superstep`]), a
+    /// non-`Executed` outcome, a thread-state change, or the end of the
+    /// budget. Bookkeeping (retired counts, `next` rotation, fault
+    /// sites) is identical to single-stepping.
+    fn run_batch(
+        &mut self,
+        sys: &mut dyn SyscallHandler,
+        remaining: u64,
+    ) -> Option<(StepOutcome, u64)> {
+        if !self.config.fast_path {
+            return None;
+        }
+        let mut runnable =
+            self.threads.iter().enumerate().filter(|(_, t)| t.state == ThreadState::Runnable);
+        let (tid, _) = runnable.next()?;
+        if runnable.next().is_some() {
+            return None;
+        }
+        let n = self.threads.len();
+        self.next = if tid + 1 == n { 0 } else { tid + 1 };
+        let mut retired: u64 = 0;
+        loop {
+            // The first step runs unconditionally: try_superstep already
+            // declined this address, so deferring would livelock.
+            let pc = self.threads[tid].pc;
+            self.total_steps += 1;
+            self.threads[tid].steps += 1;
+            retired += 1;
+            let Some(&word) = self.text.get(pc as usize) else {
+                return Some((
+                    self.fault(tid, pc, ExceptionKind::TextFault { addr: pc as u32 }),
+                    retired,
+                ));
+            };
+            let Some(inst) = self.cache.decode_at(pc as usize, word) else {
+                return Some((self.fault(tid, pc, ExceptionKind::IllegalInstruction), retired));
+            };
+            let last = match self.execute(tid, pc, inst, sys) {
+                Ok(()) => StepOutcome::Executed { thread: tid, pc },
+                Err(kind) => self.fault(tid, pc, kind),
+            };
+            if retired == remaining
+                || !matches!(last, StepOutcome::Executed { .. })
+                || self.threads[tid].state != ThreadState::Runnable
+                || self.cache.region_starting_at(self.threads[tid].pc).is_some()
+            {
+                return Some((last, retired));
+            }
+        }
+    }
+
+    /// Attempts to execute a whole fused assertion block in one go.
+    /// Returns the resulting outcome and the number of retired steps,
+    /// or `None` to fall back to single-stepping.
+    ///
+    /// The fusion preconditions keep every observable identical to
+    /// word-at-a-time execution: only the sole runnable thread may
+    /// fuse (so round-robin interleaving is unaffected), the remaining
+    /// budget must cover the whole block (so `max_steps` cutoffs land
+    /// on the same instruction), and runtime faults other than the
+    /// assertion's own divide-by-zero (e.g. a bad stack pointer under
+    /// the `ret` block's load) bail out to the slow path.
+    fn try_superstep(&mut self, remaining: u64) -> Option<(StepOutcome, u64)> {
+        if !self.config.fast_path || !self.cache.has_regions() {
+            return None;
+        }
+        let mut runnable =
+            self.threads.iter().enumerate().filter(|(_, t)| t.state == ThreadState::Runnable);
+        let (tid, _) = runnable.next()?;
+        if runnable.next().is_some() {
+            return None;
+        }
+        let idx = self.cache.region_starting_at(self.threads[tid].pc)?;
+        let (start, end) = self.cache.region(idx);
+        let len = u64::from(end - start);
+        if remaining < len {
+            return None;
+        }
+        let plan = match self.cache.plan(&self.text, idx) {
+            PlanSlot::Ready(p) => p,
+            _ => return None,
+        };
+
+        // From here on the whole block retires (a failing assertion
+        // faults on its last instruction, which still counts).
+        let (r12, pass) = match plan {
+            FusedPlan::Static { r11, r12, pass } => {
+                if let Some(v) = r11 {
+                    self.threads[tid].regs[11] = v;
+                }
+                (r12, pass)
+            }
+            FusedPlan::StackTable { table } => {
+                let sp = self.threads[tid].regs[15];
+                if sp as i64 >= self.config.data_words as i64 || (sp as i64) < 0 {
+                    return None; // the block's `ld` would memory-fault
+                }
+                let value = self.threads[tid].data[sp as usize];
+                (value, self.table_pass(table, value as u32)?)
+            }
+            FusedPlan::RegTable { src, table } => {
+                let value = self.threads[tid].regs[src as usize & 0xF];
+                (value, self.table_pass(table, value as u32)?)
+            }
+        };
+
+        self.next = (tid + 1) % self.threads.len();
+        self.total_steps += len;
+        self.supersteps += 1;
+        let th = &mut self.threads[tid];
+        th.steps += len;
+        th.regs[12] = r12;
+        if matches!(plan, FusedPlan::Static { .. }) {
+            th.regs[13] = pass as u64;
+        }
+        if pass {
+            th.pc = end;
+            Some((StepOutcome::Executed { thread: tid, pc: end - 1 }, len))
+        } else {
+            th.pc = end - 1;
+            Some((self.fault(tid, end - 1, ExceptionKind::DivideByZero), len))
+        }
+    }
+
+    /// Membership result for a fused table check, or `None` when the
+    /// table itself is faulty in a way whose exception the slow path
+    /// must raise (so the superstep bails out).
+    fn table_pass(&mut self, table: u16, value: u32) -> Option<bool> {
+        let entry = self.cache.table(&self.text, table, self.config.max_pckt_table);
+        match &entry.result {
+            Ok(words) => Some(words.binary_search(&value).is_ok()),
+            // A corrupted count is a failed assertion (divide-by-zero
+            // at the PCKT), which the fail path below raises anyway.
+            Err(ExceptionKind::DivideByZero) => Some(false),
+            // Text faults have different kinds/addresses: slow path.
+            Err(_) => None,
+        }
     }
 
     fn fault(&mut self, tid: ThreadId, pc: u16, kind: ExceptionKind) -> StepOutcome {
@@ -487,21 +713,35 @@ impl Machine {
             }
             Inst::Pckt { rs, table } => {
                 let value = r(&th!(), rs) as u32;
-                let Some(&count) = self.text.get(table as usize) else {
-                    return Err(ExceptionKind::TextFault { addr: table as u32 });
-                };
-                if count > self.config.max_pckt_table {
-                    // A corrupted table counts as a failed assertion.
-                    return Err(ExceptionKind::DivideByZero);
-                }
-                let start = table as usize + 1;
-                let end = start + count as usize;
-                if end > self.text.len() {
-                    return Err(ExceptionKind::TextFault { addr: end as u32 });
-                }
-                let member = self.text[start..end].contains(&value);
-                if !member {
-                    return Err(ExceptionKind::DivideByZero);
+                if self.config.fast_path {
+                    // Binary search over the materialized sorted table;
+                    // build-time faults were cached in slow-path order.
+                    let entry = self.cache.table(&self.text, table, self.config.max_pckt_table);
+                    match &entry.result {
+                        Err(kind) => return Err(*kind),
+                        Ok(words) => {
+                            if words.binary_search(&value).is_err() {
+                                return Err(ExceptionKind::DivideByZero);
+                            }
+                        }
+                    }
+                } else {
+                    let Some(&count) = self.text.get(table as usize) else {
+                        return Err(ExceptionKind::TextFault { addr: table as u32 });
+                    };
+                    if count > self.config.max_pckt_table {
+                        // A corrupted table counts as a failed assertion.
+                        return Err(ExceptionKind::DivideByZero);
+                    }
+                    let start = table as usize + 1;
+                    let end = start + count as usize;
+                    if end > self.text.len() {
+                        return Err(ExceptionKind::TextFault { addr: end as u32 });
+                    }
+                    let member = self.text[start..end].contains(&value);
+                    if !member {
+                        return Err(ExceptionKind::DivideByZero);
+                    }
                 }
                 th!().pc = next_pc;
             }

@@ -2,7 +2,9 @@
 //! determinism.
 
 use proptest::prelude::*;
-use wtnc_isa::{asm, decode, encode, Inst, Machine, MachineConfig, NoSyscalls};
+use wtnc_isa::{
+    asm, decode, encode, Inst, Machine, MachineConfig, NoSyscalls, Program, StepOutcome,
+};
 
 fn arb_reg() -> impl Strategy<Value = u8> {
     0u8..16
@@ -87,6 +89,71 @@ proptest! {
             (m.total_steps(), regs)
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// The predecoded engine and the word-at-a-time engine produce
+    /// identical step-outcome traces (including exception PCs and
+    /// kinds) and identical final register/memory/step state — for
+    /// random programs, random undecodable words, and random mid-run
+    /// text corruptions, which must invalidate the decoded cache.
+    #[test]
+    fn predecoded_engine_is_trace_identical(
+        text in prop::collection::vec(
+            prop_oneof![
+                arb_inst().prop_map(encode),
+                arb_inst().prop_map(encode),
+                arb_inst().prop_map(encode),
+                arb_inst().prop_map(encode),
+                any::<u32>(),
+            ],
+            4..48,
+        ),
+        threads in 1usize..3,
+        corruptions in prop::collection::vec(
+            (0u64..1_500, any::<prop::sample::Index>(), any::<u32>()),
+            0..4,
+        ),
+    ) {
+        let program =
+            Program { text, symbols: std::collections::BTreeMap::new(), entry: 0 };
+        let mk = |fast_path: bool| {
+            let mut m = Machine::load(
+                &program,
+                MachineConfig { fast_path, ..MachineConfig::default() },
+            );
+            for _ in 0..threads {
+                m.spawn_thread(program.entry);
+            }
+            m
+        };
+        let mut fast = mk(true);
+        let mut slow = mk(false);
+        for step in 0..1_500u64 {
+            for &(at, ref idx, word) in &corruptions {
+                if at == step {
+                    let addr = idx.index(program.text.len());
+                    fast.store_text(addr, word);
+                    slow.store_text(addr, word);
+                }
+            }
+            let a = fast.step(&mut NoSyscalls);
+            let b = slow.step(&mut NoSyscalls);
+            prop_assert_eq!(a, b, "trace diverged at step {}", step);
+            if a == StepOutcome::Idle {
+                break;
+            }
+        }
+        prop_assert_eq!(fast.total_steps(), slow.total_steps());
+        prop_assert_eq!(fast.text(), slow.text());
+        for t in 0..threads {
+            prop_assert_eq!(fast.thread_state(t), slow.thread_state(t));
+            prop_assert_eq!(fast.pc(t), slow.pc(t));
+            prop_assert_eq!(fast.thread_steps(t), slow.thread_steps(t));
+            for r in 0..16 {
+                prop_assert_eq!(fast.reg(t, r), slow.reg(t, r));
+            }
+            prop_assert_eq!(fast.data(t), slow.data(t));
+        }
     }
 
     /// Assembled programs never contain words that fail to decode

@@ -6,7 +6,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use wtnc_isa::asm::{Assembly, Item, WordValue};
-use wtnc_isa::{Inst, Program};
+use wtnc_isa::{Inst, Machine, Program};
 
 /// Scratch registers reserved for assertion blocks.
 pub(crate) const SCRATCH: (u8, u8, u8) = (11, 12, 13);
@@ -78,6 +78,23 @@ impl PecosMeta {
         // Ranges are sorted and disjoint.
         let idx = self.assertion_ranges.partition_point(|&(_, end)| end <= pc);
         self.assertion_ranges.get(idx).is_some_and(|&(start, _)| pc >= start)
+    }
+
+    /// The assertion block protecting the CFI at `cfi`, if any —
+    /// binary search over the sorted ranges (each block ends exactly at
+    /// its protected CFI).
+    pub fn assertion_block_for_cfi(&self, cfi: u16) -> Option<(u16, u16)> {
+        // Disjoint blocks with start < end == CFI: ends are sorted too.
+        let idx = self.assertion_ranges.partition_point(|&(_, end)| end < cfi);
+        self.assertion_ranges.get(idx).copied().filter(|&(_, end)| end == cfi)
+    }
+
+    /// Installs the machine-side PECOS fast path: registers every
+    /// assertion block as a fused-superstep candidate. Purely an
+    /// optimization — detection semantics are identical with or
+    /// without it.
+    pub fn install_fast_path(&self, machine: &mut Machine) {
+        machine.install_fused_regions(&self.assertion_ranges);
     }
 
     /// Fractional size overhead of the instrumentation.

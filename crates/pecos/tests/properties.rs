@@ -103,6 +103,63 @@ proptest! {
         prop_assert!(inst.meta.instrumented_words >= inst.meta.original_words);
     }
 
+    /// The fused-superstep fast path is observationally identical to
+    /// the word-at-a-time engine on instrumented programs: same final
+    /// run outcome, same thread state, same full register file
+    /// (scratch registers included), same PC, same retired-step
+    /// counts — with and without a corrupted CFI word in the text.
+    #[test]
+    fn fused_fast_path_matches_slow_engine(
+        src in arb_program(),
+        corrupt in prop_oneof![
+            Just(None),
+            (any::<prop::sample::Index>(), 0u32..16).prop_map(Some),
+        ],
+    ) {
+        let asm = Assembly::parse(&src).unwrap();
+        let inst = instrument(&asm).unwrap();
+
+        let cfis: Vec<usize> = (0..inst.program.len())
+            .filter(|&a| {
+                wtnc_isa::decode(inst.program.text[a]).map(|i| i.is_cfi()).unwrap_or(false)
+            })
+            .collect();
+        let corruption = corrupt.map(|(idx, bit)| {
+            let addr = cfis[idx.index(cfis.len())];
+            (addr, inst.program.text[addr] ^ (1 << bit))
+        });
+
+        let run = |fast_path: bool, fused: bool| {
+            let mut m = Machine::load(
+                &inst.program,
+                MachineConfig { fast_path, ..MachineConfig::default() },
+            );
+            if fused {
+                inst.meta.install_fast_path(&mut m);
+            }
+            if let Some((addr, word)) = corruption {
+                m.store_text(addr, word);
+            }
+            let t = m.spawn_thread(inst.program.entry);
+            let out = m.run(&mut NoSyscalls, 1_000_000);
+            let regs: Vec<u64> = (0..16).map(|r| m.reg(t, r).unwrap()).collect();
+            (
+                (out, m.thread_state(t), m.pc(t), regs, m.total_steps(), m.thread_steps(t)),
+                m.fused_supersteps(),
+            )
+        };
+
+        let (slow, _) = run(false, false);
+        let (fast, _) = run(true, false);
+        let (fused, supersteps) = run(true, true);
+        prop_assert_eq!(&slow, &fast, "predecoded engine diverged from slow engine");
+        prop_assert_eq!(&slow, &fused, "fused superstep diverged from slow engine");
+        // The parity above must not be vacuous: every generated program
+        // has at least one protected CFI on the single-threaded hot
+        // path, so fusion must actually have happened.
+        prop_assert!(supersteps > 0, "fused engine never fused an assertion block");
+    }
+
     /// Assertion ranges never overlap and never cover the entry point.
     #[test]
     fn assertion_ranges_are_disjoint(src in arb_program()) {
