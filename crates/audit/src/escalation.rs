@@ -68,6 +68,18 @@ impl EscalationPolicy {
         EscalationPolicy { config, ..EscalationPolicy::default() }
     }
 
+    /// Process-tier entry point: the supervision loop reports that a
+    /// restart storm exhausted its backoff ladder — warm restarts of
+    /// one process lineage are evidently not holding. Escalation to
+    /// the global action is unconditional at this point (the supervisor
+    /// already applied its own thresholds); it is recorded here so both
+    /// escalation tiers — data churn and restart storms — share one
+    /// requested-restart ledger.
+    pub fn observe_restart_storm(&mut self) -> bool {
+        self.restarts_requested += 1;
+        true
+    }
+
     /// Digests one cycle's findings, performing escalations. Returns
     /// `true` when a controller restart is requested (the caller — the
     /// manager — owns process-level recovery).

@@ -113,6 +113,18 @@ pub enum RecoveryAction {
         /// The previous holder.
         pid: Pid,
     },
+    /// A supervised process was warm-restarted under a fresh pid, its
+    /// state re-initialized from the database.
+    RestartedProcess {
+        /// The condemned pid.
+        old: Pid,
+        /// The replacement pid.
+        new: Pid,
+    },
+    /// Process-level recovery is evidently not holding (a restart
+    /// storm exhausted its backoff ladder, or the registry refused a
+    /// restart): the manager should restart the whole controller.
+    RequestedControllerRestart,
     /// No repair — the value was only flagged for follow-up (selective
     /// monitoring suspects, or detect-only mode routing the finding to
     /// the recovery engine).

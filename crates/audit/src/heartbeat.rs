@@ -8,6 +8,8 @@
 use serde::{Deserialize, Serialize};
 use wtnc_sim::{Pid, ProcessRegistry, SimDuration, SimTime};
 
+use crate::finding::{AuditElementKind, Finding, RecoveryAction};
+
 /// The heartbeat element living inside the audit process: replies to
 /// manager queries while the process is alive.
 #[derive(Debug, Clone, Default)]
@@ -87,17 +89,22 @@ impl Manager {
     }
 
     /// One heartbeat round: query the element if the audit process is
-    /// alive; on `miss_limit` consecutive failures, restart it via the
-    /// process registry. Returns the new pid when a restart happened.
+    /// alive *and responsive* — a hung process is alive in the registry
+    /// but never answers, so its element must not count as a reply. On
+    /// `miss_limit` consecutive failures, restart the process via the
+    /// registry and report the restart as a finding. If the registry
+    /// refuses the restart, the manager cannot recover locally: it
+    /// surfaces a controller-restart finding instead of panicking.
+    /// Returns the new pid when a restart happened.
     pub fn beat(
         &mut self,
         element: Option<&mut HeartbeatElement>,
         registry: &mut ProcessRegistry,
         now: SimTime,
+        out: &mut Vec<Finding>,
     ) -> Option<Pid> {
-        let alive = registry.is_alive(self.supervised);
-        let replied = match (alive, element) {
-            (true, Some(el)) => {
+        let replied = match element {
+            Some(el) if registry.is_responsive(self.supervised) => {
                 el.query(now);
                 true
             }
@@ -116,18 +123,52 @@ impl Manager {
         if registry.is_alive(self.supervised) {
             registry.kill(self.supervised, now);
         }
-        let new_pid =
-            registry.restart(self.supervised, now).expect("a dead process can be restarted");
-        self.supervised = new_pid;
+        let old = self.supervised;
         self.misses = 0;
-        self.restarts += 1;
-        Some(new_pid)
+        match registry.restart(old, now) {
+            Some(new_pid) => {
+                self.supervised = new_pid;
+                self.restarts += 1;
+                out.push(Finding {
+                    element: AuditElementKind::Heartbeat,
+                    at: now,
+                    table: None,
+                    record: None,
+                    detail: format!(
+                        "{} consecutive heartbeat misses; restarted {old} as {new_pid}",
+                        self.config.miss_limit
+                    ),
+                    action: RecoveryAction::RestartedProcess { old, new: new_pid },
+                    target: Some(crate::FindingTarget::Client { pid: old }),
+                    caught: Vec::new(),
+                });
+                Some(new_pid)
+            }
+            None => {
+                out.push(Finding {
+                    element: AuditElementKind::Heartbeat,
+                    at: now,
+                    table: None,
+                    record: None,
+                    detail: format!(
+                        "{old} missed {} heartbeats but the registry refused the restart; \
+                         requesting a controller restart",
+                        self.config.miss_limit
+                    ),
+                    action: RecoveryAction::RequestedControllerRestart,
+                    target: Some(crate::FindingTarget::Client { pid: old }),
+                    caught: Vec::new(),
+                });
+                None
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wtnc_sim::Responsiveness;
 
     #[test]
     fn healthy_process_never_restarts() {
@@ -135,14 +176,16 @@ mod tests {
         let audit = registry.spawn("audit", SimTime::ZERO);
         let mut element = HeartbeatElement::new();
         let mut manager = Manager::new(ManagerConfig::default(), audit);
+        let mut out = Vec::new();
         for s in 0..10 {
             assert_eq!(
-                manager.beat(Some(&mut element), &mut registry, SimTime::from_secs(s)),
+                manager.beat(Some(&mut element), &mut registry, SimTime::from_secs(s), &mut out),
                 None
             );
         }
         assert_eq!(manager.restarts(), 0);
         assert_eq!(element.queries(), 10);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -150,17 +193,21 @@ mod tests {
         let mut registry = ProcessRegistry::new();
         let audit = registry.spawn("audit", SimTime::ZERO);
         let mut manager = Manager::new(ManagerConfig::default(), audit);
+        let mut out = Vec::new();
         registry.crash(audit, SimTime::from_secs(1));
         // Two misses: nothing yet.
-        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(2)), None);
-        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(3)), None);
+        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(2), &mut out), None);
+        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(3), &mut out), None);
         // Third miss: restart.
-        let new_pid =
-            manager.beat(None, &mut registry, SimTime::from_secs(4)).expect("restart expected");
+        let new_pid = manager
+            .beat(None, &mut registry, SimTime::from_secs(4), &mut out)
+            .expect("restart expected");
         assert_ne!(new_pid, audit);
         assert!(registry.is_alive(new_pid));
         assert_eq!(manager.supervised(), new_pid);
         assert_eq!(manager.restarts(), 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].action, RecoveryAction::RestartedProcess { old: audit, new: new_pid });
     }
 
     #[test]
@@ -174,11 +221,59 @@ mod tests {
             ManagerConfig { interval: SimDuration::from_secs(1), miss_limit: 2 },
             audit,
         );
-        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(1)), None);
-        let new_pid =
-            manager.beat(None, &mut registry, SimTime::from_secs(2)).expect("restart expected");
+        let mut out = Vec::new();
+        assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(1), &mut out), None);
+        let new_pid = manager
+            .beat(None, &mut registry, SimTime::from_secs(2), &mut out)
+            .expect("restart expected");
         assert!(!registry.is_alive(audit));
         assert!(registry.is_alive(new_pid));
+    }
+
+    #[test]
+    fn hung_but_alive_process_does_not_count_as_replying() {
+        // Regression: the registry reports the audit process alive and
+        // its heartbeat element is reachable, but the process is hung —
+        // alive-but-silent. The manager must not treat the element's
+        // mere existence as a reply; the query goes unanswered and miss
+        // counting restarts the process.
+        let mut registry = ProcessRegistry::new();
+        let audit = registry.spawn("audit", SimTime::ZERO);
+        registry.set_responsiveness(audit, Responsiveness::Hung);
+        let mut element = HeartbeatElement::new();
+        let mut manager = Manager::new(ManagerConfig::default(), audit);
+        let mut out = Vec::new();
+        let mut restarted = None;
+        for s in 1..=3 {
+            restarted = restarted.or(manager.beat(
+                Some(&mut element),
+                &mut registry,
+                SimTime::from_secs(s),
+                &mut out,
+            ));
+        }
+        assert_eq!(element.queries(), 0, "a hung process must not answer queries");
+        let new_pid = restarted.expect("hung process restarted at the miss limit");
+        assert!(!registry.is_alive(audit));
+        assert!(registry.is_alive(new_pid));
+        assert_eq!(manager.restarts(), 1);
+    }
+
+    #[test]
+    fn refused_restart_surfaces_a_controller_restart_finding() {
+        // The manager supervises a pid the registry does not know (the
+        // registry refuses to restart it). Instead of panicking, the
+        // miss limit produces a controller-restart finding.
+        let mut registry = ProcessRegistry::new();
+        let mut manager = Manager::new(ManagerConfig::default(), Pid(999));
+        let mut out = Vec::new();
+        for s in 1..=3 {
+            assert_eq!(manager.beat(None, &mut registry, SimTime::from_secs(s), &mut out), None);
+        }
+        assert_eq!(manager.restarts(), 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].action, RecoveryAction::RequestedControllerRestart);
+        assert_eq!(out[0].element, AuditElementKind::Heartbeat);
     }
 
     #[test]
@@ -187,12 +282,13 @@ mod tests {
         let audit = registry.spawn("audit", SimTime::ZERO);
         let mut element = HeartbeatElement::new();
         let mut manager = Manager::new(ManagerConfig::default(), audit);
+        let mut out = Vec::new();
         // Two misses, then a reply: counter resets, no restart ever.
-        manager.beat(None, &mut registry, SimTime::from_secs(1));
-        manager.beat(None, &mut registry, SimTime::from_secs(2));
-        manager.beat(Some(&mut element), &mut registry, SimTime::from_secs(3));
-        manager.beat(None, &mut registry, SimTime::from_secs(4));
-        manager.beat(None, &mut registry, SimTime::from_secs(5));
+        manager.beat(None, &mut registry, SimTime::from_secs(1), &mut out);
+        manager.beat(None, &mut registry, SimTime::from_secs(2), &mut out);
+        manager.beat(Some(&mut element), &mut registry, SimTime::from_secs(3), &mut out);
+        manager.beat(None, &mut registry, SimTime::from_secs(4), &mut out);
+        manager.beat(None, &mut registry, SimTime::from_secs(5), &mut out);
         assert_eq!(manager.restarts(), 0);
     }
 }

@@ -15,6 +15,13 @@
 //!   [`SelectiveMonitor`] (runtime invariant inference, §4.4.2);
 //! * the [`Manager`] supervises the audit process itself by heartbeat
 //!   and restarts it on failure;
+//! * the [`Supervisor`] generalizes that tier to the whole process
+//!   population: clients and the audit process register as supervised
+//!   processes, hangs and livelocks are detected by decoupling
+//!   liveness from responsiveness, condemned clients have their locks
+//!   stolen and are warm-restarted, restart storms back off and
+//!   escalate to a controller restart, and an [`AvailabilityLedger`]
+//!   accounts every downtime interval;
 //! * audit **scheduling** is pluggable: [`RoundRobinScheduler`] checks
 //!   tables in a fixed order, [`PriorityScheduler`] implements §4.4.1's
 //!   weighted ranking by access frequency, object nature and error
@@ -75,6 +82,7 @@ mod selective;
 mod semantic;
 mod static_data;
 mod structural;
+mod supervisor;
 
 pub use escalation::{EscalationConfig, EscalationPolicy};
 pub use executor::ParallelConfig;
@@ -88,3 +96,7 @@ pub use selective::{SelectiveConfig, SelectiveMonitor};
 pub use semantic::SemanticAudit;
 pub use static_data::StaticDataAudit;
 pub use structural::StructuralAudit;
+pub use supervisor::{
+    AvailabilityLedger, RestartCause, RestartRecord, SupervisedRole, SupervisionReport, Supervisor,
+    SupervisorConfig,
+};

@@ -63,6 +63,15 @@ impl ProgressIndicator {
         self.last_change = event.at;
     }
 
+    /// Counts database activity learned out of band (a supervision
+    /// tier that sees client work directly rather than through the IPC
+    /// queue). Equivalent to [`ProgressIndicator::observe`] without a
+    /// message.
+    pub fn note_activity(&mut self, at: SimTime) {
+        self.counter += 1;
+        self.last_change = at;
+    }
+
     /// True when the counter has been still for longer than the
     /// progress timeout.
     pub fn timed_out(&self, now: SimTime) -> bool {
@@ -171,6 +180,56 @@ mod tests {
         assert!(out.is_empty());
         assert!(registry.is_alive(pid));
         assert_eq!(locks.len(), 1);
+    }
+
+    #[test]
+    fn lock_threshold_discriminates_stale_from_fresh_holders() {
+        // The lock-threshold path proper: on a progress timeout, only
+        // the client holding its lock past `lock_threshold` is
+        // terminated, and its lock actually leaves the lock table; a
+        // client whose lock is fresher than the threshold survives with
+        // its lock intact.
+        let config = ProgressConfig {
+            lock_threshold: SimDuration::from_millis(100),
+            progress_timeout: SimDuration::from_secs(100),
+        };
+        let mut p = ProgressIndicator::new(config);
+        let mut locks = LockTable::new();
+        let mut registry = ProcessRegistry::new();
+        let wedged = registry.spawn("wedged", SimTime::ZERO);
+        let healthy = registry.spawn("healthy", SimTime::ZERO);
+        let wedged_rec = RecordRef::new(TableId(3), 1);
+        let fresh_rec = RecordRef::new(TableId(3), 2);
+        // Held since t=1 s: stale by ~199 s at the check.
+        locks.acquire(wedged_rec, wedged, SimTime::from_secs(1)).unwrap();
+        // Held for only 50 ms at the check: under the 100 ms threshold.
+        locks.acquire(fresh_rec, healthy, SimTime::from_millis(199_950)).unwrap();
+
+        let now = SimTime::from_secs(200);
+        assert!(p.timed_out(now), "counter never moved");
+        let mut out = Vec::new();
+        p.check(&mut locks, &mut registry, now, &mut out);
+
+        assert!(out.iter().any(|f| f.action == RecoveryAction::TerminatedClient { pid: wedged }));
+        assert!(
+            !out.iter().any(|f| f.action == RecoveryAction::TerminatedClient { pid: healthy }),
+            "the fresh lock holder must survive"
+        );
+        assert!(!registry.is_alive(wedged));
+        assert!(registry.is_alive(healthy));
+        // The stale lock was actually released; the fresh one remains.
+        assert_eq!(locks.holder(wedged_rec), None);
+        assert_eq!(locks.holder(fresh_rec), Some(healthy));
+        assert_eq!(locks.len(), 1);
+    }
+
+    #[test]
+    fn note_activity_counts_like_an_observed_event() {
+        let mut p = ProgressIndicator::new(ProgressConfig::default());
+        p.note_activity(SimTime::from_secs(50));
+        assert_eq!(p.counter(), 1);
+        assert!(!p.timed_out(SimTime::from_secs(100)));
+        assert!(p.timed_out(SimTime::from_secs(151)));
     }
 
     #[test]

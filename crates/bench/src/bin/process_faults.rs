@@ -1,0 +1,93 @@
+//! Process-fault campaign bench: availability and detection-latency
+//! figures for the supervision tier under each process fault model —
+//! client crash, client hang while holding a lock, client livelock,
+//! audit-process crash, and audit-process hang.
+//!
+//! For every model the harness runs the seeded campaign from
+//! `wtnc::inject::process_campaign` and reports faults injected,
+//! detection coverage, mean detection latency and unavailability
+//! interval (virtual seconds), warm restarts, storm escalations,
+//! controller restarts, stolen locks, dropped calls, and the
+//! availability percentage derived from the outcome tally.
+//!
+//! Emits `results/BENCH_process_faults.json`. Run counts scale with
+//! `WTNC_RUNS_SCALE` as in the other campaign benches.
+//!
+//! ```sh
+//! cargo run --release -p wtnc-bench --bin process_faults
+//! ```
+
+use wtnc::inject::process_campaign::{run_campaign, ProcessCampaignConfig, ProcessFaultModel};
+use wtnc_bench::{host_info_json, outcome_counts_json, scaled_runs, write_results};
+
+fn main() {
+    let runs = scaled_runs(20);
+    println!("Process-fault supervision campaign ({runs} runs per model)\n");
+    println!(
+        "{:>22} {:>9} {:>9} {:>11} {:>11} {:>9} {:>7} {:>7} {:>7} {:>9}",
+        "model",
+        "injected",
+        "detected",
+        "detect (s)",
+        "unavail (s)",
+        "restarts",
+        "escal.",
+        "ctrl-r",
+        "locks",
+        "avail (%)"
+    );
+
+    let mut model_jsons: Vec<String> = Vec::new();
+    for model in ProcessFaultModel::ALL {
+        let config = ProcessCampaignConfig { model, ..ProcessCampaignConfig::default() };
+        let r = run_campaign(&config, runs);
+        println!(
+            "{:>22} {:>9} {:>9} {:>11.2} {:>11.2} {:>9} {:>7} {:>7} {:>7} {:>9.2}",
+            model.name(),
+            r.injected,
+            r.detected,
+            r.detection_latency_s,
+            r.unavailable_s,
+            r.restarts,
+            r.escalations,
+            r.controller_restarts,
+            r.locks_stolen,
+            r.outcomes.availability(),
+        );
+        model_jsons.push(format!(
+            "    \"{}\": {{\n      \"injected\": {},\n      \"detected\": {},\n      \
+             \"detection_latency_s\": {:.4},\n      \"unavailable_s\": {:.4},\n      \
+             \"downtime_s\": {:.4},\n      \"restarts\": {},\n      \"escalations\": {},\n      \
+             \"controller_restarts\": {},\n      \"dropped_calls\": {},\n      \
+             \"locks_stolen\": {},\n      \"calls_completed\": {},\n      \
+             \"availability_pct\": {:.4},\n      \"outcomes\": {}\n    }}",
+            model.name(),
+            r.injected,
+            r.detected,
+            r.detection_latency_s,
+            r.unavailable_s,
+            r.downtime_s,
+            r.restarts,
+            r.escalations,
+            r.controller_restarts,
+            r.dropped_calls,
+            r.locks_stolen,
+            r.calls_completed,
+            r.outcomes.availability(),
+            outcome_counts_json(&r.outcomes),
+        ));
+    }
+    println!(
+        "\npaper context: the controller's audit tier recovers hung and crashed call \
+         processes by stealing their locks and warm-restarting them from database state; \
+         repeated failures escalate to a controller restart"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"process_faults\",\n  \"host\": {},\n  \"runs_per_model\": {runs},\n  \
+         \"models\": {{\n{}\n  }}\n}}\n",
+        host_info_json(),
+        model_jsons.join(",\n")
+    );
+    write_results("process_faults", &json);
+}

@@ -2,9 +2,12 @@
 
 use std::collections::HashMap;
 
-use wtnc::audit::{AuditConfig, ParallelConfig};
+use wtnc::audit::{AuditConfig, ParallelConfig, SupervisorConfig};
 use wtnc::db::schema;
 use wtnc::inject::db_campaign::{run_campaign as run_db_campaign, DbCampaignConfig};
+use wtnc::inject::process_campaign::{
+    run_campaign as run_process_campaign, ProcessCampaignConfig, ProcessFaultModel,
+};
 use wtnc::inject::recovery_campaign::{
     run_campaign as run_recovery_campaign, RecoveryCampaignConfig,
 };
@@ -31,11 +34,14 @@ USAGE:
     wtnc audit-demo                        inject -> detect -> repair
     wtnc recover [--budget N]              detect -> diagnose -> repair
                                            -> verify walkthrough
+    wtnc supervise                         hang/crash -> detect -> steal
+                                           locks -> warm-restart demo
     wtnc campaign db [--runs N] [--no-audit] [--no-incremental]
                      [--audit-workers N]
     wtnc campaign text [--runs N] [--directed]
     wtnc campaign priority [--runs N] [--proportional]
     wtnc campaign recovery [--runs N] [--budget N]
+    wtnc campaign process [--runs N] [--model NAME]
     wtnc help                              this text
 
 Audit cycles shard across a deterministic worker pool when
@@ -313,6 +319,71 @@ pub fn recover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `wtnc supervise`: a walkthrough of the process-supervision loop —
+/// a client hangs holding a lock, another crashes, the supervisor
+/// condemns both, steals the lock, and warm-restarts the lineages.
+pub fn supervise(_args: &[String]) -> Result<(), String> {
+    use wtnc::sim::Responsiveness;
+
+    let mut controller = Controller::standard()
+        .with_audit(AuditConfig { parallel: ParallelConfig::from_env(), ..AuditConfig::default() })
+        .with_supervision(SupervisorConfig::default());
+    let hung = controller.spawn_client("client-a", SimTime::ZERO);
+    let crashed = controller.spawn_client("client-b", SimTime::ZERO);
+    println!(
+        "supervising {} process(es): audit + 2 clients",
+        controller.supervisor().expect("attached").supervised().count()
+    );
+
+    // Client A hangs (alive but silent) holding a connection lock;
+    // client B crashes outright.
+    let rec = wtnc::db::RecordRef::new(schema::CONNECTION_TABLE, 0);
+    controller.api.lock(rec, hung, SimTime::from_secs(1)).expect("lock free");
+    controller.registry.set_responsiveness(hung, Responsiveness::Hung);
+    controller.registry.crash(crashed, SimTime::from_secs(2));
+    println!("injected: {hung} hung holding a lock, {crashed} crashed");
+
+    for s in 3..=30u64 {
+        let now = SimTime::from_secs(s);
+        let Some(report) = controller.supervise_tick(now) else {
+            break;
+        };
+        for f in &report.findings {
+            println!("  t={s:>2}s [{:?}] {}", f.element, f.detail);
+        }
+        if controller.supervisor().expect("attached").ledger().restarts.len() >= 2 {
+            break;
+        }
+    }
+
+    let supervisor = controller.supervisor().expect("attached");
+    let ledger = supervisor.ledger();
+    for r in &ledger.restarts {
+        println!(
+            "restarted {} -> {} ({:?}): detection latency {}, downtime {}, {} lock(s) stolen",
+            r.old,
+            r.new,
+            r.cause,
+            r.detection_latency(),
+            r.downtime(),
+            r.locks_stolen
+        );
+    }
+    println!(
+        "locks held now: {}; total downtime {}",
+        controller.api.locks().len(),
+        ledger.closed_downtime()
+    );
+    Ok(())
+}
+
+fn parse_fault_model(name: &str) -> Result<ProcessFaultModel, String> {
+    ProcessFaultModel::ALL.into_iter().find(|m| m.name() == name).ok_or_else(|| {
+        let names: Vec<&str> = ProcessFaultModel::ALL.iter().map(|m| m.name()).collect();
+        format!("unknown fault model {name:?}; expected one of {}", names.join(", "))
+    })
+}
+
 /// `wtnc campaign <db|text> [...]`
 pub fn campaign(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse(args)?;
@@ -418,8 +489,41 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
-        _ => Err("usage: wtnc campaign <db|text|priority|recovery> [--runs N] \
-             [--no-audit|--directed|--proportional|--budget N]"
+        ["process"] => {
+            let runs: usize = flag_num(&flags, "runs", 3)?;
+            let models: Vec<ProcessFaultModel> = match flags.get("model") {
+                Some(name) => vec![parse_fault_model(name)?],
+                None => ProcessFaultModel::ALL.to_vec(),
+            };
+            for model in models {
+                let config = ProcessCampaignConfig {
+                    duration: SimDuration::from_secs(300),
+                    model,
+                    ..ProcessCampaignConfig::default()
+                };
+                let r = run_process_campaign(&config, runs);
+                println!(
+                    "{:<22} injected {:>3}, repaired {:>3}, repair failed {:>2}, \
+                     detection {:>5.2} s, unavailable {:>5.2} s, restarts {:>3}, \
+                     escalations {:>2}, locks stolen {:>3}, dropped calls {:>3}, \
+                     availability {:>5.1}%",
+                    model.name(),
+                    r.injected,
+                    r.outcomes.count(RunOutcome::DetectedRepaired),
+                    r.outcomes.count(RunOutcome::RepairFailed),
+                    r.detection_latency_s,
+                    r.unavailable_s,
+                    r.restarts,
+                    r.escalations,
+                    r.locks_stolen,
+                    r.dropped_calls,
+                    r.outcomes.availability()
+                );
+            }
+            Ok(())
+        }
+        _ => Err("usage: wtnc campaign <db|text|priority|recovery|process> [--runs N] \
+             [--no-audit|--directed|--proportional|--budget N|--model NAME]"
             .into()),
     }
 }
@@ -465,6 +569,17 @@ mod tests {
     #[test]
     fn campaign_recovery_runs() {
         campaign(&strings(&["recovery", "--runs", "1"])).unwrap();
+    }
+
+    #[test]
+    fn campaign_process_runs() {
+        campaign(&strings(&["process", "--runs", "1", "--model", "client_crash"])).unwrap();
+        assert!(campaign(&strings(&["process", "--model", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn supervise_walkthrough_runs_clean() {
+        supervise(&[]).unwrap();
     }
 
     #[test]

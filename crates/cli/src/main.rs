@@ -7,6 +7,8 @@
 //! wtnc audit-demo                  inject → detect → repair walkthrough
 //! wtnc recover [opts]              staged detect → diagnose → repair
 //!                                  → verify walkthrough
+//! wtnc supervise                   process hang/crash → detect →
+//!                                  warm-restart walkthrough
 //! wtnc campaign <db|text> [opts]   run a fault-injection campaign
 //! ```
 //!
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
         "pecos" => commands::pecos(rest),
         "audit-demo" => commands::audit_demo(rest),
         "recover" => commands::recover(rest),
+        "supervise" => commands::supervise(rest),
         "campaign" => commands::campaign(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

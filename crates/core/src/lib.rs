@@ -52,8 +52,11 @@ pub use wtnc_pecos as pecos;
 pub use wtnc_recovery as recovery;
 pub use wtnc_sim as sim;
 
-use wtnc_audit::{AuditConfig, AuditProcess, AuditReport, Manager, ManagerConfig};
-use wtnc_db::{Database, DbApi, DbError, TableDef, TaintEntry};
+use wtnc_audit::{
+    AuditConfig, AuditProcess, AuditReport, HeartbeatElement, Manager, ManagerConfig,
+    SupervisedRole, SupervisionReport, Supervisor, SupervisorConfig,
+};
+use wtnc_db::{Database, DbApi, DbError, TableDef, TaintEntry, TaintFate};
 use wtnc_recovery::{CycleOutcome, RecoveryConfig, RecoveryEngine};
 use wtnc_sim::{Pid, ProcessRegistry, SimTime};
 
@@ -73,6 +76,7 @@ pub struct Controller {
     audit: Option<(Pid, AuditProcess)>,
     manager: Option<Manager>,
     recovery: Option<RecoveryEngine>,
+    supervisor: Option<Supervisor>,
     next_taint_id: u64,
 }
 
@@ -90,6 +94,7 @@ impl Controller {
             audit: None,
             manager: None,
             recovery: None,
+            supervisor: None,
             next_taint_id: 1,
         })
     }
@@ -134,6 +139,87 @@ impl Controller {
         self.recovery.as_ref()
     }
 
+    /// Attaches the process-level supervision loop. The audit process
+    /// (when already attached) registers as a supervised process; call
+    /// [`Controller::spawn_client`] to register clients and
+    /// [`Controller::supervise_tick`] once per heartbeat interval.
+    pub fn with_supervision(mut self, config: SupervisorConfig) -> Self {
+        let mut supervisor = Supervisor::new(config);
+        if let Some((pid, _)) = &self.audit {
+            supervisor.register(*pid, SupervisedRole::Audit, false, SimTime::ZERO);
+        }
+        self.supervisor = Some(supervisor);
+        self
+    }
+
+    /// The attached supervisor, if any.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// Mutable access to the attached supervisor (progress notes,
+    /// dropped-call accounting).
+    pub fn supervisor_mut(&mut self) -> Option<&mut Supervisor> {
+        self.supervisor.as_mut()
+    }
+
+    /// Spawns a client process, opens its API connection, and (when
+    /// supervision is attached) registers it as a supervised process
+    /// with livelock watching enabled.
+    pub fn spawn_client(&mut self, name: &str, now: SimTime) -> Pid {
+        let pid = self.registry.spawn(name, now);
+        self.api.init_at(pid, now);
+        if let Some(supervisor) = self.supervisor.as_mut() {
+            supervisor.register(pid, SupervisedRole::Client, true, now);
+        }
+        pid
+    }
+
+    /// One supervision tick: probes every supervised process, restarts
+    /// condemned ones, and — when a restart storm escalates — executes
+    /// the controller restart (database reloaded from the golden disk
+    /// image, every process restarted). Restarted clients have their
+    /// API connections re-opened; a restarted audit process gets a
+    /// fresh heartbeat element and the audit handle re-binds to the
+    /// new pid.
+    pub fn supervise_tick(&mut self, now: SimTime) -> Option<SupervisionReport> {
+        let supervisor = self.supervisor.as_mut()?;
+        let audit_pid = self.audit.as_ref().map(|(pid, _)| *pid);
+        let element = self.audit.as_mut().map(|(_, a)| a.heartbeat_mut());
+        let mut report = supervisor.tick(&mut self.api, &mut self.registry, element, now);
+        let mut restarts = report.restarts.clone();
+        if report.controller_restart_requested {
+            restarts.extend(self.execute_controller_restart(now));
+            report.controller_restart_requested = false;
+        }
+        for &(old, new) in &restarts {
+            if Some(old) == audit_pid {
+                if let Some((pid, audit)) = self.audit.as_mut() {
+                    *pid = new;
+                    *audit.heartbeat_mut() = HeartbeatElement::new();
+                }
+            } else {
+                // A warm-restarted client re-opens its connection:
+                // state re-initialized from the database.
+                self.api.init_at(new, now);
+            }
+        }
+        report.restarts = restarts;
+        Some(report)
+    }
+
+    /// The global action: reload the whole database image from the
+    /// golden disk (dynamic state is sacrificed) and restart every
+    /// supervised process. Returns the `(old, new)` pid mapping.
+    fn execute_controller_restart(&mut self, now: SimTime) -> Vec<(Pid, Pid)> {
+        self.db.reload_all();
+        let len = self.db.region_len();
+        // Corruption swept by the reload never reached anything.
+        self.db.taint_mut().resolve_range(0, len, TaintFate::Overwritten { at: now });
+        let supervisor = self.supervisor.as_mut().expect("supervision attached");
+        supervisor.execute_controller_restart(&mut self.registry, &mut self.api, now)
+    }
+
     /// Whether an audit process is attached and alive.
     pub fn audit_alive(&self) -> bool {
         self.audit.as_ref().is_some_and(|(pid, _)| self.registry.is_alive(*pid))
@@ -151,7 +237,13 @@ impl Controller {
         if !self.registry.is_alive(*pid) {
             return None;
         }
-        Some(audit.run_cycle(&mut self.db, &mut self.api, &mut self.registry, now))
+        let pid = *pid;
+        let report = audit.run_cycle(&mut self.db, &mut self.api, &mut self.registry, now);
+        // A completed cycle is progress by the audit process.
+        if let Some(supervisor) = self.supervisor.as_mut() {
+            supervisor.note_progress(pid, now);
+        }
+        Some(report)
     }
 
     /// Runs one full detect→repair→verify round at `now`: an audit
@@ -173,13 +265,15 @@ impl Controller {
     /// misses. Returns the new audit pid when a restart happened.
     pub fn manager_beat(&mut self, now: SimTime) -> Option<Pid> {
         let manager = self.manager.as_mut()?;
-        let element = self
-            .audit
-            .as_mut()
-            .and_then(|(pid, a)| self.registry.is_alive(*pid).then(|| a.heartbeat_mut()));
-        let restarted = manager.beat(element, &mut self.registry, now);
-        if let (Some(new_pid), Some((pid, _))) = (restarted, self.audit.as_mut()) {
+        let element = self.audit.as_mut().map(|(_, a)| a.heartbeat_mut());
+        // The manager's findings (restarts, refused-restart controller
+        // requests) are informational here; the facade exposes the
+        // restart through its return value.
+        let mut findings = Vec::new();
+        let restarted = manager.beat(element, &mut self.registry, now, &mut findings);
+        if let (Some(new_pid), Some((pid, audit))) = (restarted, self.audit.as_mut()) {
             *pid = new_pid;
+            *audit.heartbeat_mut() = HeartbeatElement::new();
         }
         restarted
     }
@@ -297,5 +391,105 @@ mod tests {
         assert!(!c.audit_alive());
         assert!(c.run_audit_cycle(SimTime::from_secs(1)).is_none());
         assert!(c.manager_beat(SimTime::from_secs(1)).is_none());
+        assert!(c.supervise_tick(SimTime::from_secs(1)).is_none());
+    }
+
+    fn fast_supervision() -> wtnc_audit::SupervisorConfig {
+        wtnc_audit::SupervisorConfig {
+            storm_threshold: 2,
+            backoff_base: wtnc_sim::SimDuration::from_secs(4),
+            escalate_after_backoffs: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn supervision_restarts_hung_audit_process() {
+        let mut c = Controller::standard()
+            .with_audit(AuditConfig::default())
+            .with_supervision(fast_supervision());
+        let audit_pid = c
+            .supervisor()
+            .unwrap()
+            .supervised()
+            .find(|&(_, role)| role == wtnc_audit::SupervisedRole::Audit)
+            .map(|(pid, _)| pid)
+            .expect("audit registered");
+        // Hang it: alive in the registry but silent.
+        c.registry.set_responsiveness(audit_pid, wtnc_sim::Responsiveness::Hung);
+        let mut restarted = Vec::new();
+        for s in 1..=5 {
+            let report = c.supervise_tick(SimTime::from_secs(s)).unwrap();
+            restarted.extend(report.restarts);
+        }
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].0, audit_pid);
+        assert!(c.audit_alive(), "the audit handle re-bound to the new pid");
+        assert!(c.run_audit_cycle(SimTime::from_secs(6)).is_some());
+        assert_eq!(
+            c.supervisor().unwrap().ledger().restarts_by_cause(wtnc_audit::RestartCause::Hang),
+            1
+        );
+    }
+
+    #[test]
+    fn supervision_steals_locks_from_hung_client() {
+        let mut c = Controller::standard()
+            .with_audit(AuditConfig::default())
+            .with_supervision(fast_supervision());
+        let client = c.spawn_client("cp-client", SimTime::ZERO);
+        let rec = wtnc_db::RecordRef::new(schema::CONNECTION_TABLE, 0);
+        c.api.lock(rec, client, SimTime::from_secs(1)).unwrap();
+        c.registry.set_responsiveness(client, wtnc_sim::Responsiveness::Hung);
+        let mut restarted = Vec::new();
+        for s in 2..=5 {
+            let report = c.supervise_tick(SimTime::from_secs(s)).unwrap();
+            restarted.extend(report.restarts);
+        }
+        assert_eq!(restarted.len(), 1);
+        assert!(c.api.locks().is_empty(), "the stolen lock was released");
+        let ledger = c.supervisor().unwrap().ledger();
+        assert_eq!(ledger.restarts.len(), 1);
+        assert_eq!(ledger.restarts[0].locks_stolen, 1);
+        assert!(c.registry.is_alive(restarted[0].1));
+    }
+
+    #[test]
+    fn restart_storm_escalates_to_a_controller_restart() {
+        let mut c = Controller::standard()
+            .with_audit(AuditConfig::default())
+            .with_supervision(fast_supervision());
+        let mut client = c.spawn_client("cp-client", SimTime::ZERO);
+        // Put dynamic state in the database so the global reload is
+        // observable as a dropped call.
+        let idx =
+            c.api.alloc_record(&mut c.db, client, schema::CONNECTION_TABLE, SimTime::ZERO).unwrap();
+        let rec = wtnc_db::RecordRef::new(schema::CONNECTION_TABLE, idx);
+        assert!(c.db.is_active(rec).unwrap());
+        // Crash the client the moment it comes back, until the ladder
+        // escalates.
+        let mut executed = false;
+        for s in 1..300 {
+            let now = SimTime::from_secs(s);
+            if c.registry.is_alive(client) {
+                c.registry.crash(client, now);
+            }
+            let report = c.supervise_tick(now).unwrap();
+            for &(old, new) in &report.restarts {
+                if old == client {
+                    client = new;
+                }
+            }
+            if c.supervisor().unwrap().ledger().controller_restarts_executed > 0 {
+                executed = true;
+                break;
+            }
+        }
+        assert!(executed, "the storm must escalate to an executed controller restart");
+        assert!(!c.db.is_active(rec).unwrap(), "the global reload sacrificed the dynamic state");
+        assert!(c.audit_alive(), "everything restarted, including the audit process");
+        let ledger = c.supervisor().unwrap().ledger();
+        assert_eq!(ledger.controller_restarts_requested, 1);
+        assert!(ledger.restarts_by_cause(wtnc_audit::RestartCause::Storm) >= 1);
     }
 }

@@ -169,6 +169,20 @@ impl LockTable {
         out
     }
 
+    /// Every lock held by `pid`, sorted by `(table, index)`. The
+    /// supervision tier uses this to report exactly which locks it is
+    /// about to steal from a condemned client before `release_all`.
+    pub fn held_by(&self, pid: Pid) -> Vec<RecordRef> {
+        let mut out: Vec<_> = self
+            .locks
+            .iter()
+            .filter(|&(_, &(holder, _))| holder == pid)
+            .map(|(&(t, i), _)| RecordRef::new(t, i))
+            .collect();
+        out.sort_by_key(|&r| (r.table, r.index));
+        out
+    }
+
     /// Number of held locks.
     pub fn len(&self) -> usize {
         self.locks.len()
@@ -236,6 +250,13 @@ impl DbApi {
     /// thread drains this.
     pub fn events_mut(&mut self) -> &mut MessageQueue<DbEvent> {
         &mut self.events
+    }
+
+    /// Read-only view of the event queue. A supervision tier taps the
+    /// pending traffic through this without stealing messages from the
+    /// audit process, which remains the queue's consumer.
+    pub fn events(&self) -> &MessageQueue<DbEvent> {
+        &self.events
     }
 
     /// The lock table (progress indicator reads it; recovery releases
@@ -996,5 +1017,19 @@ mod tests {
         assert!(!locks.release(rec, Pid(2)));
         assert!(locks.release(rec, Pid(1)));
         assert!(locks.is_empty());
+    }
+
+    #[test]
+    fn held_by_reports_only_the_given_owner() {
+        let mut locks = LockTable::new();
+        locks.acquire(RecordRef::new(TableId(1), 2), Pid(1), SimTime::ZERO).unwrap();
+        locks.acquire(RecordRef::new(TableId(1), 0), Pid(1), SimTime::ZERO).unwrap();
+        locks.acquire(RecordRef::new(TableId(2), 5), Pid(2), SimTime::ZERO).unwrap();
+        assert_eq!(
+            locks.held_by(Pid(1)),
+            vec![RecordRef::new(TableId(1), 0), RecordRef::new(TableId(1), 2)]
+        );
+        assert_eq!(locks.held_by(Pid(2)), vec![RecordRef::new(TableId(2), 5)]);
+        assert!(locks.held_by(Pid(3)).is_empty());
     }
 }

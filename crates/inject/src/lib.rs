@@ -25,6 +25,16 @@
 //! runs detect-only, the engine repairs under a per-cycle token budget,
 //! and the table grows the [`RunOutcome::DetectedRepaired`] and
 //! [`RunOutcome::RepairFailed`] classes plus repair-latency statistics.
+//!
+//! A fourth family ([`process_campaign`]) faults the *processes*
+//! instead of the data: clients and the audit process are crashed,
+//! hung (alive-but-silent, optionally wedged on a record lock) and
+//! livelocked under the supervision loop of `wtnc-audit`, which must
+//! detect every fault, steal the stolen locks, warm-restart the
+//! lineage or escalate a restart storm to a controller restart, and
+//! account every downtime interval. The campaign reports per-model
+//! detection latency, unavailability and the run-level
+//! [`OutcomeCounts::availability`] figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +45,7 @@ mod models;
 mod outcome;
 pub mod parallel;
 pub mod priority_campaign;
+pub mod process_campaign;
 pub mod recovery_campaign;
 pub mod text_campaign;
 

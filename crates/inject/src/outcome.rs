@@ -50,6 +50,33 @@ impl RunOutcome {
         RunOutcome::DetectedRepaired,
         RunOutcome::RepairFailed,
     ];
+
+    /// Whether this outcome implies the affected process (and the calls
+    /// it was serving) was unavailable for some interval of the run.
+    ///
+    /// The process-fault campaigns use this to cross-check the
+    /// [`OutcomeCounts::availability`] formula against their measured
+    /// per-run unavailability intervals: an outcome in this set must be
+    /// accompanied by a nonzero downtime measurement, and vice versa.
+    ///
+    /// * `SystemDetection` — the process crashed; it is down from the
+    ///   crash until the supervisor warm-restarts it.
+    /// * `ClientHang` — the process stopped serving but was never
+    ///   recovered within the run; the whole remainder is downtime.
+    /// * `RepairFailed` — recovery was attempted but never held, so the
+    ///   lineage stayed effectively out of service.
+    ///
+    /// `DetectedRepaired` deliberately is *not* in this set even though
+    /// a warm restart has nonzero latency: the paper's availability
+    /// bookkeeping (§2, the 5ESS lineage) charges an outage only when
+    /// service was lost, and a detected-and-repaired process fault is
+    /// scored by its (separately reported) detection latency instead.
+    pub fn implies_downtime(self) -> bool {
+        matches!(
+            self,
+            RunOutcome::SystemDetection | RunOutcome::ClientHang | RunOutcome::RepairFailed
+        )
+    }
 }
 
 impl fmt::Display for RunOutcome {
@@ -134,6 +161,30 @@ impl OutcomeCounts {
             + self.count(RunOutcome::RepairFailed);
         100.0 * (1.0 - uncovered as f64 / activated as f64)
     }
+
+    /// Run-level availability: the percentage of activated runs that
+    /// ended with the faulted process back in (or never out of)
+    /// service,
+    ///
+    /// `100% − (SystemDetection + ClientHang + RepairFailed)% of activated`
+    ///
+    /// i.e. `100%` minus the share of outcomes for which
+    /// [`RunOutcome::implies_downtime`] holds. This differs from
+    /// [`coverage`](Self::coverage) in exactly one term:
+    /// `FailSilenceViolation` is a *data-integrity* failure — the
+    /// client kept running and serving calls while writing bad data —
+    /// so it breaks coverage but not availability. Conversely every
+    /// downtime outcome also breaks coverage, so
+    /// `availability() >= coverage()` always holds.
+    pub fn availability(&self) -> f64 {
+        let activated = self.activated();
+        if activated == 0 {
+            return 0.0;
+        }
+        let down: u64 =
+            RunOutcome::ALL.iter().filter(|o| o.implies_downtime()).map(|&o| self.count(o)).sum();
+        100.0 * (1.0 - down as f64 / activated as f64)
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +232,53 @@ mod tests {
         assert_eq!(c.activated(), 0);
         assert_eq!(c.coverage(), 0.0);
         assert_eq!(c.proportion_of_activated(RunOutcome::ClientHang).percent(), 0.0);
+    }
+
+    #[test]
+    fn downtime_set_is_exactly_the_availability_complement() {
+        // Exact-set check: adding a RunOutcome variant must force a
+        // decision about whether it implies downtime.
+        let down: Vec<RunOutcome> =
+            RunOutcome::ALL.iter().copied().filter(|o| o.implies_downtime()).collect();
+        assert_eq!(
+            down,
+            vec![RunOutcome::SystemDetection, RunOutcome::ClientHang, RunOutcome::RepairFailed]
+        );
+    }
+
+    #[test]
+    fn availability_formula_matches_hand_computation() {
+        let mut c = OutcomeCounts::new();
+        for _ in 0..20 {
+            c.record(RunOutcome::NotActivated);
+        }
+        for _ in 0..40 {
+            c.record(RunOutcome::DetectedRepaired);
+        }
+        for _ in 0..10 {
+            c.record(RunOutcome::SystemDetection);
+        }
+        for _ in 0..6 {
+            c.record(RunOutcome::ClientHang);
+        }
+        for _ in 0..4 {
+            c.record(RunOutcome::RepairFailed);
+        }
+        for _ in 0..20 {
+            c.record(RunOutcome::FailSilenceViolation);
+        }
+        // activated = 80; down = 10 + 6 + 4 = 20 -> 75% availability.
+        assert_eq!(c.activated(), 80);
+        assert!((c.availability() - 75.0).abs() < 1e-9);
+        // Coverage additionally loses the 20 fail-silence violations:
+        // 100 - 40/80 = 50%.
+        assert!((c.coverage() - 50.0).abs() < 1e-9);
+        assert!(c.availability() >= c.coverage());
+    }
+
+    #[test]
+    fn availability_of_empty_tally_is_zero() {
+        assert_eq!(OutcomeCounts::new().availability(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Property-based tests of the process-fault campaign: seeded
+//! determinism of the supervision trace and total classification
+//! across the fault-model space.
+
+use proptest::prelude::*;
+use wtnc_inject::process_campaign::{run_once, ProcessCampaignConfig, ProcessFaultModel};
+use wtnc_inject::RunOutcome;
+use wtnc_sim::SimDuration;
+
+fn arb_model() -> impl Strategy<Value = ProcessFaultModel> {
+    prop_oneof![
+        Just(ProcessFaultModel::ClientCrash),
+        Just(ProcessFaultModel::ClientHangWithLock),
+        Just(ProcessFaultModel::ClientLivelock),
+        Just(ProcessFaultModel::AuditCrash),
+        Just(ProcessFaultModel::AuditHang),
+    ]
+}
+
+fn config(model: ProcessFaultModel, clients: u32) -> ProcessCampaignConfig {
+    ProcessCampaignConfig {
+        duration: SimDuration::from_secs(200),
+        fault_iat: SimDuration::from_secs(25),
+        clients,
+        model,
+        ..ProcessCampaignConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The same seed must reproduce the identical restart/escalation
+    /// trace — every `RestartRecord` (pids, cause, condemnation and
+    /// restart times, stolen locks) and the full run result.
+    #[test]
+    fn same_seed_reproduces_the_supervision_trace(
+        model in arb_model(),
+        clients in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(model, clients);
+        let a = run_once(&cfg, seed);
+        let b = run_once(&cfg, seed);
+        prop_assert_eq!(&a.trace, &b.trace, "supervision traces must be identical");
+        prop_assert_eq!(a, b, "whole run results must be identical");
+    }
+
+    /// Every injected fault classifies into exactly one outcome
+    /// (accounting is complete), and the taxonomy is structurally
+    /// sound: process faults never produce data-path outcomes, and
+    /// measured unavailability only appears alongside restarts or
+    /// downtime outcomes.
+    #[test]
+    fn accounting_is_complete_and_structurally_sound(
+        model in arb_model(),
+        clients in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let r = run_once(&config(model, clients), seed);
+        prop_assert_eq!(r.outcomes.total(), r.injected);
+        // Data-path outcomes cannot arise from process faults.
+        for o in [
+            RunOutcome::PecosDetection,
+            RunOutcome::FailSilenceViolation,
+            RunOutcome::NotManifested,
+            RunOutcome::SystemDetection,
+        ] {
+            prop_assert_eq!(r.outcomes.count(o), 0, "unexpected {} outcome", o);
+        }
+        // Availability bookkeeping is internally consistent.
+        prop_assert!(r.outcomes.availability() >= r.outcomes.coverage() - 1e-9);
+        if r.restarts > 0 {
+            prop_assert!(r.downtime_s > 0.0, "restarts imply measured downtime");
+            prop_assert!(r.unavailable_s > 0.0);
+        }
+        let down_outcomes: u64 = RunOutcome::ALL
+            .iter()
+            .filter(|o| o.implies_downtime())
+            .map(|&o| r.outcomes.count(o))
+            .sum();
+        if down_outcomes > 0 {
+            prop_assert!(
+                r.downtime_s > 0.0,
+                "downtime outcomes require a measured downtime interval"
+            );
+        }
+    }
+}

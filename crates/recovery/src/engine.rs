@@ -5,7 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use serde::{Deserialize, Serialize};
 use wtnc_audit::{AuditElementKind, AuditProcess, Finding, FindingTarget, RecoveryAction};
 use wtnc_db::{Database, DbApi, RecordRef, TableId, TaintEntry, TaintFate};
-use wtnc_sim::{ProcessRegistry, SimDuration, SimTime};
+use wtnc_sim::{Pid, ProcessRegistry, SimDuration, SimTime};
 
 use crate::log::{RecoveryStats, RepairLogEntry, RepairOutcome};
 
@@ -458,6 +458,20 @@ impl RecoveryEngine {
                 db.reload_all();
                 let len = db.region_len();
                 caught.extend(resolve(db, 0, len));
+                // The global action also restarts every process-tier
+                // casualty: a hung or livelocked process cannot survive
+                // a controller restart with its fault intact.
+                let faulty: Vec<Pid> = registry
+                    .alive()
+                    .filter(|&p| {
+                        registry.responsiveness(p) != Some(wtnc_sim::Responsiveness::Responsive)
+                    })
+                    .collect();
+                for pid in faulty {
+                    api.locks_mut().release_all(pid);
+                    registry.kill(pid, now);
+                    registry.restart(pid, now);
+                }
             }
             (Rung::FieldRepair, FindingTarget::Client { pid })
             | (Rung::RecordReinit, FindingTarget::Client { pid }) => {

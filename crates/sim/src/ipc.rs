@@ -71,6 +71,13 @@ impl<T> MessageQueue<T> {
         self.buf.drain(..)
     }
 
+    /// Iterates the pending messages in FIFO order without consuming
+    /// them. A supervision tier taps the queue this way: it observes
+    /// the traffic while the audit process remains the consumer.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
     /// Number of pending messages.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -123,5 +130,16 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = MessageQueue::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn iter_does_not_consume() {
+        let mut q = MessageQueue::with_capacity(8);
+        q.send(1);
+        q.send(2);
+        let seen: Vec<_> = q.iter().copied().collect();
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(q.len(), 2, "tapping leaves the messages for the consumer");
+        assert_eq!(q.recv(), Some(1));
     }
 }

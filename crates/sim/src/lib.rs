@@ -52,6 +52,6 @@ mod time;
 
 pub use events::{EventQueue, ScheduledEvent};
 pub use ipc::MessageQueue;
-pub use process::{Pid, ProcessRegistry, ProcessState, Tid};
+pub use process::{Pid, ProcessRegistry, ProcessState, Responsiveness, Tid};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -46,10 +46,30 @@ pub enum ProcessState {
     Crashed,
 }
 
+/// How a *live* process responds to supervision probes. Liveness and
+/// responsiveness are deliberately decoupled: a crashed process is
+/// gone from the scheduler, but a hung one is alive-but-silent (it
+/// never replies to a heartbeat query), and a livelocked one still
+/// replies while doing no useful work — the three failure shapes the
+/// paper's heartbeat and progress-indicator elements divide between
+/// themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Responsiveness {
+    /// Replies to probes and makes progress.
+    Responsive,
+    /// Alive in the registry but silent: heartbeat queries go
+    /// unanswered (caught by miss counting).
+    Hung,
+    /// Replies to probes but performs no database work (caught only by
+    /// progress accounting).
+    Livelocked,
+}
+
 #[derive(Debug, Clone)]
 struct ProcessEntry {
     name: String,
     state: ProcessState,
+    responsiveness: Responsiveness,
     spawned_at: SimTime,
     ended_at: Option<SimTime>,
     restarts: u32,
@@ -90,6 +110,7 @@ impl ProcessRegistry {
             ProcessEntry {
                 name: name.to_owned(),
                 state: ProcessState::Alive,
+                responsiveness: Responsiveness::Responsive,
                 spawned_at: now,
                 ended_at: None,
                 restarts: 0,
@@ -147,6 +168,36 @@ impl ProcessRegistry {
     /// True if `pid` is alive.
     pub fn is_alive(&self, pid: Pid) -> bool {
         self.state(pid) == Some(ProcessState::Alive)
+    }
+
+    /// Sets the responsiveness of a *live* process (fault injection:
+    /// hang or livelock it, or let it recover). Returns `false` if the
+    /// process is unknown or dead — a dead process has no
+    /// responsiveness to speak of.
+    pub fn set_responsiveness(&mut self, pid: Pid, r: Responsiveness) -> bool {
+        match self.procs.get_mut(&pid) {
+            Some(entry) if entry.state == ProcessState::Alive => {
+                entry.responsiveness = r;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Responsiveness of `pid`, or `None` if unknown or dead.
+    pub fn responsiveness(&self, pid: Pid) -> Option<Responsiveness> {
+        self.procs.get(&pid).filter(|e| e.state == ProcessState::Alive).map(|e| e.responsiveness)
+    }
+
+    /// True when `pid` would reply to a supervision probe: alive and
+    /// not hung. A livelocked process still replies — it just does no
+    /// useful work, which is why livelock is invisible to the heartbeat
+    /// and needs progress accounting.
+    pub fn is_responsive(&self, pid: Pid) -> bool {
+        matches!(
+            self.responsiveness(pid),
+            Some(Responsiveness::Responsive | Responsiveness::Livelocked)
+        )
     }
 
     /// Name given at spawn time.
@@ -227,6 +278,39 @@ mod tests {
         let live: Vec<_> = reg.alive().collect();
         assert_eq!(live, vec![a, c]);
         assert_eq!(reg.total_spawned(), 3);
+    }
+
+    #[test]
+    fn responsiveness_is_decoupled_from_liveness() {
+        let mut reg = ProcessRegistry::new();
+        let p = reg.spawn("client", SimTime::ZERO);
+        assert_eq!(reg.responsiveness(p), Some(Responsiveness::Responsive));
+        assert!(reg.is_responsive(p));
+
+        // Hung: alive but silent.
+        assert!(reg.set_responsiveness(p, Responsiveness::Hung));
+        assert!(reg.is_alive(p));
+        assert!(!reg.is_responsive(p));
+
+        // Livelocked: beats but does no work.
+        assert!(reg.set_responsiveness(p, Responsiveness::Livelocked));
+        assert!(reg.is_responsive(p));
+
+        // A dead process has no responsiveness.
+        reg.kill(p, SimTime::from_secs(1));
+        assert_eq!(reg.responsiveness(p), None);
+        assert!(!reg.is_responsive(p));
+        assert!(!reg.set_responsiveness(p, Responsiveness::Responsive));
+    }
+
+    #[test]
+    fn restart_clears_responsiveness_faults() {
+        let mut reg = ProcessRegistry::new();
+        let p = reg.spawn("client", SimTime::ZERO);
+        reg.set_responsiveness(p, Responsiveness::Hung);
+        reg.kill(p, SimTime::from_secs(1));
+        let p2 = reg.restart(p, SimTime::from_secs(2)).unwrap();
+        assert_eq!(reg.responsiveness(p2), Some(Responsiveness::Responsive));
     }
 
     #[test]
