@@ -21,6 +21,10 @@ pub enum AuditElementKind {
     Semantic,
     /// Runtime-inferred value invariants (selective monitoring).
     Selective,
+    /// Durable-storage cross-check: the on-disk checkpoint chain and
+    /// journal (keyed per-block integrity codes, chained digests)
+    /// verified against the in-memory golden image.
+    Storage,
 }
 
 /// The precise locus of an anomaly, attached to findings so a

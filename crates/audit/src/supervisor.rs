@@ -658,9 +658,11 @@ impl Supervisor {
     /// Executes the global action: every supervised process is killed
     /// (if needed) and restarted under a fresh pid, all its locks
     /// released, and every lineage's storm state cleared. The caller
-    /// owns the database half of the restart (reload from the golden
-    /// disk image) and the re-binding of its handles to the returned
-    /// `(old, new)` pid pairs.
+    /// owns the database half of the restart — reload from the
+    /// in-memory golden image, or warm recovery from the on-disk
+    /// checkpoint + journal when a `wtnc-store` store is attached —
+    /// and the re-binding of its handles to the returned `(old, new)`
+    /// pid pairs.
     pub fn execute_controller_restart(
         &mut self,
         registry: &mut ProcessRegistry,

@@ -5,6 +5,9 @@ use std::collections::HashMap;
 use wtnc::audit::{AuditConfig, ParallelConfig, SupervisorConfig};
 use wtnc::db::schema;
 use wtnc::inject::db_campaign::{run_campaign as run_db_campaign, DbCampaignConfig};
+use wtnc::inject::powerfail_campaign::{
+    run_campaign as run_powerfail_campaign, PowerFailConfig, PowerFailModel,
+};
 use wtnc::inject::process_campaign::{
     run_campaign as run_process_campaign, ProcessCampaignConfig, ProcessFaultModel,
 };
@@ -16,7 +19,8 @@ use wtnc::inject::RunOutcome;
 use wtnc::isa::{asm::Assembly, Machine, MachineConfig, NoSyscalls, StepOutcome};
 use wtnc::pecos::{handle_exception, instrument, PecosVerdict};
 use wtnc::recovery::RecoveryConfig;
-use wtnc::sim::{SimDuration, SimTime};
+use wtnc::sim::{SimDuration, SimRng, SimTime};
+use wtnc::store::{ScratchDir, Store, StoreConfig};
 use wtnc::Controller;
 
 /// Top-level usage text.
@@ -36,13 +40,25 @@ USAGE:
                                            -> verify walkthrough
     wtnc supervise                         hang/crash -> detect -> steal
                                            locks -> warm-restart demo
+    wtnc store checkpoint [--dir D] [--seed N] [--mutations N]
+                                           journal a seeded workload and
+                                           cut a golden checkpoint
+    wtnc store replay [--dir D]            warm recovery: newest valid
+                                           checkpoint + journal tail
+    wtnc store verify [--dir D]            read-only integrity screen of
+                                           a store directory
     wtnc campaign db [--runs N] [--no-audit] [--no-incremental]
                      [--audit-workers N]
     wtnc campaign text [--runs N] [--directed]
     wtnc campaign priority [--runs N] [--proportional]
     wtnc campaign recovery [--runs N] [--budget N]
     wtnc campaign process [--runs N] [--model NAME]
+    wtnc campaign powerfail [--runs N] [--model NAME]
     wtnc help                              this text
+
+`wtnc store` commands operate on a durable store directory (--dir);
+without --dir they demonstrate the journal/checkpoint/recovery cycle in
+a temporary scratch directory that is removed on exit.
 
 Audit cycles shard across a deterministic worker pool when
 --audit-workers (or the WTNC_WORKERS environment variable) is above 1;
@@ -377,6 +393,155 @@ pub fn supervise(_args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// A short seeded mutation burst against the connection table, used by
+/// the `wtnc store` walkthroughs to generate journal traffic.
+fn store_workload(db: &mut wtnc::db::Database, rng: &mut SimRng, steps: usize) {
+    let table = schema::CONNECTION_TABLE;
+    let mut live = Vec::new();
+    for _ in 0..steps {
+        let result = if live.is_empty() || rng.chance(0.5) {
+            match db.alloc_record_raw(table) {
+                Ok(idx) => {
+                    live.push(idx);
+                    db.write_field_raw(
+                        wtnc::db::RecordRef::new(table, idx),
+                        schema::connection::CALLER_ID,
+                        rng.range_u64(0, 99_999),
+                    )
+                }
+                Err(wtnc::db::DbError::TableFull(_)) if !live.is_empty() => {
+                    let idx = live.swap_remove(rng.index(live.len()));
+                    db.free_record_raw(wtnc::db::RecordRef::new(table, idx))
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            let idx = live[rng.index(live.len())];
+            db.write_field_raw(
+                wtnc::db::RecordRef::new(table, idx),
+                schema::connection::STATE,
+                rng.range_u64(0, 4),
+            )
+        };
+        result.expect("workload step");
+    }
+}
+
+fn print_store_findings(findings: &[wtnc::store::StoreFinding]) {
+    if findings.is_empty() {
+        println!("no findings: every checkpoint and the journal verify clean");
+    }
+    for f in findings {
+        println!("  finding [{:?}] {f}", f.kind);
+    }
+}
+
+/// `wtnc store <checkpoint|replay|verify> [--dir D] [--seed N]
+/// [--mutations N]`
+pub fn store(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    let seed: u64 = flag_num(&flags, "seed", 0x00C0_FFEE)?;
+    let mutations: usize = flag_num(&flags, "mutations", 64)?;
+    let config = StoreConfig::default();
+    // Without --dir the command runs against a scratch directory that
+    // is seeded with a small history and removed on exit.
+    let scratch;
+    let (dir, walkthrough) = match flags.get("dir") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => {
+            scratch = ScratchDir::new("cli-store");
+            println!("(no --dir: walkthrough in scratch directory {})\n", scratch.path().display());
+            let mut db =
+                wtnc::db::Database::build(schema::standard_schema()).map_err(|e| e.to_string())?;
+            let mut store = Store::open(scratch.path(), config).map_err(|e| e.to_string())?;
+            store.attach(&mut db);
+            let mut rng = SimRng::seed_from(seed);
+            store_workload(&mut db, &mut rng, mutations);
+            store.checkpoint(&mut db).map_err(|e| e.to_string())?;
+            store_workload(&mut db, &mut rng, mutations / 2);
+            store.sync(&mut db).map_err(|e| e.to_string())?;
+            (scratch.path().to_path_buf(), true)
+        }
+    };
+
+    match positional.as_slice() {
+        ["checkpoint"] => {
+            let mut db =
+                wtnc::db::Database::build(schema::standard_schema()).map_err(|e| e.to_string())?;
+            let mut store = Store::open(&dir, config).map_err(|e| e.to_string())?;
+            if store.has_state() {
+                let info = store.recover_into(&mut db).map_err(|e| e.to_string())?;
+                println!(
+                    "recovered existing state: base generation {}, {} journal record(s) replayed",
+                    info.base_gen, info.replayed
+                );
+                print_store_findings(&info.findings);
+            }
+            store.attach(&mut db);
+            let mut rng = SimRng::seed_from(seed ^ 0x5EED);
+            store_workload(&mut db, &mut rng, mutations);
+            let gen = store.checkpoint(&mut db).map_err(|e| e.to_string())?;
+            println!("journaled {mutations} mutation step(s), cut checkpoint at generation {gen}");
+            println!("golden history ({} checkpoint(s)):", store.chain().len());
+            for entry in store.chain() {
+                println!("  gen {:>6}  digest {:016x}", entry.gen, entry.digest);
+            }
+            println!(
+                "journal: {} record(s), {} byte(s)",
+                store.journal_records(),
+                store.journal_bytes()
+            );
+            Ok(())
+        }
+        ["replay"] => {
+            let mut store = Store::open(&dir, config).map_err(|e| e.to_string())?;
+            if !store.has_state() {
+                return Err(format!("{} holds no checkpoints or journal", dir.display()));
+            }
+            let mut db =
+                wtnc::db::Database::build(schema::standard_schema()).map_err(|e| e.to_string())?;
+            let info = store.recover_into(&mut db).map_err(|e| e.to_string())?;
+            println!(
+                "warm recovery: base checkpoint generation {}, {} journal record(s) \
+                 replayed, image now at generation {}",
+                info.base_gen,
+                info.replayed,
+                db.mutation_generation()
+            );
+            print_store_findings(&info.findings);
+            Ok(())
+        }
+        ["verify"] => {
+            if walkthrough {
+                // Tamper with one golden byte so the screen has
+                // something to report.
+                let entry = std::fs::read_dir(&dir)
+                    .map_err(|e| e.to_string())?
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .find(|p| p.extension().is_some_and(|x| x == "img"))
+                    .ok_or("walkthrough produced no checkpoint")?;
+                let mut bytes = std::fs::read(&entry).map_err(|e| e.to_string())?;
+                bytes[100] ^= 0x40;
+                std::fs::write(&entry, &bytes).map_err(|e| e.to_string())?;
+                println!("(walkthrough: flipped one bit inside the newest checkpoint)\n");
+            }
+            let findings = Store::verify(&dir, &config).map_err(|e| e.to_string())?;
+            print_store_findings(&findings);
+            Ok(())
+        }
+        _ => Err("usage: wtnc store <checkpoint|replay|verify> [--dir D] [--seed N] \
+             [--mutations N]"
+            .into()),
+    }
+}
+
+fn parse_powerfail_model(name: &str) -> Result<PowerFailModel, String> {
+    PowerFailModel::ALL.into_iter().find(|m| m.name() == name).ok_or_else(|| {
+        let names: Vec<&str> = PowerFailModel::ALL.iter().map(|m| m.name()).collect();
+        format!("unknown power-fail model {name:?}; expected one of {}", names.join(", "))
+    })
+}
+
 fn parse_fault_model(name: &str) -> Result<ProcessFaultModel, String> {
     ProcessFaultModel::ALL.into_iter().find(|m| m.name() == name).ok_or_else(|| {
         let names: Vec<&str> = ProcessFaultModel::ALL.iter().map(|m| m.name()).collect();
@@ -522,7 +687,31 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        _ => Err("usage: wtnc campaign <db|text|priority|recovery|process> [--runs N] \
+        ["powerfail"] => {
+            let runs: usize = flag_num(&flags, "runs", 5)?;
+            let models: Vec<PowerFailModel> = match flags.get("model") {
+                Some(name) => vec![parse_powerfail_model(name)?],
+                None => PowerFailModel::ALL.to_vec(),
+            };
+            for model in models {
+                let config = PowerFailConfig { model, ..PowerFailConfig::default() };
+                let r = run_powerfail_campaign(&config, runs);
+                println!(
+                    "{:<20} injected {:>3}, detected {:>3}, repaired {:>3}, exact \
+                     recoveries {:>3}, fail-silence {:>2}, findings {:>3}, replayed {:>5}",
+                    model.name(),
+                    r.injected,
+                    r.outcomes.count(RunOutcome::AuditDetection),
+                    r.outcomes.count(RunOutcome::DetectedRepaired),
+                    r.exact_recoveries,
+                    r.outcomes.count(RunOutcome::FailSilenceViolation),
+                    r.findings,
+                    r.replayed
+                );
+            }
+            Ok(())
+        }
+        _ => Err("usage: wtnc campaign <db|text|priority|recovery|process|powerfail> [--runs N] \
              [--no-audit|--directed|--proportional|--budget N|--model NAME]"
             .into()),
     }
@@ -580,6 +769,37 @@ mod tests {
     #[test]
     fn supervise_walkthrough_runs_clean() {
         supervise(&[]).unwrap();
+    }
+
+    #[test]
+    fn store_walkthroughs_run_clean() {
+        store(&strings(&["checkpoint", "--mutations", "16"])).unwrap();
+        store(&strings(&["replay", "--mutations", "16"])).unwrap();
+        store(&strings(&["verify", "--mutations", "16"])).unwrap();
+        assert!(store(&strings(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn store_persists_across_dir_invocations() {
+        let scratch = ScratchDir::new("cli-store-test");
+        let dir = scratch.path().to_str().unwrap().to_string();
+        store(&strings(&["checkpoint", "--dir", &dir, "--mutations", "8"])).unwrap();
+        store(&strings(&["checkpoint", "--dir", &dir, "--mutations", "8"])).unwrap();
+        store(&strings(&["replay", "--dir", &dir])).unwrap();
+        store(&strings(&["verify", "--dir", &dir])).unwrap();
+    }
+
+    #[test]
+    fn store_replay_requires_state() {
+        let scratch = ScratchDir::new("cli-store-empty");
+        let dir = scratch.path().to_str().unwrap().to_string();
+        assert!(store(&strings(&["replay", "--dir", &dir])).is_err());
+    }
+
+    #[test]
+    fn campaign_powerfail_runs() {
+        campaign(&strings(&["powerfail", "--runs", "1", "--model", "chain_break"])).unwrap();
+        assert!(campaign(&strings(&["powerfail", "--model", "bogus"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!                                  → verify walkthrough
 //! wtnc supervise                   process hang/crash → detect →
 //!                                  warm-restart walkthrough
+//! wtnc store <sub> [opts]          durable-store tools: checkpoint,
+//!                                  warm replay, integrity verify
 //! wtnc campaign <db|text> [opts]   run a fault-injection campaign
 //! ```
 //!
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "audit-demo" => commands::audit_demo(rest),
         "recover" => commands::recover(rest),
         "supervise" => commands::supervise(rest),
+        "store" => commands::store(rest),
         "campaign" => commands::campaign(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -51,14 +51,17 @@ pub use wtnc_isa as isa;
 pub use wtnc_pecos as pecos;
 pub use wtnc_recovery as recovery;
 pub use wtnc_sim as sim;
+pub use wtnc_store as store;
 
 use wtnc_audit::{
     AuditConfig, AuditProcess, AuditReport, HeartbeatElement, Manager, ManagerConfig,
     SupervisedRole, SupervisionReport, Supervisor, SupervisorConfig,
 };
+use wtnc_audit::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
 use wtnc_db::{Database, DbApi, DbError, TableDef, TaintEntry, TaintFate};
 use wtnc_recovery::{CycleOutcome, RecoveryConfig, RecoveryEngine};
 use wtnc_sim::{Pid, ProcessRegistry, SimTime};
+use wtnc_store::{RecoveryInfo, Store, StoreConfig, StoreError, StoreFindingKind};
 
 /// The assembled controller node: database, client API, process
 /// registry, and (optionally) the manager-supervised audit process.
@@ -77,6 +80,8 @@ pub struct Controller {
     manager: Option<Manager>,
     recovery: Option<RecoveryEngine>,
     supervisor: Option<Supervisor>,
+    durable: Option<Store>,
+    last_recovery: Option<RecoveryInfo>,
     next_taint_id: u64,
 }
 
@@ -95,6 +100,8 @@ impl Controller {
             manager: None,
             recovery: None,
             supervisor: None,
+            durable: None,
+            last_recovery: None,
             next_taint_id: 1,
         })
     }
@@ -150,6 +157,122 @@ impl Controller {
         }
         self.supervisor = Some(supervisor);
         self
+    }
+
+    /// Attaches a durable store rooted at `dir`: opens (and verifies)
+    /// the on-disk journal and checkpoint chain, performs warm
+    /// recovery into the database when durable state exists, and turns
+    /// on journal capture so every subsequent mutation is persisted by
+    /// [`Controller::sync_store`] / [`Controller::checkpoint`]. What
+    /// recovery did (and found) is kept in
+    /// [`Controller::recovery_info`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the store cannot be opened or a
+    /// journaled record does not fit this controller's schema.
+    pub fn with_store(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let mut store = Store::open(dir, config)?;
+        if store.has_state() {
+            self.last_recovery = Some(store.recover_into(&mut self.db)?);
+        }
+        store.attach(&mut self.db);
+        self.durable = Some(store);
+        Ok(self)
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.durable.as_ref()
+    }
+
+    /// What the last warm recovery did, if one ran at attach time or
+    /// during a controller restart.
+    pub fn recovery_info(&self) -> Option<&RecoveryInfo> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Drains captured mutations into the journal. Returns the number
+    /// of records persisted, or `None` when no store is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the journal append fails.
+    pub fn sync_store(&mut self) -> Result<Option<usize>, StoreError> {
+        match self.durable.as_mut() {
+            Some(store) => Ok(Some(store.sync(&mut self.db)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Takes a checkpoint: syncs the journal, then writes the full
+    /// database image as the next link of the golden-image hash chain.
+    /// Returns the checkpoint generation, or `None` when no store is
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn checkpoint(&mut self) -> Result<Option<u64>, StoreError> {
+        match self.durable.as_mut() {
+            Some(store) => Ok(Some(store.checkpoint(&mut self.db)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Runs the storage audit element: syncs the journal, re-verifies
+    /// the newest on-disk checkpoint (keyed per-block MACs + chain
+    /// digest), and cross-checks the durable golden image against the
+    /// in-memory one. Divergent golden blocks are repaired from the
+    /// durable copy (action [`RecoveryAction::ReloadedRange`]); disk-side
+    /// damage is flagged for the operator. Returns `None` when no
+    /// store is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the store cannot be read.
+    pub fn run_storage_audit(&mut self, now: SimTime) -> Result<Option<Vec<Finding>>, StoreError> {
+        let Some(store) = self.durable.as_mut() else {
+            return Ok(None);
+        };
+        store.sync(&mut self.db)?;
+        let store_findings = store.storage_audit(&self.db)?;
+        let durable_golden = store.durable_golden()?;
+        let block = store.config().block_size.max(1);
+        let mut findings = Vec::with_capacity(store_findings.len());
+        for f in store_findings {
+            let mut action = RecoveryAction::Flagged;
+            let mut target = None;
+            if f.kind == StoreFindingKind::GoldenDivergence {
+                if let (Some(offset), Some((_, golden))) = (f.offset, durable_golden.as_ref()) {
+                    let offset = offset as usize;
+                    let end = (offset + block).min(golden.len());
+                    if offset < end
+                        && self.db.restore_golden_range(offset, &golden[offset..end]).is_ok()
+                    {
+                        action = RecoveryAction::ReloadedRange { offset, len: end - offset };
+                        target = Some(FindingTarget::Range { offset, len: end - offset });
+                    }
+                }
+            }
+            findings.push(Finding {
+                element: AuditElementKind::Storage,
+                at: now,
+                table: None,
+                record: None,
+                detail: f.to_string(),
+                action,
+                target,
+                caught: Vec::new(),
+            });
+        }
+        // Repairs mutate the golden image; persist them.
+        store.sync(&mut self.db)?;
+        Ok(Some(findings))
     }
 
     /// The attached supervisor, if any.
@@ -208,11 +331,31 @@ impl Controller {
         Some(report)
     }
 
-    /// The global action: reload the whole database image from the
-    /// golden disk (dynamic state is sacrificed) and restart every
-    /// supervised process. Returns the `(old, new)` pid mapping.
+    /// The global action: restore the whole database image and restart
+    /// every supervised process. With a durable store attached the
+    /// image comes from *disk* — the golden half of the newest valid
+    /// checkpoint carried forward by the journaled golden commits — and
+    /// a fresh checkpoint is taken immediately so the post-restart
+    /// state is itself recoverable; otherwise the in-memory golden
+    /// image is reloaded. Returns the `(old, new)` pid mapping.
     fn execute_controller_restart(&mut self, now: SimTime) -> Vec<(Pid, Pid)> {
-        self.db.reload_all();
+        let mut restored_from_disk = false;
+        if let Some(store) = self.durable.as_mut() {
+            // Persist the pre-restart history first, then rebuild both
+            // halves of the image from the durable golden. Loading at
+            // generation + 1 keeps the fresh checkpoint's file name
+            // distinct from any existing link of the chain.
+            let disk = store.sync(&mut self.db).and_then(|_| store.durable_golden());
+            if let Ok(Some((_, golden))) = disk {
+                let gen = self.db.mutation_generation() + 1;
+                if self.db.load_image(&golden, &golden, gen).is_ok() {
+                    restored_from_disk = store.checkpoint(&mut self.db).is_ok();
+                }
+            }
+        }
+        if !restored_from_disk {
+            self.db.reload_all();
+        }
         let len = self.db.region_len();
         // Corruption swept by the reload never reached anything.
         self.db.taint_mut().resolve_range(0, len, TaintFate::Overwritten { at: now });
@@ -253,6 +396,19 @@ impl Controller {
     /// ([`Controller::with_recovery`]).
     pub fn run_recovery_cycle(&mut self, now: SimTime) -> Option<(AuditReport, CycleOutcome)> {
         let report = self.run_audit_cycle(now)?;
+        // With a durable store attached, repairs draw on the on-disk
+        // golden image rather than trusting surviving memory.
+        if let Some(store) = self.durable.as_mut() {
+            let source = store
+                .sync(&mut self.db)
+                .and_then(|_| store.durable_golden())
+                .ok()
+                .flatten()
+                .map(|(gen, golden)| wtnc_recovery::DiskGoldenSource::new(gen, golden));
+            if let Some(engine) = self.recovery.as_mut() {
+                engine.set_disk_source(source);
+            }
+        }
         let engine = self.recovery.as_mut()?;
         engine.ingest(&report.findings, now);
         let (_, audit) = self.audit.as_mut().expect("audit attached");
@@ -491,5 +647,120 @@ mod tests {
         let ledger = c.supervisor().unwrap().ledger();
         assert_eq!(ledger.controller_restarts_requested, 1);
         assert!(ledger.restarts_by_cause(wtnc_audit::RestartCause::Storm) >= 1);
+    }
+
+    #[test]
+    fn store_round_trips_state_across_reopen() {
+        let scratch = wtnc_store::ScratchDir::new("core-roundtrip");
+        let region = {
+            let mut c =
+                Controller::standard().with_store(scratch.path(), StoreConfig::default()).unwrap();
+            assert!(c.recovery_info().is_none(), "empty store: nothing to recover");
+            let client = c.spawn_client("cp-client", SimTime::ZERO);
+            c.api.alloc_record(&mut c.db, client, schema::CONNECTION_TABLE, SimTime::ZERO).unwrap();
+            c.checkpoint().unwrap().expect("store attached");
+            // More mutations after the checkpoint land only in the
+            // journal — recovery must replay them.
+            c.api
+                .alloc_record(&mut c.db, client, schema::CONNECTION_TABLE, SimTime::from_secs(1))
+                .unwrap();
+            c.sync_store().unwrap();
+            c.db.region().to_vec()
+        };
+
+        let c2 = Controller::standard().with_store(scratch.path(), StoreConfig::default()).unwrap();
+        let info = c2.recovery_info().expect("warm recovery ran");
+        assert!(info.base_gen > 0, "recovered from the checkpoint");
+        assert!(info.replayed > 0, "journal tail replayed on top");
+        assert!(info.findings.is_empty(), "clean history: {:?}", info.findings);
+        assert_eq!(c2.db.region(), &region[..], "exact pre-shutdown image");
+    }
+
+    #[test]
+    fn storage_audit_repairs_diverged_golden() {
+        let scratch = wtnc_store::ScratchDir::new("core-storage-audit");
+        let mut c =
+            Controller::standard().with_store(scratch.path(), StoreConfig::default()).unwrap();
+        c.checkpoint().unwrap();
+        assert!(c.run_storage_audit(SimTime::from_secs(1)).unwrap().unwrap().is_empty());
+
+        // Diverge the in-memory golden image without the store seeing
+        // it (an unjournaled golden corruption).
+        let offset = c.db.region_len() - 40;
+        let before = c.db.golden()[offset];
+        c.db.set_capture(false);
+        c.db.restore_golden_range(offset, &[before ^ 0x20]).unwrap();
+        c.db.set_capture(true);
+
+        let findings = c.run_storage_audit(SimTime::from_secs(5)).unwrap().unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].element, AuditElementKind::Storage);
+        assert!(matches!(findings[0].action, RecoveryAction::ReloadedRange { .. }));
+        assert_eq!(c.db.golden()[offset], before, "repaired from the durable copy");
+        assert!(c.run_storage_audit(SimTime::from_secs(6)).unwrap().unwrap().is_empty());
+    }
+
+    #[test]
+    fn controller_restart_recovers_from_the_durable_golden() {
+        let scratch = wtnc_store::ScratchDir::new("core-restart-disk");
+        let mut c = Controller::standard()
+            .with_audit(AuditConfig::default())
+            .with_supervision(fast_supervision())
+            .with_store(scratch.path(), StoreConfig::default())
+            .unwrap();
+        let mut client = c.spawn_client("cp-client", SimTime::ZERO);
+        // A committed reconfiguration must survive the restart via the
+        // durable golden image...
+        let rec = wtnc_db::RecordRef::new(schema::SYSCONFIG_TABLE, 0);
+        c.reconfigure(
+            client,
+            schema::SYSCONFIG_TABLE,
+            0,
+            schema::sysconfig::MAX_CALLS,
+            777,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        c.checkpoint().unwrap();
+        // ...while uncommitted dynamic state is sacrificed, as in the
+        // memory-only restart.
+        let idx =
+            c.api.alloc_record(&mut c.db, client, schema::CONNECTION_TABLE, SimTime::ZERO).unwrap();
+        let dynamic = wtnc_db::RecordRef::new(schema::CONNECTION_TABLE, idx);
+        let chain_before = c.store().unwrap().chain().len();
+
+        let mut executed = false;
+        for s in 1..300 {
+            let now = SimTime::from_secs(s);
+            if c.registry.is_alive(client) {
+                c.registry.crash(client, now);
+            }
+            let report = c.supervise_tick(now).unwrap();
+            for &(old, new) in &report.restarts {
+                if old == client {
+                    client = new;
+                }
+            }
+            if c.supervisor().unwrap().ledger().controller_restarts_executed > 0 {
+                executed = true;
+                break;
+            }
+        }
+        assert!(executed, "the storm must escalate to an executed controller restart");
+        assert_eq!(
+            c.db.read_field_raw(rec, schema::sysconfig::MAX_CALLS).unwrap(),
+            777,
+            "the committed reconfiguration came back from disk"
+        );
+        assert!(!c.db.is_active(dynamic).unwrap(), "dynamic state was sacrificed");
+        assert!(
+            c.store().unwrap().chain().len() > chain_before,
+            "the restart took a fresh checkpoint of the recovered state"
+        );
+        // The post-restart state is itself recoverable.
+        drop(c);
+        let c2 = Controller::standard().with_store(scratch.path(), StoreConfig::default()).unwrap();
+        assert_eq!(c2.db.read_field_raw(rec, schema::sysconfig::MAX_CALLS).unwrap(), 777);
+        assert_eq!(c2.recovery_info().unwrap().findings.len(), 0);
     }
 }

@@ -67,6 +67,28 @@ impl TableStats {
     }
 }
 
+/// One captured region (or golden-image) mutation, in call order.
+///
+/// The capture buffer is the feed for the `wtnc-store` journal: every
+/// byte-level mutation that goes through the unified
+/// [`Database::note_mutation`] hook — API writes, repairs, reloads,
+/// even raw injector bit flips — lands here when capture is enabled,
+/// so the journal sees exactly what the dirty-block bitmap sees.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapturedMutation {
+    /// The global mutation generation stamped on the write. Golden
+    /// commits share the generation of the region write they follow
+    /// (they do not bump it).
+    pub gen: u64,
+    /// Byte offset within the region (or golden image).
+    pub offset: usize,
+    /// The bytes as written.
+    pub bytes: Vec<u8>,
+    /// True when the mutation targeted the golden disk image
+    /// (operator reconfiguration committing new configuration).
+    pub golden: bool,
+}
+
 /// The decoded header of one record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecordHeader {
@@ -113,6 +135,10 @@ pub struct Database {
     /// Per-record generation: `global_gen` at the record's last
     /// mutation.
     record_gen: Vec<Vec<u64>>,
+    /// Journal capture buffer (`None` = capture disabled). Fed by the
+    /// same [`Database::note_mutation`] hook that maintains the dirty
+    /// bitmap, drained by `wtnc-store`.
+    capture: Option<Vec<CapturedMutation>>,
 }
 
 impl Database {
@@ -173,6 +199,7 @@ impl Database {
             global_gen: 0,
             table_gen,
             record_gen,
+            capture: None,
         })
     }
 
@@ -217,19 +244,25 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
-    // Dirty-block tracking and mutation generations.
+    // The unified mutation hook: dirty-block tracking, mutation
+    // generations and journal capture.
     //
     // Every region mutation funnels through poke / flip_bit /
     // reload_range / reload_all / write_header / write_field_raw, and
-    // each of those calls `mark_dirty` — including the injector's raw
-    // bit flips, so nothing bypasses the bitmap. Audit elements consume
-    // the bitmap and generations to skip provably unchanged state.
+    // each of those calls `note_mutation` — including the injector's
+    // raw bit flips, so nothing bypasses the bitmap *or* the journal
+    // capture buffer. Audit elements consume the bitmap and
+    // generations to skip provably unchanged state; `wtnc-store`
+    // drains the capture buffer into the on-disk journal. (The DB
+    // API's event queue is a separate, coarser channel gated on
+    // instrumentation; durability deliberately does not depend on it.)
     // ------------------------------------------------------------------
 
     /// Marks `[offset, offset + len)` mutated: dirties the overlapping
-    /// blocks and bumps the global, per-table and per-record
-    /// generations.
-    fn mark_dirty(&mut self, offset: usize, len: usize) {
+    /// blocks, bumps the global, per-table and per-record generations,
+    /// and (when capture is enabled) records the written bytes for the
+    /// mutation journal.
+    fn note_mutation(&mut self, offset: usize, len: usize) {
         if len == 0 {
             return;
         }
@@ -253,6 +286,109 @@ impl Database {
                 self.record_gen[ti][r as usize] = gen;
             }
         }
+        if let Some(buf) = self.capture.as_mut() {
+            let end = end.min(self.region.len());
+            buf.push(CapturedMutation {
+                gen,
+                offset,
+                bytes: self.region[offset..end].to_vec(),
+                golden: false,
+            });
+        }
+    }
+
+    /// Enables or disables journal capture. Enabling starts an empty
+    /// buffer; disabling discards any undreained captures.
+    pub fn set_capture(&mut self, enabled: bool) {
+        self.capture = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Whether journal capture is enabled.
+    pub fn capture_enabled(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Drains the capture buffer, returning the mutations in call
+    /// order. Empty when capture is disabled.
+    pub fn take_captured(&mut self) -> Vec<CapturedMutation> {
+        self.capture.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Applies one journaled mutation during replay, *without*
+    /// re-capturing it: bytes are written to the region (or golden
+    /// image), dirty blocks are marked, and the generations are
+    /// stamped with the journal's recorded generation so the recovered
+    /// database continues the same monotonic sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] if the extent leaves the
+    /// region (a corrupt journal record that framing failed to catch).
+    pub fn apply_captured(&mut self, m: &CapturedMutation) -> Result<(), DbError> {
+        self.check_bounds(m.offset, m.bytes.len())?;
+        let target = if m.golden { &mut self.golden } else { &mut self.region };
+        target[m.offset..m.offset + m.bytes.len()].copy_from_slice(&m.bytes);
+        if !m.golden {
+            self.dirty.mark_range(m.offset, m.bytes.len());
+            let end = m.offset + m.bytes.len();
+            for tm in self.catalog.tables() {
+                let t_start = tm.offset;
+                let t_end = t_start + tm.data_len();
+                if end <= t_start || m.offset >= t_end {
+                    continue;
+                }
+                let ti = tm.id.0 as usize;
+                self.table_gen[ti] = self.table_gen[ti].max(m.gen);
+                let lo = m.offset.max(t_start) - t_start;
+                let hi = end.min(t_end) - t_start;
+                let first = (lo / tm.record_size) as u32;
+                let last = (((hi - 1) / tm.record_size) as u32).min(tm.def.record_count - 1);
+                for r in first..=last {
+                    let g = &mut self.record_gen[ti][r as usize];
+                    *g = (*g).max(m.gen);
+                }
+            }
+        }
+        self.global_gen = self.global_gen.max(m.gen);
+        Ok(())
+    }
+
+    /// Replaces the region and golden image wholesale from a recovered
+    /// checkpoint, stamping every generation with the checkpoint's
+    /// generation and marking everything dirty (the audits re-verify a
+    /// recovered image from scratch). Any pending captures are
+    /// discarded — the image *is* the durable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] when either image does not
+    /// match the schema's region length.
+    pub fn load_image(&mut self, region: &[u8], golden: &[u8], gen: u64) -> Result<(), DbError> {
+        for image in [region, golden] {
+            if image.len() != self.region.len() {
+                return Err(DbError::OutOfBounds {
+                    offset: 0,
+                    len: image.len(),
+                    region: self.region.len(),
+                });
+            }
+        }
+        self.region.copy_from_slice(region);
+        self.golden.copy_from_slice(golden);
+        self.dirty.mark_range(0, self.region.len());
+        self.global_gen = gen;
+        for t in &mut self.table_gen {
+            *t = gen;
+        }
+        for t in &mut self.record_gen {
+            for r in t.iter_mut() {
+                *r = gen;
+            }
+        }
+        if let Some(buf) = self.capture.as_mut() {
+            buf.clear();
+        }
+        Ok(())
     }
 
     /// The per-block dirty bitmap.
@@ -331,7 +467,7 @@ impl Database {
     pub fn poke(&mut self, offset: usize, bytes: &[u8]) -> Result<(), DbError> {
         self.check_bounds(offset, bytes.len())?;
         self.region[offset..offset + bytes.len()].copy_from_slice(bytes);
-        self.mark_dirty(offset, bytes.len());
+        self.note_mutation(offset, bytes.len());
         Ok(())
     }
 
@@ -351,7 +487,7 @@ impl Database {
         let old = self.region[offset];
         let new = old ^ (1 << bit);
         self.region[offset] = new;
-        self.mark_dirty(offset, 1);
+        self.note_mutation(offset, 1);
         Ok((old, new))
     }
 
@@ -372,7 +508,7 @@ impl Database {
     pub fn reload_range(&mut self, offset: usize, len: usize) -> Result<(), DbError> {
         self.check_bounds(offset, len)?;
         self.region[offset..offset + len].copy_from_slice(&self.golden[offset..offset + len]);
-        self.mark_dirty(offset, len);
+        self.note_mutation(offset, len);
         Ok(())
     }
 
@@ -380,15 +516,52 @@ impl Database {
     /// escalated recovery for multi-record structural damage.
     pub fn reload_all(&mut self) {
         self.region.copy_from_slice(&self.golden);
-        self.mark_dirty(0, self.region.len());
+        self.note_mutation(0, self.region.len());
     }
 
     /// Updates the golden image for `[offset, offset+len)` to match the
     /// current region. Called by the API after *legitimate* writes to
     /// static configuration (operator reconfiguration), so that the
-    /// golden image tracks intent.
+    /// golden image tracks intent. Captured for the journal (sharing
+    /// the generation of the region write it follows) — golden commits
+    /// are the one mutation class that does not go through
+    /// [`Database::note_mutation`], and losing one across a restart
+    /// would resurrect pre-reconfiguration values.
     pub(crate) fn commit_golden(&mut self, offset: usize, len: usize) {
         self.golden[offset..offset + len].copy_from_slice(&self.region[offset..offset + len]);
+        if let Some(buf) = self.capture.as_mut() {
+            buf.push(CapturedMutation {
+                gen: self.global_gen,
+                offset,
+                bytes: self.golden[offset..offset + len].to_vec(),
+                golden: true,
+            });
+        }
+    }
+
+    /// Overwrites part of the in-memory golden image from an external
+    /// durable source (the on-disk checkpoint) — the repair path for a
+    /// *golden-side* divergence, where the in-memory reference copy
+    /// itself is the corrupted party and every golden-based repair
+    /// would propagate the corruption. Captured like a golden commit
+    /// so the journal stays consistent with the repaired image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::OutOfBounds`] if the extent leaves the
+    /// region.
+    pub fn restore_golden_range(&mut self, offset: usize, bytes: &[u8]) -> Result<(), DbError> {
+        self.check_bounds(offset, bytes.len())?;
+        self.golden[offset..offset + bytes.len()].copy_from_slice(bytes);
+        if let Some(buf) = self.capture.as_mut() {
+            buf.push(CapturedMutation {
+                gen: self.global_gen,
+                offset,
+                bytes: bytes.to_vec(),
+                golden: true,
+            });
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -568,7 +741,7 @@ impl Database {
         r[base + HDR_GROUP] = hdr.group;
         write_le(&mut r[base + HDR_NEXT..], 2, hdr.next as u64);
         write_le(&mut r[base + HDR_PREV..], 2, hdr.prev as u64);
-        self.mark_dirty(base, RECORD_HEADER_SIZE);
+        self.note_mutation(base, RECORD_HEADER_SIZE);
         Ok(())
     }
 
@@ -616,7 +789,7 @@ impl Database {
         let off = base + tm.field_offsets[field.0 as usize];
         let width = f.width.bytes();
         write_le(&mut self.region[off..], width, value);
-        self.mark_dirty(off, width);
+        self.note_mutation(off, width);
         Ok(())
     }
 
@@ -1137,6 +1310,83 @@ mod tests {
         // still be nonzero: 256-byte blocks can span table boundaries.)
         assert_eq!(db.table_generation(TableId(0)), 0);
         assert!(db.dirty_density(t) > 0.0);
+    }
+
+    #[test]
+    fn capture_feeds_from_the_unified_mutation_hook() {
+        let mut db = Database::build(schema()).unwrap();
+        db.set_capture(true);
+        assert!(db.capture_enabled());
+        let t = TableId(1);
+        let i = db.alloc_record_raw(t).unwrap();
+        let rec = RecordRef::new(t, i);
+        db.write_field_raw(rec, FieldId(0), 77).unwrap();
+        // A raw injector flip is captured too: nothing bypasses.
+        let (off, _) = db.field_extent(rec, FieldId(0)).unwrap();
+        db.flip_bit(off, 1).unwrap();
+        let captured = db.take_captured();
+        assert!(captured.len() >= 3);
+        for w in captured.windows(2) {
+            assert!(w[0].gen <= w[1].gen, "capture order follows generation order");
+        }
+        assert!(db.take_captured().is_empty(), "drained");
+
+        // Replaying the stream over a fresh database reproduces the
+        // exact image and generation.
+        let mut fresh = Database::build(schema()).unwrap();
+        for m in &captured {
+            fresh.apply_captured(m).unwrap();
+        }
+        assert_eq!(fresh.region(), db.region());
+        assert_eq!(fresh.mutation_generation(), db.mutation_generation());
+    }
+
+    #[test]
+    fn golden_commit_and_golden_restore_are_captured() {
+        let mut db = Database::build(schema()).unwrap();
+        db.set_capture(true);
+        let rec = RecordRef::new(TableId(0), 0);
+        let (off, len) = db.field_extent(rec, FieldId(1)).unwrap();
+        db.write_field_raw(rec, FieldId(1), 2000).unwrap();
+        db.commit_golden(off, len);
+        let captured = db.take_captured();
+        let golden: Vec<_> = captured.iter().filter(|m| m.golden).collect();
+        assert_eq!(golden.len(), 1);
+        assert_eq!(golden[0].offset, off);
+        assert_eq!(golden[0].gen, captured[0].gen, "golden commit shares the write's generation");
+
+        // Replay onto a fresh db: the golden image tracks the commit.
+        let mut fresh = Database::build(schema()).unwrap();
+        for m in &captured {
+            fresh.apply_captured(m).unwrap();
+        }
+        assert_eq!(fresh.golden(), db.golden());
+
+        // restore_golden_range is captured the same way.
+        let patch = vec![0xEE; len];
+        db.restore_golden_range(off, &patch).unwrap();
+        let captured = db.take_captured();
+        assert_eq!(captured.len(), 1);
+        assert!(captured[0].golden);
+        assert_eq!(captured[0].bytes, patch);
+        assert!(db.restore_golden_range(db.region_len(), &[1]).is_err());
+    }
+
+    #[test]
+    fn load_image_replaces_state_and_stamps_generations() {
+        let mut db = Database::build(schema()).unwrap();
+        db.alloc_record_raw(TableId(1)).unwrap();
+        let region = db.region().to_vec();
+        let golden = db.golden().to_vec();
+
+        let mut other = Database::build(schema()).unwrap();
+        other.load_image(&region, &golden, 42).unwrap();
+        assert_eq!(other.region(), db.region());
+        assert_eq!(other.golden(), db.golden());
+        assert_eq!(other.mutation_generation(), 42);
+        assert_eq!(other.table_generation(TableId(1)), 42);
+        assert!(other.dirty().dirty_count() > 0, "a recovered image is re-verified from scratch");
+        assert!(other.load_image(&region[1..], &golden, 1).is_err());
     }
 
     #[test]

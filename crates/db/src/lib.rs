@@ -72,7 +72,7 @@ pub use catalog::{
     Catalog, FieldDef, FieldId, FieldKind, FieldWidth, TableDef, TableId, TableNature,
 };
 pub use crc::{crc32, crc32_bytewise, crc32_combine, Crc32Shift};
-pub use database::{Database, RecordMeta, RecordRef, TableStats};
+pub use database::{CapturedMutation, Database, RecordMeta, RecordRef, TableStats};
 pub use dirty::{DirtyTracker, DIRTY_BLOCK_SIZE};
 pub use error::DbError;
 pub use events::{DbEvent, DbOp};

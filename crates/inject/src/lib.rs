@@ -35,6 +35,16 @@
 //! account every downtime interval. The campaign reports per-model
 //! detection latency, unavailability and the run-level
 //! [`OutcomeCounts::availability`] figure.
+//!
+//! A fifth family ([`powerfail_campaign`]) attacks the *durable* state
+//! kept by `wtnc-store`: after a seeded journaled workload, the store
+//! directory suffers a simulated power failure or tampering event
+//! (torn checkpoint write, journal-tail truncation or corruption,
+//! stale-checkpoint-with-valid-journal, golden-history chain break)
+//! and is reopened cold. Warm recovery must either reproduce the exact
+//! pre-failure image or a *reported* consistent prefix of the mutation
+//! timeline — any off-timeline image or silent history loss counts as
+//! [`RunOutcome::FailSilenceViolation`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +54,7 @@ pub mod db_campaign;
 mod models;
 mod outcome;
 pub mod parallel;
+pub mod powerfail_campaign;
 pub mod priority_campaign;
 pub mod process_campaign;
 pub mod recovery_campaign;

@@ -1,0 +1,425 @@
+//! Power-fail injection campaign against the durable store.
+//!
+//! The other campaigns corrupt memory or processes; this one attacks
+//! the *durable* state `wtnc-store` maintains on disk. Each run drives
+//! a seeded mutation workload through a journaled + checkpointed
+//! database, then simulates a power failure or tampering event against
+//! the store directory, reopens it cold, and performs warm recovery.
+//! The recovered image is compared against the harness's mutation
+//! timeline — a hash of the database after *every individual journal
+//! record* (not every operation: one operation can emit several
+//! records, and a torn write can land between them) — and classified
+//! onto the extended Table 7 taxonomy:
+//!
+//! * [`RunOutcome::AuditDetection`] — the damage was detected (store
+//!   findings reported) and recovery still reproduced the **exact**
+//!   pre-failure image (a stale or broken checkpoint the full journal
+//!   carried forward);
+//! * [`RunOutcome::DetectedRepaired`] — the damage was detected and
+//!   recovery restored a consistent **prefix** of the timeline (the
+//!   fsynced history up to the torn or corrupt journal record);
+//! * [`RunOutcome::NotManifested`] — the recovered image is exact and
+//!   nothing was (or needed to be) reported;
+//! * [`RunOutcome::FailSilenceViolation`] — the store recovered an
+//!   image that is *not* on the timeline, or silently lost history
+//!   without reporting a finding. The acceptance bar is **zero** such
+//!   runs.
+
+use serde::{Deserialize, Serialize};
+use wtnc_db::{schema, Database, DbError, RecordRef};
+use wtnc_sim::SimRng;
+use wtnc_store::{ScratchDir, SipHasher24, Store, StoreConfig, JOURNAL_FILE};
+
+use crate::outcome::{OutcomeCounts, RunOutcome};
+
+/// The power-fail / tampering models (rows of the campaign table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerFailModel {
+    /// Power fails while the newest checkpoint is being written: the
+    /// file is truncated at a random byte.
+    TornCheckpoint,
+    /// Power fails during a journal append: the journal is truncated
+    /// mid-record at a random cut.
+    JournalTruncation,
+    /// Bit rot or tampering inside the journal: one random bit flips.
+    JournalCorruption,
+    /// The newest checkpoint's content is tampered with while the full
+    /// journal survives — recovery must fall back to an older golden
+    /// image and carry it forward.
+    StaleCheckpoint,
+    /// A historical checkpoint is deleted, breaking the golden-image
+    /// hash chain.
+    ChainBreak,
+}
+
+impl PowerFailModel {
+    /// Every model, in campaign-table order.
+    pub const ALL: [PowerFailModel; 5] = [
+        PowerFailModel::TornCheckpoint,
+        PowerFailModel::JournalTruncation,
+        PowerFailModel::JournalCorruption,
+        PowerFailModel::StaleCheckpoint,
+        PowerFailModel::ChainBreak,
+    ];
+
+    /// Stable snake_case name (JSON column key).
+    pub fn name(self) -> &'static str {
+        match self {
+            PowerFailModel::TornCheckpoint => "torn_checkpoint",
+            PowerFailModel::JournalTruncation => "journal_truncation",
+            PowerFailModel::JournalCorruption => "journal_corruption",
+            PowerFailModel::StaleCheckpoint => "stale_checkpoint",
+            PowerFailModel::ChainBreak => "chain_break",
+        }
+    }
+}
+
+/// Configuration of one power-fail run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerFailConfig {
+    /// Workload length in mutation steps.
+    pub mutations: usize,
+    /// Journal sync (fsync) interval, in steps.
+    pub sync_every: usize,
+    /// Checkpoint interval, in steps.
+    pub checkpoint_every: usize,
+    /// The fault model.
+    pub model: PowerFailModel,
+    /// Campaign seed (each run forks its own).
+    pub seed: u64,
+}
+
+impl Default for PowerFailConfig {
+    fn default() -> Self {
+        PowerFailConfig {
+            // Deliberately not a multiple of `checkpoint_every`: the
+            // journal tail past the last checkpoint is what a torn or
+            // corrupt journal can actually cost.
+            mutations: 130,
+            sync_every: 4,
+            checkpoint_every: 40,
+            model: PowerFailModel::JournalTruncation,
+            seed: 0xD15C_0BEE,
+        }
+    }
+}
+
+/// Result of one power-fail run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerFailRunResult {
+    /// Faults injected (always 1: one failure event per run).
+    pub injected: u64,
+    /// Outcome tally for this run.
+    pub outcomes: OutcomeCounts,
+    /// Store findings reported across open + recovery.
+    pub findings: u64,
+    /// Checkpoint generation recovery restarted from.
+    pub base_gen: u64,
+    /// Journal records replayed on top of the base image.
+    pub replayed: u64,
+    /// Journal records the workload wrote before the failure.
+    pub journal_records: u64,
+    /// Whether recovery reproduced the exact pre-failure image.
+    pub recovered_exact: bool,
+}
+
+/// Aggregated campaign result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PowerFailCampaignResult {
+    /// Total failure events injected.
+    pub injected: u64,
+    /// Outcome tally across all runs.
+    pub outcomes: OutcomeCounts,
+    /// Total findings reported.
+    pub findings: u64,
+    /// Total records replayed.
+    pub replayed: u64,
+    /// Runs whose recovery reproduced the exact pre-failure image.
+    pub exact_recoveries: u64,
+}
+
+fn image_hash(region: &[u8], golden: &[u8]) -> u64 {
+    let mut h = SipHasher24::new(b"wtnc-powerfail-k");
+    h.write(region);
+    h.write(golden);
+    h.finish()
+}
+
+/// One random workload step against the raw record API. Steps that hit
+/// a full or empty table fall through to a plain field write so every
+/// step mutates something.
+fn workload_step(db: &mut Database, rng: &mut SimRng, live: &mut Vec<u32>) -> Result<(), DbError> {
+    let table = schema::CONNECTION_TABLE;
+    match rng.index(4) {
+        0 => match db.alloc_record_raw(table) {
+            Ok(idx) => {
+                live.push(idx);
+                db.write_field_raw(
+                    RecordRef::new(table, idx),
+                    schema::connection::CALLER_ID,
+                    rng.range_u64(0, 99_999),
+                )?;
+                Ok(())
+            }
+            Err(DbError::TableFull(_)) if !live.is_empty() => {
+                let idx = live.swap_remove(rng.index(live.len()));
+                db.free_record_raw(RecordRef::new(table, idx))
+            }
+            Err(e) => Err(e),
+        },
+        1 if !live.is_empty() => {
+            let idx = live.swap_remove(rng.index(live.len()));
+            db.free_record_raw(RecordRef::new(table, idx))
+        }
+        _ if !live.is_empty() => {
+            let idx = live[rng.index(live.len())];
+            db.write_field_raw(
+                RecordRef::new(table, idx),
+                schema::connection::STATE,
+                rng.range_u64(0, 4),
+            )
+        }
+        _ => {
+            // Empty table: mutate a channel-config field instead.
+            db.write_field_raw(
+                RecordRef::new(schema::CHANNEL_CONFIG_TABLE, 0),
+                schema::channel_config::FREQ_KHZ,
+                rng.range_u64(800_000, 900_000),
+            )
+        }
+    }
+}
+
+/// Journal record boundaries (byte offset of each frame start plus the
+/// final end offset), for picking a deliberately mid-record cut.
+fn record_boundaries(journal: &[u8]) -> Vec<usize> {
+    let mut bounds = vec![0usize];
+    let mut at = 0usize;
+    while at + 8 <= journal.len() {
+        let len = u32::from_le_bytes(journal[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if at + 8 + len > journal.len() {
+            break;
+        }
+        at += 8 + len;
+        bounds.push(at);
+    }
+    bounds
+}
+
+fn mutilate(dir: &std::path::Path, model: PowerFailModel, rng: &mut SimRng) {
+    let mut ckpts: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("store dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(wtnc_store::parse_checkpoint_file_name)
+                .is_some()
+        })
+        .collect();
+    ckpts.sort();
+    let journal_path = dir.join(JOURNAL_FILE);
+    match model {
+        PowerFailModel::TornCheckpoint => {
+            let path = ckpts.last().expect("at least one checkpoint");
+            let bytes = std::fs::read(path).expect("read checkpoint");
+            let cut = rng.index(bytes.len().max(1));
+            std::fs::write(path, &bytes[..cut]).expect("truncate checkpoint");
+        }
+        PowerFailModel::JournalTruncation => {
+            let bytes = std::fs::read(&journal_path).expect("read journal");
+            let bounds = record_boundaries(&bytes);
+            // Cut strictly inside a record so fsynced history is lost,
+            // not merely trimmed at a clean boundary.
+            let rec = rng.index(bounds.len() - 1);
+            let (start, end) = (bounds[rec], bounds[rec + 1]);
+            let cut = start + 1 + rng.index(end - start - 1);
+            std::fs::write(&journal_path, &bytes[..cut]).expect("truncate journal");
+        }
+        PowerFailModel::JournalCorruption => {
+            let mut bytes = std::fs::read(&journal_path).expect("read journal");
+            let at = rng.index(bytes.len());
+            bytes[at] ^= 1 << rng.index(8);
+            std::fs::write(&journal_path, &bytes).expect("corrupt journal");
+        }
+        PowerFailModel::StaleCheckpoint => {
+            let path = ckpts.last().expect("at least one checkpoint");
+            let mut bytes = std::fs::read(path).expect("read checkpoint");
+            // Flip a bit inside the image content (between the header
+            // and the MAC table): bytes [52, 52 + region + golden).
+            let word = |at: usize| {
+                u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")) as usize
+            };
+            let content_len = word(12 + 16) + word(12 + 24);
+            let at = 52 + rng.index(content_len);
+            bytes[at] ^= 1 << rng.index(8);
+            std::fs::write(path, &bytes).expect("tamper checkpoint");
+        }
+        PowerFailModel::ChainBreak => {
+            // Delete a historical (non-newest when possible) link.
+            let victim =
+                if ckpts.len() > 1 { &ckpts[rng.index(ckpts.len() - 1)] } else { &ckpts[0] };
+            std::fs::remove_file(victim).expect("delete checkpoint");
+        }
+    }
+}
+
+/// One run: seeded workload → power failure → cold reopen → warm
+/// recovery → classification against the mutation timeline.
+pub fn run_once(config: &PowerFailConfig, seed: u64) -> PowerFailRunResult {
+    let mut rng = SimRng::seed_from(seed);
+    let scratch = ScratchDir::new(&format!("powerfail-{seed:016x}"));
+    let store_config = StoreConfig::default();
+
+    // Phase 1: the journaled workload, with the harness shadow-applying
+    // every captured record to build the timeline of consistent states.
+    let mut db = Database::build(schema::standard_schema()).expect("standard schema");
+    let mut shadow_region = db.region().to_vec();
+    let mut shadow_golden = db.golden().to_vec();
+    let mut timeline = vec![image_hash(&shadow_region, &shadow_golden)];
+    let mut journal_records = 0u64;
+    {
+        let mut store = Store::open(scratch.path(), store_config).expect("open store");
+        store.attach(&mut db);
+        let mut live = Vec::new();
+        let mut drain = |db: &mut Database, store: &mut Store, journal_records: &mut u64| {
+            let records = db.take_captured();
+            for m in &records {
+                let target = if m.golden { &mut shadow_golden } else { &mut shadow_region };
+                let end = (m.offset + m.bytes.len()).min(target.len());
+                target[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+                timeline.push(image_hash(&shadow_region, &shadow_golden));
+            }
+            *journal_records += records.len() as u64;
+            store.append_records(&records).expect("journal append");
+        };
+        for step in 1..=config.mutations {
+            workload_step(&mut db, &mut rng, &mut live).expect("workload step");
+            if step % config.sync_every.max(1) == 0 {
+                drain(&mut db, &mut store, &mut journal_records);
+            }
+            if step % config.checkpoint_every.max(1) == 0 {
+                drain(&mut db, &mut store, &mut journal_records);
+                store.checkpoint(&mut db).expect("checkpoint");
+            }
+        }
+        drain(&mut db, &mut store, &mut journal_records);
+    }
+
+    // Phase 2: the power failure / tampering event.
+    mutilate(scratch.path(), config.model, &mut rng);
+
+    // Phase 3: cold reopen and warm recovery.
+    let mut recovered = Database::build(schema::standard_schema()).expect("standard schema");
+    let mut store = Store::open(scratch.path(), store_config).expect("reopen store");
+    let info = store.recover_into(&mut recovered).expect("recovery never errors");
+
+    // Phase 4: classification.
+    let hash = image_hash(recovered.region(), recovered.golden());
+    let exact = hash == *timeline.last().expect("timeline nonempty");
+    let on_timeline = timeline.contains(&hash);
+    let detected = !info.findings.is_empty();
+    let outcome = match (exact, on_timeline, detected) {
+        (true, _, true) => RunOutcome::AuditDetection,
+        (false, true, true) => RunOutcome::DetectedRepaired,
+        (true, _, false) => RunOutcome::NotManifested,
+        _ => RunOutcome::FailSilenceViolation,
+    };
+    let mut outcomes = OutcomeCounts::new();
+    outcomes.record(outcome);
+    PowerFailRunResult {
+        injected: 1,
+        outcomes,
+        findings: info.findings.len() as u64,
+        base_gen: info.base_gen,
+        replayed: info.replayed as u64,
+        journal_records,
+        recovered_exact: exact,
+    }
+}
+
+/// Runs `runs` independent seeded runs in parallel and sums the
+/// results (deterministic: identical to a serial execution).
+pub fn run_campaign(config: &PowerFailConfig, runs: usize) -> PowerFailCampaignResult {
+    let mut rng = SimRng::seed_from(config.seed);
+    let seeds: Vec<u64> = (0..runs).map(|_| rng.bits()).collect();
+    let results =
+        crate::parallel::run_seeded(&seeds, crate::parallel::default_workers(), |_, seed| {
+            run_once(config, seed)
+        });
+    let mut total = PowerFailCampaignResult::default();
+    for r in results {
+        total.injected += r.injected;
+        total.outcomes.merge(&r.outcomes);
+        total.findings += r.findings;
+        total.replayed += r.replayed;
+        total.exact_recoveries += u64::from(r.recovered_exact);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(model: PowerFailModel) -> PowerFailConfig {
+        PowerFailConfig { model, ..PowerFailConfig::default() }
+    }
+
+    #[test]
+    fn accounting_is_complete_for_every_model() {
+        for model in PowerFailModel::ALL {
+            let r = run_campaign(&config(model), 4);
+            assert_eq!(r.injected, 4, "{model:?}");
+            assert_eq!(r.outcomes.total(), r.injected, "{model:?}: total == injected");
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_campaign(&config(PowerFailModel::JournalCorruption), 6);
+        let b = run_campaign(&config(PowerFailModel::JournalCorruption), 6);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.replayed, b.replayed);
+    }
+
+    #[test]
+    fn no_model_produces_a_silent_corruption_across_100_runs() {
+        let mut total = PowerFailCampaignResult::default();
+        for model in PowerFailModel::ALL {
+            let r = run_campaign(&config(model), 20);
+            assert_eq!(
+                r.outcomes.count(RunOutcome::FailSilenceViolation),
+                0,
+                "{model:?} must never corrupt silently"
+            );
+            total.injected += r.injected;
+            total.outcomes.merge(&r.outcomes);
+        }
+        assert_eq!(total.injected, 100);
+        assert_eq!(total.outcomes.total(), 100);
+        assert_eq!(total.outcomes.count(RunOutcome::FailSilenceViolation), 0);
+    }
+
+    #[test]
+    fn stale_checkpoints_recover_exactly_via_the_journal() {
+        let r = run_campaign(&config(PowerFailModel::StaleCheckpoint), 8);
+        assert_eq!(r.exact_recoveries, 8, "the full journal carries an old golden forward");
+        assert_eq!(r.outcomes.count(RunOutcome::AuditDetection), 8);
+        assert!(r.findings >= 16, "MAC mismatch + stale fallback per run: {}", r.findings);
+    }
+
+    #[test]
+    fn journal_truncation_recovers_a_reported_prefix() {
+        let r = run_campaign(&config(PowerFailModel::JournalTruncation), 8);
+        assert_eq!(
+            r.outcomes.count(RunOutcome::DetectedRepaired)
+                + r.outcomes.count(RunOutcome::AuditDetection),
+            8,
+            "every torn tail is reported: {:?}",
+            r.outcomes
+        );
+        assert!(r.findings >= 8);
+    }
+}

@@ -1,0 +1,91 @@
+//! The repair-from-disk source: a durable golden image the engine
+//! trusts over the in-memory one.
+//!
+//! Every repair rung below `ControllerRestart` copies bytes from the
+//! in-memory golden image — which is itself RAM, and can be corrupted
+//! by the same fault that corrupted the region. When a durable store
+//! is attached, the controller hands the engine a
+//! [`DiskGoldenSource`] (the newest valid on-disk checkpoint's golden
+//! image carried forward by the journaled golden commits); before a
+//! golden-based repair executes, the engine refreshes the affected
+//! golden range from this copy, so the repair source is verified disk
+//! state rather than trusting surviving memory.
+
+use wtnc_db::Database;
+
+/// A durable golden image to repair from.
+#[derive(Debug, Clone)]
+pub struct DiskGoldenSource {
+    base_gen: u64,
+    golden: Vec<u8>,
+}
+
+impl DiskGoldenSource {
+    /// Wraps a durable golden image reconstructed at `base_gen`.
+    pub fn new(base_gen: u64, golden: Vec<u8>) -> Self {
+        DiskGoldenSource { base_gen, golden }
+    }
+
+    /// Generation of the checkpoint the image was reconstructed from.
+    pub fn base_gen(&self) -> u64 {
+        self.base_gen
+    }
+
+    /// Length of the golden image in bytes.
+    pub fn len(&self) -> usize {
+        self.golden.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.golden.is_empty()
+    }
+
+    /// Rewrites the in-memory golden bytes of `[offset, offset+len)`
+    /// from the durable copy where they differ. Returns the number of
+    /// bytes refreshed (0 when memory already matches disk, or the
+    /// range is out of bounds for either image).
+    pub fn refresh_range(&self, db: &mut Database, offset: usize, len: usize) -> usize {
+        let end = offset.saturating_add(len).min(self.golden.len()).min(db.region_len());
+        if offset >= end {
+            return 0;
+        }
+        let disk = &self.golden[offset..end];
+        if db.golden()[offset..end] == *disk {
+            return 0;
+        }
+        let disk = disk.to_vec();
+        match db.restore_golden_range(offset, &disk) {
+            Ok(()) => disk.len(),
+            Err(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtnc_db::schema;
+
+    #[test]
+    fn refresh_repairs_a_corrupted_golden_range() {
+        let mut db = Database::build(schema::standard_schema()).unwrap();
+        let disk = DiskGoldenSource::new(7, db.golden().to_vec());
+        assert_eq!(disk.base_gen(), 7);
+        assert_eq!(disk.len(), db.region_len());
+
+        // Corrupt the in-memory golden behind everyone's back.
+        let offset = db.region_len() / 2;
+        let byte = db.golden()[offset] ^ 0xA5;
+        db.restore_golden_range(offset, &[byte]).unwrap();
+        assert_ne!(db.golden()[offset], disk.golden[offset]);
+
+        assert_eq!(disk.refresh_range(&mut db, offset, 1), 1);
+        assert_eq!(db.golden()[offset], disk.golden[offset]);
+        // Already clean: nothing to do.
+        assert_eq!(disk.refresh_range(&mut db, offset, 1), 0);
+        // Out of bounds: refused, not panicked.
+        let len = db.region_len();
+        assert_eq!(disk.refresh_range(&mut db, len, 8), 0);
+    }
+}

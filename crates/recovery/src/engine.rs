@@ -184,6 +184,8 @@ pub struct RecoveryEngine {
     /// Ground-truth corruptions removed, attributed to the detecting
     /// element (mirrors `AuditProcess::catch_log` for campaigns).
     catches: Vec<(TaintEntry, AuditElementKind, SimTime)>,
+    disk: Option<crate::DiskGoldenSource>,
+    disk_refreshed_bytes: u64,
     seq: u64,
 }
 
@@ -197,8 +199,28 @@ impl RecoveryEngine {
             log: Vec::new(),
             stats: RecoveryStats::default(),
             catches: Vec::new(),
+            disk: None,
+            disk_refreshed_bytes: 0,
             seq: 0,
         }
+    }
+
+    /// Sets (or clears) the repair-from-disk source. When present,
+    /// golden-based repairs refresh the affected golden range from
+    /// this durable copy first, so repairs draw on verified disk state
+    /// instead of trusting the surviving in-memory golden image.
+    pub fn set_disk_source(&mut self, source: Option<crate::DiskGoldenSource>) {
+        self.disk = source;
+    }
+
+    /// The attached repair-from-disk source, if any.
+    pub fn disk_source(&self) -> Option<&crate::DiskGoldenSource> {
+        self.disk.as_ref()
+    }
+
+    /// Total golden bytes refreshed from disk ahead of repairs.
+    pub fn disk_refreshed_bytes(&self) -> u64 {
+        self.disk_refreshed_bytes
     }
 
     /// The configuration in force.
@@ -370,6 +392,36 @@ impl RecoveryEngine {
         let resolve = |db: &mut Database, offset: usize, len: usize| {
             db.taint_mut().resolve_range(offset, len, caught_at)
         };
+        // With a repair-from-disk source attached, refresh the golden
+        // bytes the rung is about to copy from — the in-memory golden
+        // can be corrupted by the same fault as the region.
+        if let Some(disk) = &self.disk {
+            let range = match (ticket.rung, ticket.target) {
+                (Rung::ControllerRestart, _) => Some((0, db.region_len())),
+                (Rung::TableRebuild, FindingTarget::Range { offset, len }) => Some((offset, len)),
+                (Rung::TableRebuild, _) => ticket
+                    .table
+                    .and_then(|t| db.catalog().table(t).ok())
+                    .map(|tm| (tm.offset, tm.data_len())),
+                (_, FindingTarget::Range { offset, len }) => Some((offset, len)),
+                (
+                    _,
+                    FindingTarget::Header { table, record }
+                    | FindingTarget::Field { table, record, .. }
+                    | FindingTarget::Record { table, record },
+                ) => {
+                    let rec = RecordRef::new(table, record);
+                    match (db.record_offset(rec), db.record_size(table)) {
+                        (Ok(o), Ok(l)) => Some((o, l)),
+                        _ => None,
+                    }
+                }
+                (_, FindingTarget::Client { .. }) => None,
+            };
+            if let Some((offset, len)) = range {
+                self.disk_refreshed_bytes += disk.refresh_range(db, offset, len) as u64;
+            }
+        }
         match (ticket.rung, ticket.target) {
             (Rung::FieldRepair, FindingTarget::Range { offset, len }) => {
                 for (o, l) in db.golden_block_diff(offset, len, self.config.block_size) {

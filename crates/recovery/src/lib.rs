@@ -64,8 +64,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod disk;
 mod engine;
 mod log;
 
+pub use disk::DiskGoldenSource;
 pub use engine::{CycleOutcome, RecoveryConfig, RecoveryEngine, Rung, RungCosts};
 pub use log::{RecoveryStats, RepairLogEntry, RepairOutcome};

@@ -1,0 +1,327 @@
+//! Checkpoint files: the full database image behind a length-prefixed
+//! metadata header, sealed by keyed per-block integrity codes and a
+//! chained header digest.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! [magic: 8 bytes "WTNCCKP1"]
+//! [meta_len: u32] [meta: meta_len bytes]
+//!     meta = gen u64 | prev_digest u64 | region_len u64 |
+//!            golden_len u64 | block_size u32 | mac_count u32
+//! [region: region_len bytes] [golden: golden_len bytes]
+//! [mac table: mac_count × u64]     keyed MAC per content block
+//! [digest: u64]                    keyed hash of header + mac table
+//! ```
+//!
+//! Each content block's MAC is `SipHash24(key, block ‖ gen ‖ index)` —
+//! keyed over the block bytes *and* the checkpoint generation, so a
+//! block cannot be replayed from an older checkpoint of the same data.
+//! The trailing digest covers the header and the MAC table (and so,
+//! transitively, the content); the *next* checkpoint records it as
+//! `prev_digest`, turning the checkpoint directory into a verifiable
+//! hash-chained history of golden images.
+
+use crate::mac::SipHasher24;
+
+/// Magic + format version marker.
+pub const CKPT_MAGIC: &[u8; 8] = b"WTNCCKP1";
+
+/// Fixed metadata length for this format version.
+const META_LEN: usize = 40;
+
+/// Decoded checkpoint metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Database mutation generation at the moment of the checkpoint.
+    pub gen: u64,
+    /// Digest of the previous checkpoint (0 for the first of a chain).
+    pub prev_digest: u64,
+    /// Region image length in bytes.
+    pub region_len: usize,
+    /// Golden image length in bytes.
+    pub golden_len: usize,
+    /// Content block size used for the MAC table.
+    pub block_size: usize,
+}
+
+/// A fully decoded and verified checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The metadata header.
+    pub meta: CheckpointMeta,
+    /// The region image.
+    pub region: Vec<u8>,
+    /// The golden image.
+    pub golden: Vec<u8>,
+    /// The stored (and verified) chain digest of this checkpoint.
+    pub digest: u64,
+}
+
+/// Why a checkpoint failed to decode. Each variant is a distinct
+/// failure mode with a distinct store finding kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Short file, bad magic, or inconsistent lengths — a torn or
+    /// truncated write.
+    Torn(String),
+    /// Header/MAC-table bytes do not match the stored digest —
+    /// metadata tampering or chain forgery.
+    DigestMismatch,
+    /// Content blocks fail their keyed MACs — image tampering or bit
+    /// rot (the indices of the failing blocks).
+    MacMismatch(Vec<usize>),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Torn(why) => write!(f, "torn checkpoint: {why}"),
+            CheckpointError::DigestMismatch => write!(f, "checkpoint digest mismatch"),
+            CheckpointError::MacMismatch(blocks) => {
+                write!(f, "keyed MAC mismatch on {} content block(s)", blocks.len())
+            }
+        }
+    }
+}
+
+/// File name of the checkpoint at `gen`.
+pub fn checkpoint_file_name(gen: u64) -> String {
+    format!("ckpt-{gen:016x}.img")
+}
+
+/// Parses a checkpoint file name back to its generation.
+pub fn parse_checkpoint_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("ckpt-")?.strip_suffix(".img")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Extracts `(gen, prev_digest, stored_digest)` from a checkpoint
+/// whose *framing* is consistent, without verifying the digest or the
+/// MACs. Chain continuity checks use this so that a content-tampered
+/// checkpoint (whose stored digest is still the one its successor
+/// recorded) does not also read as a chain break.
+pub fn peek_chain(bytes: &[u8]) -> Option<(u64, u64, u64)> {
+    if bytes.len() < 8 + 4 + META_LEN || &bytes[..8] != CKPT_MAGIC {
+        return None;
+    }
+    let meta_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if meta_len != META_LEN {
+        return None;
+    }
+    let m = &bytes[12..12 + META_LEN];
+    let gen = u64::from_le_bytes(m[0..8].try_into().expect("8 bytes"));
+    let prev_digest = u64::from_le_bytes(m[8..16].try_into().expect("8 bytes"));
+    let region_len = u64::from_le_bytes(m[16..24].try_into().expect("8 bytes")) as usize;
+    let golden_len = u64::from_le_bytes(m[24..32].try_into().expect("8 bytes")) as usize;
+    let block_size = u32::from_le_bytes(m[32..36].try_into().expect("4 bytes")) as usize;
+    let mac_count = u32::from_le_bytes(m[36..40].try_into().expect("4 bytes")) as usize;
+    if block_size == 0 {
+        return None;
+    }
+    let content_len = region_len.checked_add(golden_len)?;
+    if content_len.div_ceil(block_size) != mac_count
+        || bytes.len() != 12 + META_LEN + content_len + mac_count * 8 + 8
+    {
+        return None;
+    }
+    let digest = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    Some((gen, prev_digest, digest))
+}
+
+fn block_mac(key: &[u8; 16], block: &[u8], gen: u64, index: u64) -> u64 {
+    let mut h = SipHasher24::new(key);
+    h.write(block);
+    h.write_u64(gen);
+    h.write_u64(index);
+    h.finish()
+}
+
+/// Serializes a checkpoint.
+pub fn encode_checkpoint(
+    region: &[u8],
+    golden: &[u8],
+    gen: u64,
+    prev_digest: u64,
+    block_size: usize,
+    key: &[u8; 16],
+) -> Vec<u8> {
+    assert!(block_size > 0, "block size must be positive");
+    let content_len = region.len() + golden.len();
+    let mac_count = content_len.div_ceil(block_size);
+
+    let mut out = Vec::with_capacity(8 + 4 + META_LEN + content_len + mac_count * 8 + 8);
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&(META_LEN as u32).to_le_bytes());
+    out.extend_from_slice(&gen.to_le_bytes());
+    out.extend_from_slice(&prev_digest.to_le_bytes());
+    out.extend_from_slice(&(region.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(golden.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(block_size as u32).to_le_bytes());
+    out.extend_from_slice(&(mac_count as u32).to_le_bytes());
+    let header_len = out.len();
+
+    out.extend_from_slice(region);
+    out.extend_from_slice(golden);
+
+    let content = &out[header_len..header_len + content_len];
+    let mut macs = Vec::with_capacity(mac_count * 8);
+    for (i, block) in content.chunks(block_size).enumerate() {
+        macs.extend_from_slice(&block_mac(key, block, gen, i as u64).to_le_bytes());
+    }
+
+    let mut digest = SipHasher24::new(key);
+    digest.write(&out[..header_len]);
+    digest.write(&macs);
+    let digest = digest.finish();
+
+    out.extend_from_slice(&macs);
+    out.extend_from_slice(&digest.to_le_bytes());
+    out
+}
+
+/// Decodes and fully verifies a checkpoint: framing, digest, and every
+/// content block's keyed MAC.
+///
+/// # Errors
+///
+/// Returns the distinct [`CheckpointError`] variant for the failure
+/// mode encountered.
+pub fn decode_checkpoint(bytes: &[u8], key: &[u8; 16]) -> Result<Checkpoint, CheckpointError> {
+    let torn = |why: &str| CheckpointError::Torn(why.to_string());
+    if bytes.len() < 8 + 4 + META_LEN {
+        return Err(torn("file shorter than the header"));
+    }
+    if &bytes[..8] != CKPT_MAGIC {
+        return Err(torn("bad magic"));
+    }
+    let meta_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if meta_len != META_LEN {
+        return Err(torn("unsupported metadata length"));
+    }
+    let m = &bytes[12..12 + META_LEN];
+    let gen = u64::from_le_bytes(m[0..8].try_into().expect("8 bytes"));
+    let prev_digest = u64::from_le_bytes(m[8..16].try_into().expect("8 bytes"));
+    let region_len = u64::from_le_bytes(m[16..24].try_into().expect("8 bytes")) as usize;
+    let golden_len = u64::from_le_bytes(m[24..32].try_into().expect("8 bytes")) as usize;
+    let block_size = u32::from_le_bytes(m[32..36].try_into().expect("4 bytes")) as usize;
+    let mac_count = u32::from_le_bytes(m[36..40].try_into().expect("4 bytes")) as usize;
+
+    let header_len = 12 + META_LEN;
+    if block_size == 0 {
+        return Err(torn("zero block size"));
+    }
+    let content_len =
+        region_len.checked_add(golden_len).ok_or_else(|| torn("content length overflows"))?;
+    if content_len.div_ceil(block_size) != mac_count {
+        return Err(torn("MAC count does not cover the content"));
+    }
+    let expected_len = header_len + content_len + mac_count * 8 + 8;
+    if bytes.len() != expected_len {
+        return Err(torn("file length does not match the header"));
+    }
+
+    let macs = &bytes[header_len + content_len..expected_len - 8];
+    let stored_digest = u64::from_le_bytes(bytes[expected_len - 8..].try_into().expect("8 bytes"));
+    let mut digest = SipHasher24::new(key);
+    digest.write(&bytes[..header_len]);
+    digest.write(macs);
+    if digest.finish() != stored_digest {
+        return Err(CheckpointError::DigestMismatch);
+    }
+
+    let content = &bytes[header_len..header_len + content_len];
+    let mut bad_blocks = Vec::new();
+    for (i, block) in content.chunks(block_size).enumerate() {
+        let stored = u64::from_le_bytes(macs[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        if block_mac(key, block, gen, i as u64) != stored {
+            bad_blocks.push(i);
+        }
+    }
+    if !bad_blocks.is_empty() {
+        return Err(CheckpointError::MacMismatch(bad_blocks));
+    }
+
+    Ok(Checkpoint {
+        meta: CheckpointMeta { gen, prev_digest, region_len, golden_len, block_size },
+        region: content[..region_len].to_vec(),
+        golden: content[region_len..].to_vec(),
+        digest: stored_digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = *b"unit-test-key-01";
+
+    fn sample() -> Vec<u8> {
+        let region: Vec<u8> = (0..700u32).map(|i| (i % 251) as u8).collect();
+        let golden: Vec<u8> = (0..700u32).map(|i| (i % 127) as u8).collect();
+        encode_checkpoint(&region, &golden, 42, 0xFEED, 256, &KEY)
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = sample();
+        let c = decode_checkpoint(&bytes, &KEY).unwrap();
+        assert_eq!(c.meta.gen, 42);
+        assert_eq!(c.meta.prev_digest, 0xFEED);
+        assert_eq!(c.region.len(), 700);
+        assert_eq!(c.golden.len(), 700);
+        assert_eq!(c.region[5], 5);
+    }
+
+    #[test]
+    fn file_name_round_trip() {
+        let name = checkpoint_file_name(0xAB_CDEF);
+        assert_eq!(parse_checkpoint_file_name(&name), Some(0xAB_CDEF));
+        assert_eq!(parse_checkpoint_file_name("ckpt-xyz.img"), None);
+        assert_eq!(parse_checkpoint_file_name("other.img"), None);
+    }
+
+    #[test]
+    fn truncation_is_torn() {
+        let bytes = sample();
+        for cut in [0, 7, 11, 40, bytes.len() - 1] {
+            assert!(
+                matches!(decode_checkpoint(&bytes[..cut], &KEY), Err(CheckpointError::Torn(_))),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn content_tamper_is_a_block_mac_mismatch() {
+        let mut bytes = sample();
+        bytes[12 + 40 + 300] ^= 1; // a region byte
+        match decode_checkpoint(&bytes, &KEY) {
+            Err(CheckpointError::MacMismatch(blocks)) => assert_eq!(blocks, vec![1]),
+            other => panic!("expected MacMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_or_mac_table_tamper_is_a_digest_mismatch() {
+        let mut bytes = sample();
+        bytes[16] ^= 1; // the stored generation
+        assert!(matches!(decode_checkpoint(&bytes, &KEY), Err(CheckpointError::DigestMismatch)));
+        // A MAC-table byte is also covered by the digest.
+        let mut bytes = sample();
+        let len = bytes.len();
+        bytes[len - 20] ^= 1;
+        assert!(matches!(decode_checkpoint(&bytes, &KEY), Err(CheckpointError::DigestMismatch)));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let bytes = sample();
+        let mut other = KEY;
+        other[0] ^= 0xFF;
+        assert!(decode_checkpoint(&bytes, &other).is_err());
+    }
+}

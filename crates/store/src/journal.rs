@@ -1,0 +1,255 @@
+//! The append-only mutation journal.
+//!
+//! Every record is length-prefixed and CRC-framed:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! payload = [kind: u8] [gen: u64 LE] [offset: u64 LE] [data ...]
+//! ```
+//!
+//! `kind` 1 is a region write, `kind` 2 a golden-image commit — the
+//! two mutation classes produced by `wtnc-db`'s unified capture hook
+//! ([`CapturedMutation`]). The framing makes the journal
+//! self-describing under power failure: a torn tail (fewer bytes than
+//! the frame claims) or a corrupt record (CRC mismatch) cuts replay at
+//! the last valid prefix, and the damage is reported instead of a
+//! partial record ever being applied.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use wtnc_db::{crc32, CapturedMutation};
+
+/// File name of the journal within a store directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Frame header size: length prefix + CRC.
+const FRAME_HEADER: usize = 8;
+
+/// Payload prefix: kind byte + generation + offset.
+const PAYLOAD_PREFIX: usize = 1 + 8 + 8;
+
+/// Upper bound on one payload, as a framing sanity check — a length
+/// prefix above this is treated as tail damage, not an allocation
+/// request.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+const KIND_REGION: u8 = 1;
+const KIND_GOLDEN: u8 = 2;
+
+/// Damage found while scanning a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalDamage {
+    /// The file ends mid-record (power failed during an append).
+    TornTail {
+        /// Byte offset of the incomplete record.
+        at: u64,
+    },
+    /// A fully present record fails its CRC or carries an impossible
+    /// kind/length (bit rot or tampering inside the file).
+    CorruptRecord {
+        /// Byte offset of the bad record.
+        at: u64,
+    },
+}
+
+/// Result of scanning a journal file.
+#[derive(Debug, Default)]
+pub struct JournalScan {
+    /// The decoded records of the longest valid prefix, in order.
+    pub records: Vec<CapturedMutation>,
+    /// Byte length of that valid prefix.
+    pub valid_bytes: u64,
+    /// Damage that ended the scan, if any.
+    pub damage: Option<JournalDamage>,
+}
+
+/// Encodes one captured mutation as a framed journal record.
+pub fn encode_record(m: &CapturedMutation) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(PAYLOAD_PREFIX + m.bytes.len());
+    payload.push(if m.golden { KIND_GOLDEN } else { KIND_REGION });
+    payload.extend_from_slice(&m.gen.to_le_bytes());
+    payload.extend_from_slice(&(m.offset as u64).to_le_bytes());
+    payload.extend_from_slice(&m.bytes);
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Option<CapturedMutation> {
+    if payload.len() < PAYLOAD_PREFIX {
+        return None;
+    }
+    let golden = match payload[0] {
+        KIND_REGION => false,
+        KIND_GOLDEN => true,
+        _ => return None,
+    };
+    let gen = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+    let offset = u64::from_le_bytes(payload[9..17].try_into().expect("8 bytes")) as usize;
+    Some(CapturedMutation { gen, offset, bytes: payload[PAYLOAD_PREFIX..].to_vec(), golden })
+}
+
+/// Scans a journal file, returning the longest valid record prefix and
+/// any tail damage. A missing file scans as empty.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the file not existing.
+pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalScan::default()),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+
+    let mut scan = JournalScan::default();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let remaining = bytes.len() - at;
+        if remaining < FRAME_HEADER {
+            scan.damage = Some(JournalDamage::TornTail { at: at as u64 });
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        if !(PAYLOAD_PREFIX..=MAX_PAYLOAD).contains(&len) {
+            // An impossible length prefix: if the rest of the file
+            // could not hold it anyway, call it a torn tail, else a
+            // corrupt record.
+            scan.damage = Some(if len > remaining - FRAME_HEADER {
+                JournalDamage::TornTail { at: at as u64 }
+            } else {
+                JournalDamage::CorruptRecord { at: at as u64 }
+            });
+            break;
+        }
+        if remaining - FRAME_HEADER < len {
+            scan.damage = Some(JournalDamage::TornTail { at: at as u64 });
+            break;
+        }
+        let payload = &bytes[at + FRAME_HEADER..at + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            scan.damage = Some(JournalDamage::CorruptRecord { at: at as u64 });
+            break;
+        }
+        let Some(record) = decode_payload(payload) else {
+            scan.damage = Some(JournalDamage::CorruptRecord { at: at as u64 });
+            break;
+        };
+        scan.records.push(record);
+        at += FRAME_HEADER + len;
+        scan.valid_bytes = at as u64;
+    }
+    Ok(scan)
+}
+
+/// Appends framed records to an open journal file and flushes them to
+/// the OS. Returns the number of bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write or flush.
+pub fn append_framed(
+    file: &mut std::fs::File,
+    records: &[CapturedMutation],
+) -> std::io::Result<u64> {
+    let mut written = 0u64;
+    for m in records {
+        let frame = encode_record(m);
+        file.write_all(&frame)?;
+        written += frame.len() as u64;
+    }
+    if written > 0 {
+        file.sync_data()?;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchDir;
+
+    fn sample(gen: u64, golden: bool) -> CapturedMutation {
+        CapturedMutation { gen, offset: 100 + gen as usize, bytes: vec![gen as u8; 5], golden }
+    }
+
+    #[test]
+    fn round_trip_and_scan() {
+        let dir = ScratchDir::new("journal-roundtrip");
+        let path = dir.path().join(JOURNAL_FILE);
+        let records: Vec<_> = (1..=5).map(|g| sample(g, g % 2 == 0)).collect();
+        let mut file = std::fs::File::create(&path).unwrap();
+        append_framed(&mut file, &records).unwrap();
+        drop(file);
+
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_bytes, std::fs::metadata(&path).unwrap().len());
+        assert!(scan.damage.is_none());
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let dir = ScratchDir::new("journal-missing");
+        let scan = scan_journal(&dir.path().join(JOURNAL_FILE)).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_bytes, 0);
+        assert!(scan.damage.is_none());
+    }
+
+    #[test]
+    fn truncation_is_a_torn_tail_at_every_cut() {
+        let dir = ScratchDir::new("journal-torn");
+        let path = dir.path().join(JOURNAL_FILE);
+        let records: Vec<_> = (1..=4).map(|g| sample(g, false)).collect();
+        let mut file = std::fs::File::create(&path).unwrap();
+        append_framed(&mut file, &records).unwrap();
+        drop(file);
+        let full = std::fs::read(&path).unwrap();
+
+        // Every proper prefix recovers a whole number of records and
+        // never a partial one. A cut exactly on a record boundary is a
+        // clean (shorter) journal; any other cut is a torn tail.
+        let mut boundaries = vec![0usize];
+        for m in &records {
+            boundaries.push(boundaries.last().unwrap() + encode_record(m).len());
+        }
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = scan_journal(&path).unwrap();
+            assert!(scan.records.len() <= records.len());
+            assert_eq!(scan.records, records[..scan.records.len()]);
+            assert!(scan.valid_bytes as usize <= cut);
+            if boundaries.contains(&cut) {
+                assert!(scan.damage.is_none(), "cut {cut}");
+            } else {
+                assert!(matches!(scan.damage, Some(JournalDamage::TornTail { .. })), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_rot_is_a_corrupt_record() {
+        let dir = ScratchDir::new("journal-rot");
+        let path = dir.path().join(JOURNAL_FILE);
+        let records: Vec<_> = (1..=3).map(|g| sample(g, false)).collect();
+        let mut file = std::fs::File::create(&path).unwrap();
+        append_framed(&mut file, &records).unwrap();
+        drop(file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the second record.
+        let frame = FRAME_HEADER + PAYLOAD_PREFIX + 5;
+        bytes[frame + FRAME_HEADER + 3] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.damage, Some(JournalDamage::CorruptRecord { at: frame as u64 }));
+    }
+}

@@ -1,0 +1,611 @@
+//! The durable store: one directory holding the append-only mutation
+//! journal and the hash-chained checkpoint history, plus open-time
+//! verification, warm recovery, and the disk side of the storage
+//! audit.
+//!
+//! Recovery = newest *valid* checkpoint + replay of every journal
+//! record with a newer generation. The journal is never truncated at a
+//! checkpoint — the full mutation history is kept — so when the newest
+//! checkpoint is torn or tampered, recovery falls back to an older
+//! golden image and the journal still carries it forward to the exact
+//! pre-crash state (reported as [`StoreFindingKind::StaleCheckpointRecovered`]).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use wtnc_db::{crc32, CapturedMutation, Database, DbError, DIRTY_BLOCK_SIZE};
+
+use crate::checkpoint::{
+    checkpoint_file_name, decode_checkpoint, encode_checkpoint, parse_checkpoint_file_name,
+    peek_chain, CheckpointError,
+};
+use crate::journal::{append_framed, scan_journal, JournalDamage, JournalScan, JOURNAL_FILE};
+
+/// Default 128-bit MAC key. Deployments supply their own via
+/// [`StoreConfig`]; the default keeps fixtures and tooling
+/// deterministic.
+pub const DEFAULT_KEY: [u8; 16] = *b"wtnc-store-mac-k";
+
+/// Store tuning: the MAC key and the content block size used for the
+/// per-block keyed integrity codes.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// 128-bit key for the keyed integrity codes and chain digests.
+    pub key: [u8; 16],
+    /// Content block size for the checkpoint MAC table. Defaults to
+    /// the audit dirty-tracker block size so disk blocks line up with
+    /// in-memory CRC blocks.
+    pub block_size: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { key: DEFAULT_KEY, block_size: DIRTY_BLOCK_SIZE }
+    }
+}
+
+/// Distinct storage failure modes surfaced by open, recovery, audit
+/// and `verify`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFindingKind {
+    /// A checkpoint file is truncated or structurally inconsistent
+    /// (power failed mid-write).
+    TornCheckpoint,
+    /// A checkpoint's header or MAC table does not match its stored
+    /// digest (metadata tampering).
+    CheckpointDigestMismatch,
+    /// Checkpoint content blocks fail their keyed MACs (image
+    /// tampering or bit rot).
+    BlockMacMismatch,
+    /// A checkpoint's `prev_digest` does not match its predecessor —
+    /// the golden-image history is not verifiable across this point.
+    ChainBreak,
+    /// A checkpoint file's name generation disagrees with its header
+    /// generation (files renamed or swapped).
+    ReorderedCheckpoint,
+    /// The journal ends mid-record (power failed during an append).
+    JournalTornTail,
+    /// A journal record fails its CRC (bit rot inside the file).
+    JournalCorruptRecord,
+    /// Recovery had to fall back past newer-but-invalid checkpoints to
+    /// an older golden image.
+    StaleCheckpointRecovered,
+    /// The durable golden image disagrees with the in-memory golden
+    /// image (storage audit cross-check).
+    GoldenDivergence,
+}
+
+impl StoreFindingKind {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreFindingKind::TornCheckpoint => "torn-checkpoint",
+            StoreFindingKind::CheckpointDigestMismatch => "checkpoint-digest-mismatch",
+            StoreFindingKind::BlockMacMismatch => "block-mac-mismatch",
+            StoreFindingKind::ChainBreak => "chain-break",
+            StoreFindingKind::ReorderedCheckpoint => "reordered-checkpoint",
+            StoreFindingKind::JournalTornTail => "journal-torn-tail",
+            StoreFindingKind::JournalCorruptRecord => "journal-corrupt-record",
+            StoreFindingKind::StaleCheckpointRecovered => "stale-checkpoint-recovered",
+            StoreFindingKind::GoldenDivergence => "golden-divergence",
+        }
+    }
+}
+
+/// One storage finding: what went wrong, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreFinding {
+    /// The failure mode.
+    pub kind: StoreFindingKind,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The checkpoint generation involved, when applicable.
+    pub gen: Option<u64>,
+    /// The byte offset involved (journal offset or golden-image
+    /// offset), when applicable.
+    pub offset: Option<u64>,
+}
+
+impl std::fmt::Display for StoreFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.detail)?;
+        if let Some(gen) = self.gen {
+            write!(f, " (gen {gen})")?;
+        }
+        if let Some(off) = self.offset {
+            write!(f, " (offset {off})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Store-level errors (as opposed to detected-and-reported findings).
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error against the store directory.
+    Io(std::io::Error),
+    /// A database error during replay or image load.
+    Db(DbError),
+    /// Durable state too damaged for the requested operation.
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<DbError> for StoreError {
+    fn from(e: DbError) -> Self {
+        StoreError::Db(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Db(e) => write!(f, "store database error: {e}"),
+            StoreError::Corrupt(why) => write!(f, "store corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A durable `(region, golden)` byte-image pair.
+pub type ImagePair = (Vec<u8>, Vec<u8>);
+
+/// What warm recovery did.
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    /// Generation of the checkpoint the image was restored from (0
+    /// when recovery replayed the journal from scratch).
+    pub base_gen: u64,
+    /// Number of journal records replayed on top of the base image.
+    pub replayed: usize,
+    /// Everything detected while opening and recovering.
+    pub findings: Vec<StoreFinding>,
+}
+
+/// One valid checkpoint in the on-disk chain.
+#[derive(Debug, Clone)]
+pub struct ChainEntry {
+    /// Checkpoint generation.
+    pub gen: u64,
+    /// This checkpoint's chain digest (the next one's `prev_digest`).
+    pub digest: u64,
+    /// Path of the checkpoint file.
+    pub path: PathBuf,
+}
+
+struct DirScan {
+    findings: Vec<StoreFinding>,
+    chain: Vec<ChainEntry>,
+    invalid_gens: Vec<u64>,
+    journal: JournalScan,
+}
+
+fn checkpoint_finding(gen: u64, err: &CheckpointError) -> StoreFinding {
+    let kind = match err {
+        CheckpointError::Torn(_) => StoreFindingKind::TornCheckpoint,
+        CheckpointError::DigestMismatch => StoreFindingKind::CheckpointDigestMismatch,
+        CheckpointError::MacMismatch(_) => StoreFindingKind::BlockMacMismatch,
+    };
+    StoreFinding { kind, detail: err.to_string(), gen: Some(gen), offset: None }
+}
+
+fn scan_dir(dir: &Path, config: &StoreConfig) -> std::io::Result<DirScan> {
+    let mut files: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(gen) = entry.file_name().to_str().and_then(parse_checkpoint_file_name) {
+            files.push((gen, entry.path()));
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut chain = Vec::new();
+    let mut invalid_gens = Vec::new();
+    // Chain continuity is tracked over the *stored* digests of every
+    // framing-consistent file, so a content-tampered checkpoint reads
+    // as exactly one MAC finding rather than also breaking the chain.
+    let mut expected_prev = 0u64;
+    for (name_gen, path) in files {
+        let bytes = std::fs::read(&path)?;
+        let peek = peek_chain(&bytes);
+        match decode_checkpoint(&bytes, &config.key) {
+            Ok(ckpt) if ckpt.meta.gen != name_gen => {
+                findings.push(StoreFinding {
+                    kind: StoreFindingKind::ReorderedCheckpoint,
+                    detail: format!(
+                        "file {} carries header generation {}",
+                        path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+                        ckpt.meta.gen
+                    ),
+                    gen: Some(name_gen),
+                    offset: None,
+                });
+                invalid_gens.push(name_gen);
+            }
+            Ok(ckpt) => {
+                if ckpt.meta.prev_digest != expected_prev {
+                    findings.push(StoreFinding {
+                        kind: StoreFindingKind::ChainBreak,
+                        detail: format!(
+                            "prev digest {:#018x} does not match the preceding checkpoint \
+                             ({:#018x})",
+                            ckpt.meta.prev_digest, expected_prev
+                        ),
+                        gen: Some(name_gen),
+                        offset: None,
+                    });
+                }
+                chain.push(ChainEntry { gen: name_gen, digest: ckpt.digest, path });
+            }
+            Err(e) => {
+                findings.push(checkpoint_finding(name_gen, &e));
+                invalid_gens.push(name_gen);
+            }
+        }
+        if let Some((_, _, digest)) = peek {
+            expected_prev = digest;
+        }
+    }
+
+    let journal = scan_journal(&dir.join(JOURNAL_FILE))?;
+    match journal.damage {
+        Some(JournalDamage::TornTail { at }) => findings.push(StoreFinding {
+            kind: StoreFindingKind::JournalTornTail,
+            detail: format!("journal ends mid-record; replay cut to {} bytes", journal.valid_bytes),
+            gen: None,
+            offset: Some(at),
+        }),
+        Some(JournalDamage::CorruptRecord { at }) => findings.push(StoreFinding {
+            kind: StoreFindingKind::JournalCorruptRecord,
+            detail: format!(
+                "journal record fails its CRC; replay cut to {} bytes",
+                journal.valid_bytes
+            ),
+            gen: None,
+            offset: Some(at),
+        }),
+        None => {}
+    }
+
+    Ok(DirScan { findings, chain, invalid_gens, journal })
+}
+
+/// A durable store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    journal: File,
+    journal_bytes: u64,
+    journal_records: u64,
+    journal_cache: Vec<CapturedMutation>,
+    chain: Vec<ChainEntry>,
+    open_findings: Vec<StoreFinding>,
+    invalid_gens: Vec<u64>,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`: decodes and
+    /// chain-verifies every checkpoint, scans the journal, truncates
+    /// any damaged journal tail to the last valid record boundary, and
+    /// opens the journal for appending. Everything detected is kept in
+    /// [`Store::open_findings`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on directory or file I/O failure.
+    pub fn open(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let scan = scan_dir(&dir, &config)?;
+        let journal = OpenOptions::new().create(true).append(true).open(dir.join(JOURNAL_FILE))?;
+        journal.set_len(scan.journal.valid_bytes)?;
+        journal.sync_data()?;
+        Ok(Store {
+            dir,
+            config,
+            journal,
+            journal_bytes: scan.journal.valid_bytes,
+            journal_records: scan.journal.records.len() as u64,
+            journal_cache: scan.journal.records,
+            chain: scan.chain,
+            open_findings: scan.findings,
+            invalid_gens: scan.invalid_gens,
+        })
+    }
+
+    /// Read-only verification pass over a store directory: decodes and
+    /// chain-checks every checkpoint and scans the journal, touching
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (including a missing directory).
+    pub fn verify(dir: &Path, config: &StoreConfig) -> std::io::Result<Vec<StoreFinding>> {
+        Ok(scan_dir(dir, config)?.findings)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of valid journal records (on disk + appended).
+    pub fn journal_records(&self) -> u64 {
+        self.journal_records
+    }
+
+    /// Valid journal length in bytes.
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// The valid checkpoint chain, oldest first.
+    pub fn chain(&self) -> &[ChainEntry] {
+        &self.chain
+    }
+
+    /// Findings from the open-time scan.
+    pub fn open_findings(&self) -> &[StoreFinding] {
+        &self.open_findings
+    }
+
+    /// Whether any durable state exists to recover from.
+    pub fn has_state(&self) -> bool {
+        !self.chain.is_empty() || !self.journal_cache.is_empty() || !self.invalid_gens.is_empty()
+    }
+
+    /// Turns on journal capture so every subsequent mutation lands in
+    /// the database's capture buffer for [`Store::sync`] to drain.
+    pub fn attach(&self, db: &mut Database) {
+        db.set_capture(true);
+    }
+
+    /// Appends records to the journal (framed, CRC'd, flushed) and the
+    /// in-memory replay cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the append or flush fails.
+    pub fn append_records(&mut self, records: &[CapturedMutation]) -> Result<(), StoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.journal_bytes += append_framed(&mut self.journal, records)?;
+        self.journal_records += records.len() as u64;
+        self.journal_cache.extend_from_slice(records);
+        Ok(())
+    }
+
+    /// Drains the database's capture buffer into the journal. Returns
+    /// the number of records persisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the append fails.
+    pub fn sync(&mut self, db: &mut Database) -> Result<usize, StoreError> {
+        let records = db.take_captured();
+        self.append_records(&records)?;
+        Ok(records.len())
+    }
+
+    /// Takes a checkpoint: syncs pending captures, serializes the full
+    /// region + golden image behind the metadata header with per-block
+    /// keyed MACs and the chained digest, writes it to a temporary
+    /// file, and renames it into place. Returns the checkpoint
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn checkpoint(&mut self, db: &mut Database) -> Result<u64, StoreError> {
+        self.sync(db)?;
+        let gen = db.mutation_generation();
+        // Re-checkpointing at an unchanged generation replaces the
+        // previous file of the same name; drop its chain entry so the
+        // new digest chains from the one before it.
+        while self.chain.last().is_some_and(|e| e.gen == gen) {
+            self.chain.pop();
+        }
+        let prev = self.chain.last().map_or(0, |e| e.digest);
+        let bytes = encode_checkpoint(
+            db.region(),
+            db.golden(),
+            gen,
+            prev,
+            self.config.block_size,
+            &self.config.key,
+        );
+        let digest = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+        let path = self.dir.join(checkpoint_file_name(gen));
+        let tmp = self.dir.join(format!("{}.tmp", checkpoint_file_name(gen)));
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        drop(file);
+        std::fs::rename(&tmp, &path)?;
+        self.chain.push(ChainEntry { gen, digest, path });
+        Ok(gen)
+    }
+
+    /// Warm recovery: loads the newest valid checkpoint image into the
+    /// database and replays every journal record with a newer
+    /// generation on top. With no usable checkpoint, the journal is
+    /// replayed from the database's freshly built state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on read failure or [`StoreError::Db`]
+    /// if a replayed record does not fit the schema.
+    pub fn recover_into(&mut self, db: &mut Database) -> Result<RecoveryInfo, StoreError> {
+        let mut findings = self.open_findings.clone();
+        let mut base_gen = 0u64;
+        let mut recovered = false;
+        for i in (0..self.chain.len()).rev() {
+            let entry = &self.chain[i];
+            let bytes = std::fs::read(&entry.path)?;
+            match decode_checkpoint(&bytes, &self.config.key) {
+                Ok(ckpt) => {
+                    db.load_image(&ckpt.region, &ckpt.golden, ckpt.meta.gen)?;
+                    base_gen = ckpt.meta.gen;
+                    recovered = true;
+                    break;
+                }
+                // The file changed since the open-time scan.
+                Err(e) => findings.push(checkpoint_finding(entry.gen, &e)),
+            }
+        }
+        if self.invalid_gens.iter().any(|&g| g > base_gen)
+            || (!recovered && !self.invalid_gens.is_empty())
+        {
+            findings.push(StoreFinding {
+                kind: StoreFindingKind::StaleCheckpointRecovered,
+                detail: format!(
+                    "recovered from generation {base_gen} with newer invalid checkpoints present"
+                ),
+                gen: Some(base_gen),
+                offset: None,
+            });
+        }
+        let mut replayed = 0usize;
+        for m in &self.journal_cache {
+            if m.gen > base_gen {
+                db.apply_captured(m)?;
+                replayed += 1;
+            }
+        }
+        Ok(RecoveryInfo { base_gen, replayed, findings })
+    }
+
+    /// Reconstructs the durable golden image: the newest decodable
+    /// checkpoint's golden plus every journaled golden commit with a
+    /// newer generation. Returns `None` when no checkpoint is usable
+    /// (the journal alone cannot seed the initial golden image).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on read failure.
+    pub fn durable_golden(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        let mut base = None;
+        for entry in self.chain.iter().rev() {
+            let bytes = std::fs::read(&entry.path)?;
+            if let Ok(ckpt) = decode_checkpoint(&bytes, &self.config.key) {
+                base = Some((ckpt.meta.gen, ckpt.golden));
+                break;
+            }
+        }
+        let Some((base_gen, mut golden)) = base else {
+            return Ok(None);
+        };
+        for m in &self.journal_cache {
+            if m.golden && m.gen > base_gen && m.offset < golden.len() {
+                let end = (m.offset + m.bytes.len()).min(golden.len());
+                golden[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+            }
+        }
+        Ok(Some((base_gen, golden)))
+    }
+
+    /// The disk side of the storage audit: re-reads and re-verifies
+    /// the newest checkpoint from disk (catching tampering that
+    /// happened *after* open), reconstructs the durable golden image,
+    /// and cross-checks it block-by-block (CRC32 per block) against
+    /// the in-memory golden image. Call [`Store::sync`] first so
+    /// pending golden commits are on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on read failure.
+    pub fn storage_audit(&self, db: &Database) -> Result<Vec<StoreFinding>, StoreError> {
+        let mut findings = Vec::new();
+        let Some(entry) = self.chain.last() else {
+            return Ok(findings);
+        };
+        let bytes = std::fs::read(&entry.path)?;
+        let ckpt = match decode_checkpoint(&bytes, &self.config.key) {
+            Ok(c) => c,
+            Err(e) => {
+                findings.push(checkpoint_finding(entry.gen, &e));
+                return Ok(findings);
+            }
+        };
+        let mut durable = ckpt.golden;
+        for m in &self.journal_cache {
+            if m.golden && m.gen > ckpt.meta.gen && m.offset < durable.len() {
+                let end = (m.offset + m.bytes.len()).min(durable.len());
+                durable[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+            }
+        }
+        let mem = db.golden();
+        if durable.len() != mem.len() {
+            findings.push(StoreFinding {
+                kind: StoreFindingKind::GoldenDivergence,
+                detail: format!(
+                    "durable golden is {} bytes, in-memory golden is {} bytes",
+                    durable.len(),
+                    mem.len()
+                ),
+                gen: Some(ckpt.meta.gen),
+                offset: None,
+            });
+            return Ok(findings);
+        }
+        let block = self.config.block_size.max(1);
+        for (i, (disk, ram)) in durable.chunks(block).zip(mem.chunks(block)).enumerate() {
+            if crc32(disk) != crc32(ram) {
+                findings.push(StoreFinding {
+                    kind: StoreFindingKind::GoldenDivergence,
+                    detail: format!("golden block {i} differs between disk and memory"),
+                    gen: Some(ckpt.meta.gen),
+                    offset: Some((i * block) as u64),
+                });
+            }
+        }
+        Ok(findings)
+    }
+
+    /// The durable region+golden bytes the newest usable checkpoint
+    /// would recover (after journal replay), for harness comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on read failure.
+    pub fn recovered_image_preview(&self) -> Result<Option<ImagePair>, StoreError> {
+        let mut base = None;
+        for entry in self.chain.iter().rev() {
+            let bytes = std::fs::read(&entry.path)?;
+            if let Ok(ckpt) = decode_checkpoint(&bytes, &self.config.key) {
+                base = Some((ckpt.meta.gen, ckpt.region, ckpt.golden));
+                break;
+            }
+        }
+        let Some((base_gen, mut region, mut golden)) = base else {
+            return Ok(None);
+        };
+        for m in &self.journal_cache {
+            if m.gen <= base_gen {
+                continue;
+            }
+            let target = if m.golden { &mut golden } else { &mut region };
+            if m.offset < target.len() {
+                let end = (m.offset + m.bytes.len()).min(target.len());
+                target[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+            }
+        }
+        Ok(Some((region, golden)))
+    }
+}
