@@ -171,6 +171,9 @@ pub struct AuditReport {
     /// The escalation policy concluded that localized repair is not
     /// holding: the manager should restart the controller.
     pub restart_requested: bool,
+    /// Which execution engine ran the cycle and how the work was
+    /// batched (serial, parallel, or governor-chosen serial fallback).
+    pub exec: crate::executor::ExecSummary,
 }
 
 impl AuditReport {
@@ -216,12 +219,14 @@ mod tests {
             records_checked: 10,
             tables_checked: 2,
             restart_requested: false,
+            exec: Default::default(),
         };
         let b = AuditReport {
             findings: vec![finding(AuditElementKind::Range)],
             records_checked: 5,
             tables_checked: 1,
             restart_requested: false,
+            exec: Default::default(),
         };
         a.merge(b);
         assert_eq!(a.findings.len(), 3);

@@ -85,7 +85,7 @@ mod structural;
 mod supervisor;
 
 pub use escalation::{EscalationConfig, EscalationPolicy};
-pub use executor::ParallelConfig;
+pub use executor::{ExecSummary, ExecutorMode, ParallelConfig};
 pub use finding::{AuditElementKind, AuditReport, Finding, FindingTarget, RecoveryAction};
 pub use heartbeat::{HeartbeatElement, Manager, ManagerConfig};
 pub use process::{AuditConfig, AuditElement, AuditProcess, AuditScope};

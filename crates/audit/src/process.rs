@@ -29,7 +29,10 @@ use std::sync::Arc;
 use wtnc_db::{crc32, Database, DbApi, DbRead, RecordRef, TableId, TaintEntry};
 use wtnc_sim::{ProcessRegistry, SimDuration, SimTime};
 
-use crate::executor::{shard_count, split_range, Executor, ParallelConfig, Task};
+use crate::executor::{
+    coalesce_weights, shard_count, split_range, ExecSummary, Executor, ExecutorMode,
+    ParallelConfig, Task,
+};
 use crate::finding::{AuditElementKind, AuditReport, Finding, RecoveryAction};
 use crate::heartbeat::HeartbeatElement;
 use crate::links::{link_closure, link_field};
@@ -364,11 +367,12 @@ impl AuditProcess {
         };
 
         let mut records_checked = 0u64;
-        if self.config.parallel.workers > 1 {
-            self.run_elements_parallel(db, api, now, &tables, &mut findings, &mut records_checked);
+        let exec = if self.config.parallel.workers > 1 {
+            self.run_elements_parallel(db, api, now, &tables, &mut findings, &mut records_checked)
         } else {
             self.run_elements_serial(db, api, now, &tables, &mut findings, &mut records_checked);
-        }
+            ExecSummary::default()
+        };
 
         // Settle the density signal: a dynamic table that was just
         // audited with no findings has its accumulated dirty bits
@@ -418,6 +422,7 @@ impl AuditProcess {
             records_checked,
             tables_checked: tables.len() as u64,
             restart_requested,
+            exec,
         }
     }
 
@@ -472,8 +477,9 @@ impl AuditProcess {
     /// Parallel element execution: screen every read-only check over a
     /// consistent snapshot on the worker pool, then apply the verdicts
     /// on this thread in the serial engine's exact order. Falls back to
-    /// the serial loop when the estimated scan span is too small to be
-    /// worth sharding.
+    /// the serial loop — and says so in the returned summary — when the
+    /// governor (or the `min_shard_bytes` size gate) decides sharding
+    /// cannot win on this host or this cycle.
     fn run_elements_parallel(
         &mut self,
         db: &mut Database,
@@ -482,7 +488,7 @@ impl AuditProcess {
         tables: &[TableId],
         findings: &mut Vec<Finding>,
         records_checked: &mut u64,
-    ) {
+    ) -> ExecSummary {
         let workers = self.config.parallel.workers;
         let min_shard_bytes = self.config.parallel.min_shard_bytes;
 
@@ -506,9 +512,14 @@ impl AuditProcess {
                 estimated += span * screens;
             }
         }
-        if estimated < min_shard_bytes {
+        if self.executor.decide(&self.config.parallel, estimated) != ExecutorMode::Parallel {
             self.run_elements_serial(db, api, now, tables, findings, records_checked);
-            return;
+            return ExecSummary {
+                mode: ExecutorMode::SerialFallback,
+                workers,
+                estimated_bytes: estimated,
+                ..ExecSummary::default()
+            };
         }
 
         // One-table scope checks its static chunks serially *before*
@@ -531,17 +542,20 @@ impl AuditProcess {
             Arc::new(api.locks().held().into_iter().map(|(r, _)| r).collect());
         let epoch = snap.epoch();
 
-        // ----- Build every screen task (one pool dispatch). -----
-        let mut tasks: Vec<Task<ShardResult>> = Vec::new();
+        // ----- Build every screen task (one pool dispatch). Each task
+        // carries its estimated byte weight so the executor can
+        // coalesce adjacent tasks into `min_shard_bytes`-amortized
+        // batches. -----
+        let mut tasks: Vec<(usize, Task<ShardResult>)> = Vec::new();
 
+        // Static re-hash jobs are grouped by accumulated block bytes
+        // (not job count): adjacent dirty blocks coalesce until the
+        // shard floor is genuinely amortized.
         let static_groups: Vec<std::ops::Range<usize>> = static_plan
             .as_ref()
             .map(|p| {
-                split_range(p.jobs.len() as u32, workers)
-                    .into_iter()
-                    .filter(|r| !r.is_empty())
-                    .map(|r| r.start as usize..r.end as usize)
-                    .collect()
+                let lens: Vec<usize> = p.jobs.iter().map(|j| j.len).collect();
+                coalesce_weights(&lens, min_shard_bytes)
             })
             .unwrap_or_default();
         for g in &static_groups {
@@ -551,11 +565,15 @@ impl AuditProcess {
             .iter()
             .map(|j| (j.offset, j.len))
             .collect();
-            tasks.push(Box::new(move || {
-                ShardResult::Crc(
-                    spans.iter().map(|&(o, l)| crc32(&snap.region()[o..o + l])).collect(),
-                )
-            }));
+            let weight: usize = spans.iter().map(|&(_, l)| l).sum();
+            tasks.push((
+                weight,
+                Box::new(move || {
+                    ShardResult::Crc(
+                        spans.iter().map(|&(o, l)| crc32(&snap.region()[o..o + l])).collect(),
+                    )
+                }),
+            ));
         }
 
         let mut units: Vec<Unit> = Vec::new();
@@ -572,9 +590,11 @@ impl AuditProcess {
                 continue;
             };
             let record_count = tm.def.record_count;
-            let span = tm.record_size * record_count as usize;
+            let record_size = tm.record_size;
+            let span = record_size * record_count as usize;
             let shards = shard_count(span, workers, min_shard_bytes);
             let ranges = split_range(record_count, shards);
+            let weight_of = |r: &std::ops::Range<u32>| record_size * (r.end - r.start) as usize;
 
             // Structural screens.
             let (use_gen_s, skip_s) = self.structural.plan_screen(table, record_count);
@@ -583,9 +603,12 @@ impl AuditProcess {
                 let snap = Arc::clone(&snap);
                 let skip: Vec<u64> = skip_s[r.start as usize..r.end as usize].to_vec();
                 let (lo, hi) = (r.start, r.end);
-                tasks.push(Box::new(move || {
-                    ShardResult::Struct(screen_headers(&*snap, table, lo, hi, use_gen_s, &skip))
-                }));
+                tasks.push((
+                    weight_of(r),
+                    Box::new(move || {
+                        ShardResult::Struct(screen_headers(&*snap, table, lo, hi, use_gen_s, &skip))
+                    }),
+                ));
             }
             let struct_tasks = struct_start..tasks.len();
 
@@ -605,11 +628,14 @@ impl AuditProcess {
                     let ruled = Arc::clone(&ruled);
                     let skip: Vec<u64> = skip_r[r.start as usize..r.end as usize].to_vec();
                     let (lo, hi) = (r.start, r.end);
-                    tasks.push(Box::new(move || {
-                        ShardResult::Range(screen_ranges(
-                            &*snap, table, lo, hi, use_gen_r, &skip, &ruled, &locked,
-                        ))
-                    }));
+                    tasks.push((
+                        weight_of(r),
+                        Box::new(move || {
+                            ShardResult::Range(screen_ranges(
+                                &*snap, table, lo, hi, use_gen_r, &skip, &ruled, &locked,
+                            ))
+                        }),
+                    ));
                 }
                 Some(start..tasks.len())
             };
@@ -641,21 +667,24 @@ impl AuditProcess {
                             })
                             .collect();
                         let (lo, hi) = (r.start, r.end);
-                        tasks.push(Box::new(move || {
-                            ShardResult::Sem(screen_walks(
-                                &*snap,
-                                table,
-                                lo,
-                                hi,
-                                use_witness,
-                                incremental,
-                                &prior,
-                                &last_access,
-                                &locked,
-                                orphan_grace,
-                                now,
-                            ))
-                        }));
+                        tasks.push((
+                            weight_of(r),
+                            Box::new(move || {
+                                ShardResult::Sem(screen_walks(
+                                    &*snap,
+                                    table,
+                                    lo,
+                                    hi,
+                                    use_witness,
+                                    incremental,
+                                    &prior,
+                                    &last_access,
+                                    &locked,
+                                    orphan_grace,
+                                    now,
+                                ))
+                            }),
+                        ));
                     }
                     SemUnit::Walk { tasks: start..tasks.len(), closure_sig }
                 }
@@ -665,7 +694,16 @@ impl AuditProcess {
 
         // ----- Dispatch: slot-indexed, deterministic. -----
         let mut results: Vec<Option<ShardResult>> =
-            self.executor.run(workers, tasks).into_iter().map(Some).collect();
+            self.executor.run(workers, tasks, min_shard_bytes).into_iter().map(Some).collect();
+        let stats = self.executor.last_stats();
+        let summary = ExecSummary {
+            mode: ExecutorMode::Parallel,
+            workers,
+            tasks: stats.tasks,
+            batches: stats.batches,
+            steals: stats.steals,
+            estimated_bytes: estimated,
+        };
 
         // ----- Apply, in the serial engine's exact order. -----
         if let Some(plan) = &static_plan {
@@ -816,6 +854,7 @@ impl AuditProcess {
                 *records_checked += element.audit_table(db, table, &locked_live, now, findings);
             }
         }
+        summary
     }
 
     /// Escalation statistics (table reloads performed, restarts

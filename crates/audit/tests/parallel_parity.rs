@@ -5,15 +5,19 @@
 //! report exactly the same findings, perform exactly the same repairs,
 //! and leave exactly the same database bytes behind.
 //!
-//! Three identical worlds run the same operation stream — one serial,
-//! one with 2 workers, one with 8 (more workers than screen shards, to
-//! exercise queue contention and idle helpers). After every cycle the
-//! findings must match field-for-field, and at the end all three
-//! database images must be byte-identical.
+//! The worlds sample the (worker count × batch floor × CRC kernel)
+//! grid: a serial baseline, then parallel worlds that vary
+//! `min_shard_bytes` across {0, 256, 4 KiB} (no batching, fine
+//! batching, coarse batching) and alternate between the portable
+//! slice-by-8 CRC kernel and the hardware PCLMULQDQ kernel (which
+//! silently degrades to slice-by-8 on hosts without it — also a parity
+//! case worth holding). After every cycle the findings must match
+//! field-for-field, and at the end every database image must be
+//! byte-identical to the serial world's.
 
 use proptest::prelude::*;
 use wtnc_audit::{AuditConfig, AuditProcess, ParallelConfig};
-use wtnc_db::{schema, Database, DbApi, FieldId, TableId};
+use wtnc_db::{schema, set_crc_kernel_override, CrcKernel, Database, DbApi, FieldId, TableId};
 use wtnc_sim::{Pid, ProcessRegistry, SimTime};
 
 /// One step of the randomized workload (same shape as the incremental
@@ -71,13 +75,31 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+/// One sampled point of the (workers × batch floor × kernel) grid.
+#[derive(Debug, Clone, Copy)]
+struct World {
+    workers: usize,
+    min_shard_bytes: usize,
+    kernel: CrcKernel,
+}
+
+/// World 0 is the serial baseline; the rest cross worker counts with
+/// every batch floor and both kernels (a diagonal sample of the full
+/// grid — the full cross product triples runtime for no extra edge).
+const WORLDS: [World; 5] = [
+    World { workers: 1, min_shard_bytes: 0, kernel: CrcKernel::Slice8 },
+    World { workers: 2, min_shard_bytes: 0, kernel: CrcKernel::Hardware },
+    World { workers: 8, min_shard_bytes: 256, kernel: CrcKernel::Slice8 },
+    World { workers: 2, min_shard_bytes: 4096, kernel: CrcKernel::Hardware },
+    World { workers: 8, min_shard_bytes: 4096, kernel: CrcKernel::Slice8 },
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The tentpole guarantee: findings, repairs and the resulting
-    /// database bytes are identical for any worker count.
+    /// database bytes are identical for any worker count, any shard
+    /// batching floor, and either CRC kernel.
     #[test]
     fn parallel_audit_matches_serial(
         ops in proptest::collection::vec(op_strategy(), 1..120),
@@ -86,7 +108,7 @@ proptest! {
     ) {
         let db = Database::build(schema::standard_schema()).unwrap();
         let mut worlds = Vec::new();
-        for workers in WORKER_COUNTS {
+        for w in WORLDS {
             let db = db.clone();
             let mut api = DbApi::new();
             let registry = ProcessRegistry::new();
@@ -94,16 +116,21 @@ proptest! {
                 AuditConfig {
                     incremental,
                     full_rescan_period: 3,
-                    // Zero floor: even tiny scans shard, so the
-                    // parallel path (not the size gate) is exercised.
-                    parallel: ParallelConfig { workers, min_shard_bytes: 0 },
+                    // Governor off: the parallel machinery itself must
+                    // be exercised even on 1-CPU hosts, and even for
+                    // scans the governor would (correctly) not shard.
+                    parallel: ParallelConfig {
+                        workers: w.workers,
+                        min_shard_bytes: w.min_shard_bytes,
+                        governor: false,
+                    },
                     coschedule_tables: 2,
                     ..AuditConfig::default()
                 },
                 &db,
             );
             api.init(Pid(1));
-            worlds.push((db, api, registry, audit));
+            worlds.push((w, db, api, registry, audit));
         }
 
         let mut cycle = 0u64;
@@ -111,19 +138,21 @@ proptest! {
             let at = SimTime::from_secs(cycle * 10);
             cycle += 1;
             let mut reports = Vec::new();
-            for (db, api, registry, audit) in &mut worlds {
+            for (w, db, api, registry, audit) in &mut worlds {
+                set_crc_kernel_override(Some(w.kernel));
                 for op in batch {
                     apply(op, db, api, Pid(1), at);
                 }
                 reports.push(audit.run_cycle(db, api, registry, at));
             }
+            set_crc_kernel_override(None);
             for (w, report) in reports.iter().enumerate().skip(1) {
                 prop_assert_eq!(
                     &reports[0].findings,
                     &report.findings,
-                    "cycle {} diverged (1 worker vs {})",
+                    "cycle {} diverged (serial vs {:?})",
                     cycle,
-                    WORKER_COUNTS[w]
+                    WORLDS[w]
                 );
             }
         }
@@ -133,26 +162,28 @@ proptest! {
         for extra in 0..3 {
             let at = SimTime::from_secs((cycle + extra) * 10 + 100);
             let mut reports = Vec::new();
-            for (db, api, registry, audit) in &mut worlds {
+            for (w, db, api, registry, audit) in &mut worlds {
+                set_crc_kernel_override(Some(w.kernel));
                 reports.push(audit.run_cycle(db, api, registry, at));
             }
+            set_crc_kernel_override(None);
             for (w, report) in reports.iter().enumerate().skip(1) {
                 prop_assert_eq!(
                     &reports[0].findings,
                     &report.findings,
-                    "quiet cycle {} diverged (1 worker vs {})",
+                    "quiet cycle {} diverged (serial vs {:?})",
                     extra,
-                    WORKER_COUNTS[w]
+                    WORLDS[w]
                 );
             }
         }
 
-        for w in 1..WORKER_COUNTS.len() {
+        for w in 1..WORLDS.len() {
             prop_assert_eq!(
-                worlds[0].0.region(),
-                worlds[w].0.region(),
-                "final database images differ (1 worker vs {})",
-                WORKER_COUNTS[w]
+                worlds[0].1.region(),
+                worlds[w].1.region(),
+                "final database images differ (serial vs {:?})",
+                WORLDS[w]
             );
         }
     }

@@ -58,15 +58,32 @@ pub fn outcome_columns_json(columns: &[(String, OutcomeCounts)]) -> String {
     format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
+/// The workspace-root `results/` directory. Bench *bins* run with the
+/// workspace root as cwd but `cargo bench` harnesses run with the
+/// package dir as cwd, so anchor on the nearest ancestor that holds a
+/// `Cargo.lock` instead of trusting the cwd.
+fn results_dir() -> std::path::PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut dir = start.clone();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return start.join("results");
+        }
+    }
+}
+
 /// Writes a `results/BENCH_<name>.json` artifact, reporting the path
 /// (or the error — benches must not fail just because `results/` is
 /// missing on some checkout).
 pub fn write_results(name: &str, json: &str) {
-    let path = format!("results/BENCH_{name}.json");
-    let _ = std::fs::create_dir_all("results");
+    let path = results_dir().join(format!("BENCH_{name}.json"));
+    let _ = std::fs::create_dir_all(results_dir());
     match std::fs::write(&path, json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => println!("\ncould not write {path}: {e}"),
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => println!("\ncould not write {}: {e}", path.display()),
     }
 }
 

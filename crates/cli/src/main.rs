@@ -5,6 +5,8 @@
 //! wtnc run <file.s> [opts]         execute a program on the machine
 //! wtnc pecos <file.s> [opts]       instrument with PECOS and report
 //! wtnc audit-demo                  inject → detect → repair walkthrough
+//! wtnc audit [opts]                steady-state cycles with executor
+//!                                  mode / batch / CRC-kernel stats
 //! wtnc recover [opts]              staged detect → diagnose → repair
 //!                                  → verify walkthrough
 //! wtnc supervise                   process hang/crash → detect →
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "trace" => commands::trace(rest),
         "pecos" => commands::pecos(rest),
+        "audit" => commands::audit(rest),
         "audit-demo" => commands::audit_demo(rest),
         "recover" => commands::recover(rest),
         "supervise" => commands::supervise(rest),

@@ -52,7 +52,10 @@
 //! assert_eq!(v, 42);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the
+// runtime-feature-gated PCLMULQDQ CRC kernel (`crc::pclmul`), which
+// carries its own scoped `allow` and safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod api;
@@ -71,7 +74,10 @@ pub use api::{ApiCosts, DbApi, LockTable};
 pub use catalog::{
     Catalog, FieldDef, FieldId, FieldKind, FieldWidth, TableDef, TableId, TableNature,
 };
-pub use crc::{crc32, crc32_bytewise, crc32_combine, Crc32Shift};
+pub use crc::{
+    crc32, crc32_bytewise, crc32_combine, crc32_slice8, crc32_with, crc_kernel,
+    set_crc_kernel_override, Crc32Shift, CrcKernel,
+};
 pub use database::{CapturedMutation, Database, RecordMeta, RecordRef, TableStats};
 pub use dirty::{DirtyTracker, DIRTY_BLOCK_SIZE};
 pub use error::DbError;

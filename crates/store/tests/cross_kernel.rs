@@ -1,0 +1,94 @@
+//! Cross-kernel durability: journal and checkpoint frames written with
+//! the hardware CRC kernel must verify and replay bit-exactly under the
+//! portable kernel, and vice versa. This is what makes a store
+//! directory portable between hosts with different CPU features — the
+//! frame CRCs are a wire format, not a host-local cache.
+
+use wtnc_db::{
+    set_crc_kernel_override, CrcKernel, Database, FieldDef, FieldWidth, TableDef, TableNature,
+};
+use wtnc_store::{ScratchDir, Store, StoreConfig};
+
+fn db() -> Database {
+    Database::build(vec![
+        TableDef::new(
+            "config",
+            TableNature::Config,
+            2,
+            vec![
+                FieldDef::static_value("n_cpus", FieldWidth::U8, 4),
+                FieldDef::static_value("max_calls", FieldWidth::U32, 1000),
+            ],
+        ),
+        TableDef::new(
+            "conn",
+            TableNature::Dynamic,
+            64,
+            vec![
+                FieldDef::dynamic("caller", FieldWidth::U32).with_range(0, 99_999),
+                FieldDef::dynamic("state", FieldWidth::U16),
+            ],
+        ),
+    ])
+    .expect("build db")
+}
+
+fn mutate(db: &mut Database, rounds: usize, salt: u64) {
+    let conn = wtnc_db::TableId(1);
+    for i in 0..rounds {
+        let idx = db.alloc_record_raw(conn).expect("alloc");
+        let rec = wtnc_db::RecordRef::new(conn, idx);
+        db.write_field_raw(rec, wtnc_db::FieldId(0), (salt * 31 + i as u64) % 99_999)
+            .expect("write");
+        if i % 3 == 2 {
+            db.free_record_raw(rec).expect("free");
+        }
+    }
+}
+
+/// The kernel override is process-global, so the two directions must
+/// not interleave (they would still pass — the kernels are
+/// bit-identical — but each would stop testing its claimed direction).
+static KERNEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn round_trip(write_kernel: CrcKernel, read_kernel: CrcKernel, tag: &str) {
+    let _serial = KERNEL_LOCK.lock().expect("kernel lock");
+    let scratch = ScratchDir::new(tag);
+
+    set_crc_kernel_override(Some(write_kernel));
+    let expect = {
+        let mut db = db();
+        let mut store = Store::open(scratch.path(), StoreConfig::default()).expect("open");
+        store.attach(&mut db);
+        for c in 0..3u64 {
+            mutate(&mut db, 4, c + 1);
+            store.checkpoint(&mut db).expect("checkpoint");
+        }
+        mutate(&mut db, 3, 99);
+        store.sync(&mut db).expect("sync");
+        db.region().to_vec()
+    };
+
+    set_crc_kernel_override(Some(read_kernel));
+    let findings = Store::verify(scratch.path(), &StoreConfig::default()).expect("verify");
+    assert!(findings.is_empty(), "{write_kernel:?}->{read_kernel:?}: {findings:?}");
+
+    let mut db2 = db();
+    let mut store = Store::open(scratch.path(), StoreConfig::default()).expect("reopen");
+    assert!(store.open_findings().is_empty(), "{:?}", store.open_findings());
+    let info = store.recover_into(&mut db2).expect("recover");
+    assert!(info.findings.is_empty());
+    assert_eq!(db2.region(), &expect[..], "replayed image diverged across kernels");
+
+    set_crc_kernel_override(None);
+}
+
+#[test]
+fn hardware_written_store_verifies_under_portable_kernel() {
+    round_trip(CrcKernel::Hardware, CrcKernel::Slice8, "xkernel-hw-to-sw");
+}
+
+#[test]
+fn portable_written_store_verifies_under_hardware_kernel() {
+    round_trip(CrcKernel::Slice8, CrcKernel::Hardware, "xkernel-sw-to-hw");
+}
