@@ -16,7 +16,7 @@ use wtnc::inject::recovery_campaign::{
 };
 use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
 use wtnc::inject::RunOutcome;
-use wtnc::isa::{asm::Assembly, Machine, MachineConfig, NoSyscalls, StepOutcome};
+use wtnc::isa::{asm::Assembly, Engine, Machine, MachineConfig, NoSyscalls, StepOutcome};
 use wtnc::pecos::{handle_exception, instrument, PecosVerdict};
 use wtnc::recovery::RecoveryConfig;
 use wtnc::sim::{SimDuration, SimRng, SimTime};
@@ -33,8 +33,10 @@ USAGE:
                                            execute on the machine
     wtnc trace <file.s> [--steps N]        single-step with a per-
                                            instruction listing
-    wtnc pecos <file.s> [--corrupt-cfi N]  instrument; optionally corrupt
-                                           the Nth CFI and watch PECOS
+    wtnc pecos <file.s> [--corrupt-cfi N] [--engine slow|decoded|superblock]
+                                           instrument and run; optionally
+                                           corrupt the Nth CFI and watch
+                                           PECOS; per-run superblock report
     wtnc audit-demo                        inject -> detect -> repair
     wtnc audit [--workers N] [--cycles N] [--dirty-pct P]
                [--force-parallel] [--no-hwcrc]
@@ -186,11 +188,14 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `wtnc pecos <file.s> [--corrupt-cfi N]`
+/// `wtnc pecos <file.s> [--corrupt-cfi N] [--engine E]`
 pub fn pecos(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse(args)?;
     let [path] = positional.as_slice() else {
-        return Err("usage: wtnc pecos <file.s> [--corrupt-cfi N]".into());
+        return Err(
+            "usage: wtnc pecos <file.s> [--corrupt-cfi N] [--engine slow|decoded|superblock]"
+                .into(),
+        );
     };
     let assembly = load_assembly(path)?;
     let inst = instrument(&assembly).map_err(|e| format!("{path}: {e}"))?;
@@ -202,45 +207,95 @@ pub fn pecos(args: &[String]) -> Result<(), String> {
         inst.meta.size_overhead() * 100.0
     );
 
-    let Some(which) = flags.get("corrupt-cfi") else {
-        return Ok(());
+    let engine = match flags.get("engine") {
+        None => None,
+        Some(s) => Some(
+            Engine::parse(s)
+                .ok_or_else(|| format!("unknown engine '{s}' (slow, decoded, superblock)"))?,
+        ),
     };
-    let which: usize = which.parse().map_err(|_| "--corrupt-cfi expects an index".to_owned())?;
-    let cfis: Vec<usize> = (0..inst.program.len())
-        .filter(|&a| wtnc::isa::decode(inst.program.text[a]).map(|i| i.is_cfi()).unwrap_or(false))
-        .collect();
-    let Some(&target) = cfis.get(which) else {
-        return Err(format!("program has {} CFIs; index {which} out of range", cfis.len()));
-    };
-    let mut machine = Machine::load(&inst.program, MachineConfig::default());
-    inst.meta.install_fast_path(&mut machine);
-    machine.store_text(target, inst.program.text[target] ^ 0x0000_0010); // flip a target bit
-    let t = machine.spawn_thread(inst.program.entry);
-    println!("corrupted the CFI at text address {target}; running...");
-    for _ in 0..1_000_000u64 {
-        match machine.step(&mut NoSyscalls) {
-            StepOutcome::Exception(info) => {
-                match handle_exception(&mut machine, &inst.meta, info) {
-                    PecosVerdict::PecosDetected => println!(
-                        "PECOS detection: divide-by-zero from the assertion block at pc {} — \
-                         thread terminated before the corrupted jump executed",
-                        info.pc
-                    ),
-                    PecosVerdict::SystemFault => {
-                        println!("system fault: {:?} at pc {} (process crash)", info.kind, info.pc)
-                    }
-                }
-                break;
-            }
-            StepOutcome::Idle => {
-                println!("program finished; the corrupted path was never taken");
-                break;
-            }
-            StepOutcome::Executed { .. } => {}
+    let corrupt = match flags.get("corrupt-cfi") {
+        None => None,
+        Some(which) => {
+            Some(which.parse::<usize>().map_err(|_| "--corrupt-cfi expects an index".to_owned())?)
         }
+    };
+    if corrupt.is_none() && engine.is_none() {
+        return Ok(());
+    }
+
+    let mut machine =
+        Machine::load(&inst.program, MachineConfig { engine, ..MachineConfig::default() });
+    inst.meta.install_fast_path(&mut machine);
+    if let Some(which) = corrupt {
+        let cfis: Vec<usize> = (0..inst.program.len())
+            .filter(|&a| {
+                wtnc::isa::decode(inst.program.text[a]).map(|i| i.is_cfi()).unwrap_or(false)
+            })
+            .collect();
+        let Some(&target) = cfis.get(which) else {
+            return Err(format!("program has {} CFIs; index {which} out of range", cfis.len()));
+        };
+        machine.store_text(target, inst.program.text[target] ^ 0x0000_0010); // flip a target bit
+        println!("corrupted the CFI at text address {target}; running...");
+    } else {
+        println!("running clean on the {} engine...", machine.engine().name());
+    }
+    let t = machine.spawn_thread(inst.program.entry);
+    match machine.run(&mut NoSyscalls, 1_000_000) {
+        StepOutcome::Exception(info) => match handle_exception(&mut machine, &inst.meta, info) {
+            PecosVerdict::PecosDetected => println!(
+                "PECOS detection: divide-by-zero from the assertion block at pc {} — \
+                 thread terminated before the corrupted jump executed",
+                info.pc
+            ),
+            PecosVerdict::SystemFault => {
+                println!("system fault: {:?} at pc {} (process crash)", info.kind, info.pc)
+            }
+        },
+        StepOutcome::Idle => println!("program ran to completion"),
+        StepOutcome::Executed { .. } => println!("no verdict after 1000000 steps (hang?)"),
     }
     println!("thread state: {:?}", machine.thread_state(t));
+    print_superblock_report(&machine);
     Ok(())
+}
+
+/// Per-run superblock-engine report: resident block count, chain
+/// length histogram, compile/invalidation counters.
+fn print_superblock_report(machine: &Machine) {
+    if machine.engine() != Engine::Superblock {
+        return;
+    }
+    let stats = machine.superblock_stats();
+    println!(
+        "superblocks: {} resident, {} compiled, {} invalidated, {} entered \
+         ({} instructions retired in blocks)",
+        stats.blocks.len(),
+        stats.compiled,
+        stats.invalidated,
+        stats.entered,
+        stats.block_steps
+    );
+    if stats.blocks.is_empty() {
+        return;
+    }
+    // Chain-length histogram over resident blocks, power-of-two buckets.
+    const BUCKETS: [(u64, u64, &str); 6] = [
+        (1, 2, "1-2"),
+        (3, 4, "3-4"),
+        (5, 8, "5-8"),
+        (9, 16, "9-16"),
+        (17, 32, "17-32"),
+        (33, u64::MAX, "33+"),
+    ];
+    println!("chain length histogram (instructions retired per block execution):");
+    for (lo, hi, label) in BUCKETS {
+        let n = stats.blocks.iter().filter(|b| b.steps >= lo && b.steps <= hi).count();
+        if n > 0 {
+            println!("  {label:>6}  {} {n}", "#".repeat(n.min(60)));
+        }
+    }
 }
 
 /// `wtnc audit-demo`
@@ -912,6 +967,24 @@ mod tests {
         run(&strings(&[&p, "--threads", "2"])).unwrap();
         pecos(&strings(&[&p, "--corrupt-cfi", "0"])).unwrap();
         assert!(pecos(&strings(&[&p, "--corrupt-cfi", "99"])).is_err());
+    }
+
+    #[test]
+    fn pecos_engine_flag_selects_engine() {
+        let dir = std::env::temp_dir().join("wtnc-cli-engine");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prog.s");
+        std::fs::write(
+            &path,
+            "start:\n  movi r1, 3\nloop:\n  addi r1, r1, -1\n  bne r1, r0, loop\n  halt\n",
+        )
+        .unwrap();
+        let p = path.to_str().unwrap().to_string();
+        for engine in ["slow", "decoded", "superblock"] {
+            pecos(&strings(&[&p, "--engine", engine])).unwrap();
+            pecos(&strings(&[&p, "--engine", engine, "--corrupt-cfi", "0"])).unwrap();
+        }
+        assert!(pecos(&strings(&[&p, "--engine", "warp"])).is_err());
     }
 }
 

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 use wtnc_callproc::{AsmClientConfig, BridgeStats, DbSyscallBridge};
 use wtnc_db::{Database, DbApi};
-use wtnc_isa::{decode, Machine, MachineConfig, StepOutcome, ThreadState};
+use wtnc_isa::{decode, Engine, Machine, MachineConfig, StepOutcome, ThreadState};
 use wtnc_pecos::{handle_exception, instrument, PecosMeta, PecosVerdict};
 use wtnc_sim::{Pid, ProcessRegistry, SimRng, SimTime};
 
@@ -59,6 +59,11 @@ pub struct TextCampaignConfig {
     /// `false` exists for parity testing and overhead benchmarks.
     #[serde(default = "default_fast_path")]
     pub fast_path: bool,
+    /// Explicit engine selection, overriding `fast_path` when set
+    /// (same precedence as [`MachineConfig::effective_engine`]). Lets
+    /// parity campaigns pin all three engines individually.
+    #[serde(default)]
+    pub engine: Option<Engine>,
 }
 
 fn default_fast_path() -> bool {
@@ -79,6 +84,7 @@ impl Default for TextCampaignConfig {
             step_budget: 400_000,
             seed: 0xD5A1,
             fast_path: default_fast_path(),
+            engine: None,
         }
     }
 }
@@ -127,9 +133,13 @@ pub fn run_one(config: &TextCampaignConfig, seed: u64) -> RunOutcome {
         )
     });
 
-    let machine_cfg = MachineConfig { fast_path: config.fast_path, ..MachineConfig::default() };
+    let machine_cfg = MachineConfig {
+        fast_path: config.fast_path,
+        engine: config.engine,
+        ..MachineConfig::default()
+    };
     let mut machine = Machine::load(&program, machine_cfg);
-    if config.fast_path {
+    if machine.engine() != Engine::Slow {
         if let Some(m) = &meta {
             m.install_fast_path(&mut machine);
         }
@@ -391,6 +401,7 @@ mod tests {
             step_budget: 200_000,
             seed: 0xBEEF,
             fast_path: true,
+            engine: None,
         }
     }
 

@@ -4,9 +4,10 @@
 //! cached — and campaign classifications must be bit-identical across
 //! the two engines.
 
+use proptest::prelude::*;
 use wtnc_inject::text_campaign::{run_one, InjectionTarget, TextCampaignConfig};
 use wtnc_inject::ErrorModel;
-use wtnc_isa::{ExceptionKind, Machine, MachineConfig, NoSyscalls, StepOutcome};
+use wtnc_isa::{Engine, ExceptionKind, Machine, MachineConfig, NoSyscalls, StepOutcome};
 use wtnc_pecos::instrument_source;
 
 /// A corruption landing inside an already-cached (decoded + fused)
@@ -78,8 +79,8 @@ fn warmed_assertion_block_observes_interior_injection() {
     );
 }
 
-/// Campaign classifications are identical on both engines for a grid
-/// of seeds across both targeting modes — the fast path changes
+/// Campaign classifications are identical on all three engines for a
+/// grid of seeds across both targeting modes — the fast engines change
 /// wall-clock only, never outcomes. Directed-CFI runs corrupt exactly
 /// the input word of a warmed fused plan; random-text runs also land
 /// inside assertion blocks and target tables.
@@ -87,7 +88,7 @@ fn warmed_assertion_block_observes_interior_injection() {
 fn run_one_outcomes_identical_across_engines() {
     for &target in &[InjectionTarget::DirectedCfi, InjectionTarget::RandomText] {
         for &model in &[ErrorModel::Datainf, ErrorModel::Dataof] {
-            let config = |fast_path: bool| TextCampaignConfig {
+            let config = |engine: Engine| TextCampaignConfig {
                 pecos: true,
                 audits: false,
                 model,
@@ -98,12 +99,140 @@ fn run_one_outcomes_identical_across_engines() {
                 audit_every_steps: 2_000,
                 step_budget: 150_000,
                 seed: 0,
-                fast_path,
+                fast_path: engine != Engine::Slow,
+                engine: Some(engine),
             };
             for seed in 0..20u64 {
-                let fast = run_one(&config(true), seed);
-                let slow = run_one(&config(false), seed);
-                assert_eq!(fast, slow, "outcome diverged for {target:?}/{model:?} seed {seed}");
+                let slow = run_one(&config(Engine::Slow), seed);
+                for engine in [Engine::Decoded, Engine::Superblock] {
+                    let fast = run_one(&config(engine), seed);
+                    assert_eq!(
+                        fast, slow,
+                        "outcome diverged for {target:?}/{model:?}/{engine:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Source of the chained-superblock proptest program: two nested loops,
+/// a call, and a helper — enough CFIs that the superblock engine
+/// compiles blocks which chain across several fused assertion
+/// supersteps per outer iteration.
+const CHAIN_SRC: &str = r#"
+    start:
+        movi r9, 6
+    outer:
+        movi r8, 4
+    inner:
+        add  r1, r1, r8
+        addi r8, r8, -1
+        bne  r8, r0, inner
+        call helper
+        addi r9, r9, -1
+        bne  r9, r0, outer
+        halt
+    helper:
+        addi r2, r2, 1
+        ret
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A `store_text` landing mid-run in the interior of a warmed,
+    /// chained superblock — including words on a fused-superstep
+    /// boundary — invalidates every overlapping block, and the machine
+    /// then proceeds in lockstep with the slow engine: identical
+    /// retired-step counts, PCs, registers, thread states and final
+    /// outcome, compared after every `run` chunk.
+    #[test]
+    fn warmed_chain_observes_midrun_store_text(
+        addr_sel in 0usize..1024,
+        // 0: anywhere in text; 1: interior of an assertion block;
+        // 2: a fused-superstep boundary word (first or last of a block).
+        mode in 0u8..3,
+        bit in 0u32..32,
+        warm_div in 2u64..6,
+        chunk in 1u64..96,
+    ) {
+        let inst = instrument_source(CHAIN_SRC).unwrap();
+        prop_assert!(inst.meta.assertion_ranges.len() >= 4);
+
+        // Reference run for the total step count.
+        let mut ref_m = Machine::load(&inst.program, MachineConfig::default());
+        inst.meta.install_fast_path(&mut ref_m);
+        ref_m.spawn_thread(inst.program.entry);
+        ref_m.run(&mut NoSyscalls, 1_000_000);
+        let total = ref_m.total_steps();
+        prop_assert!(ref_m.fused_supersteps() > 10, "chain program must fuse repeatedly");
+        prop_assert!(ref_m.superblock_stats().entered > 0, "chain program must enter blocks");
+
+        let ranges = &inst.meta.assertion_ranges;
+        let addr = match mode {
+            0 => addr_sel % inst.program.len(),
+            1 => {
+                let (start, end) = ranges[addr_sel % ranges.len()];
+                start as usize + addr_sel % (end - start) as usize
+            }
+            _ => {
+                let (start, end) = ranges[addr_sel % ranges.len()];
+                if addr_sel % 2 == 0 { start as usize } else { end as usize - 1 }
+            }
+        };
+        let corrupted = inst.program.text[addr] ^ (1 << bit);
+        let warm_budget = total / warm_div;
+
+        let load = |engine: Engine| {
+            let mut m = Machine::load(
+                &inst.program,
+                MachineConfig { fast_path: engine != Engine::Slow, engine: Some(engine), ..MachineConfig::default() },
+            );
+            if engine != Engine::Slow {
+                inst.meta.install_fast_path(&mut m);
+            }
+            m.spawn_thread(inst.program.entry);
+            m
+        };
+        let mut fast = load(Engine::Superblock);
+        let mut slow = load(Engine::Slow);
+
+        // Warm phase: both engines retire exactly `warm_budget` steps.
+        fast.run(&mut NoSyscalls, warm_budget);
+        slow.run(&mut NoSyscalls, warm_budget);
+        prop_assert_eq!(fast.total_steps(), warm_budget);
+        prop_assert_eq!(slow.total_steps(), warm_budget);
+        prop_assert!(
+            fast.superblock_stats().entered > 0,
+            "warm phase must execute compiled superblocks"
+        );
+
+        // Mid-run injection into the warmed text.
+        fast.store_text(addr, corrupted);
+        slow.store_text(addr, corrupted);
+
+        // Lockstep: drive both engines in `chunk`-step run batches,
+        // comparing all observables after every batch. A budget cutoff
+        // must land both engines on the same instruction.
+        loop {
+            let before = fast.total_steps();
+            let out_fast = fast.run(&mut NoSyscalls, chunk);
+            let retired = fast.total_steps() - before;
+            if retired == 0 {
+                prop_assert_eq!(slow.run(&mut NoSyscalls, chunk), out_fast);
+                break;
+            }
+            let out_slow = slow.run(&mut NoSyscalls, chunk);
+            prop_assert_eq!(slow.total_steps(), fast.total_steps(), "retired-step divergence");
+            prop_assert_eq!(&out_fast, &out_slow, "outcome divergence after store_text");
+            prop_assert_eq!(fast.pc(0), slow.pc(0), "pc divergence");
+            prop_assert_eq!(fast.thread_state(0), slow.thread_state(0), "state divergence");
+            for r in 0..16 {
+                prop_assert_eq!(fast.reg(0, r), slow.reg(0, r), "register divergence");
+            }
+            if !matches!(out_fast, StepOutcome::Executed { .. }) {
+                break;
             }
         }
     }

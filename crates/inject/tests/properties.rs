@@ -28,6 +28,12 @@ proptest! {
         model in arb_model(),
         directed in any::<bool>(),
         fast_path in any::<bool>(),
+        engine in prop_oneof![
+            Just(None),
+            Just(Some(wtnc_isa::Engine::Slow)),
+            Just(Some(wtnc_isa::Engine::Decoded)),
+            Just(Some(wtnc_isa::Engine::Superblock)),
+        ],
         seed in any::<u64>(),
     ) {
         let config = TextCampaignConfig {
@@ -46,6 +52,7 @@ proptest! {
             step_budget: 150_000,
             seed: 0,
             fast_path,
+            engine,
         };
         let outcome = run_one(&config, seed);
         prop_assert!(RunOutcome::ALL.contains(&outcome));

@@ -19,7 +19,51 @@ use serde::{Deserialize, Serialize};
 use crate::decoded::{DecodedCache, FusedPlan, PlanSlot};
 use crate::inst::{decode, Inst};
 use crate::program::Program;
+use crate::superblock::{self, Flow, OpCtx, SuperblockCache, SuperblockStats};
 use crate::ThreadId;
+
+/// Which execution engine [`Machine::run`] dispatches from. All three
+/// are observationally identical — same retired-step counts, exception
+/// PCs/kinds, register files and `peek_next` sequences — and differ
+/// only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Engine {
+    /// The original word-at-a-time interpreter: strict decode on every
+    /// fetch, round-robin scan on every step.
+    Slow,
+    /// PR 4's predecoded cache: decode-once slots, materialized `PCKT`
+    /// tables, fused assertion supersteps, batched dispatch.
+    Decoded,
+    /// The superblock compiler on top of the decoded cache: hot
+    /// straight-line regions run as direct-threaded plans chaining
+    /// instructions and fused supersteps across basic blocks.
+    Superblock,
+}
+
+impl Engine {
+    /// All engines, for A/B matrices.
+    pub const ALL: [Engine; 3] = [Engine::Slow, Engine::Decoded, Engine::Superblock];
+
+    /// Parses the CLI spelling (`slow`/`decoded`/`superblock`).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "slow" => Some(Engine::Slow),
+            "decoded" => Some(Engine::Decoded),
+            "superblock" => Some(Engine::Superblock),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Slow => "slow",
+            Engine::Decoded => "decoded",
+            Engine::Superblock => "superblock",
+        }
+    }
+}
 
 /// Configuration for a [`Machine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,21 +74,37 @@ pub struct MachineConfig {
     /// Maximum size of a PECOS target table; a stored count above this
     /// is treated as a failed assertion (corrupted table).
     pub max_pckt_table: u32,
-    /// Use the predecoded fast path (decoded-instruction cache, sorted
-    /// `PCKT` target tables, fused assertion supersteps). Detection
-    /// semantics are identical either way; `false` keeps the original
-    /// word-at-a-time engine for parity testing and benchmarking.
+    /// Back-compat fast-path switch: `false` selects [`Engine::Slow`],
+    /// `true` (the default) selects the fastest engine unless
+    /// [`MachineConfig::engine`] picks one explicitly.
     #[serde(default = "default_fast_path")]
     pub fast_path: bool,
+    /// Explicit engine selection; `None` derives it from `fast_path`.
+    #[serde(default)]
+    pub engine: Option<Engine>,
 }
 
 fn default_fast_path() -> bool {
     true
 }
 
+impl MachineConfig {
+    /// The engine actually in effect: an explicit [`Self::engine`]
+    /// wins; otherwise `fast_path` maps to superblock (on) or slow
+    /// (off).
+    pub fn effective_engine(&self) -> Engine {
+        self.engine.unwrap_or(if self.fast_path { Engine::Superblock } else { Engine::Slow })
+    }
+}
+
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { data_words: 4_096, max_pckt_table: 1_024, fast_path: default_fast_path() }
+        MachineConfig {
+            data_words: 4_096,
+            max_pckt_table: 1_024,
+            fast_path: default_fast_path(),
+            engine: None,
+        }
     }
 }
 
@@ -158,10 +218,12 @@ pub struct Machine {
     text: Vec<u32>,
     threads: Vec<Thread>,
     config: MachineConfig,
+    engine: Engine,
     next: usize,
     total_steps: u64,
     supersteps: u64,
     cache: DecodedCache,
+    sblocks: SuperblockCache,
 }
 
 impl Machine {
@@ -169,8 +231,10 @@ impl Machine {
     pub fn load(program: &Program, config: MachineConfig) -> Self {
         Machine {
             cache: DecodedCache::new(program.text.len()),
+            sblocks: SuperblockCache::new(program.text.len()),
             text: program.text.clone(),
             threads: Vec::new(),
+            engine: config.effective_engine(),
             config,
             next: 0,
             total_steps: 0,
@@ -205,13 +269,17 @@ impl Machine {
     /// writes.
     pub fn text_mut(&mut self) -> &mut [u32] {
         self.cache.invalidate_all();
+        self.sblocks.invalidate_all();
         &mut self.text
     }
 
     /// Writes one text word (the injector's corruption primitive) and
     /// invalidates exactly the cached state derived from it: the
-    /// word's decoded slot, any fused assertion plan reading it, and
-    /// any materialized `PCKT` table containing it.
+    /// word's decoded slot, any fused assertion plan reading it, any
+    /// materialized `PCKT` table containing it, and every compiled
+    /// superblock whose input words cover it (the superblock cache
+    /// additionally bumps its generation counter, so a stale plan can
+    /// never fire even if it were still indexed).
     ///
     /// # Panics
     ///
@@ -219,6 +287,7 @@ impl Machine {
     pub fn store_text(&mut self, addr: usize, word: u32) {
         self.text[addr] = word;
         self.cache.invalidate_word(addr);
+        self.sblocks.invalidate_word(addr);
     }
 
     /// Registers the PECOS assertion blocks `[start, end)` (with the
@@ -229,6 +298,26 @@ impl Machine {
     /// regions never changes observable behavior, only speed.
     pub fn install_fused_regions(&mut self, ranges: &[(u16, u16)]) {
         self.cache.install_regions(ranges);
+    }
+
+    /// Primes superblock entry PCs to the compile threshold so the
+    /// named addresses compile on first dispatch instead of after the
+    /// warm-up visits ([`Engine::Superblock`] only; a no-op on other
+    /// engines). PECOS seeds its CFI-block heads here.
+    pub fn seed_superblocks(&mut self, entries: &[u16]) {
+        self.sblocks.seed(entries);
+    }
+
+    /// The engine in effect (resolved from the config at load).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Superblock-engine activity: blocks compiled/invalidated/
+    /// entered, steps retired inside blocks, and the resident plans
+    /// with their chain lengths and exit descriptors.
+    pub fn superblock_stats(&self) -> SuperblockStats {
+        self.sblocks.stats()
     }
 
     /// Per-thread data memory (read) — lets parity tests compare final
@@ -352,7 +441,7 @@ impl Machine {
         };
         // Decode — through the predecoded cache on the fast path, so
         // strict decoding runs once per word instead of once per step.
-        let inst = if self.config.fast_path {
+        let inst = if self.engine != Engine::Slow {
             match self.cache.decode_at(pc as usize, word) {
                 Some(i) => i,
                 None => return self.fault(tid, pc, ExceptionKind::IllegalInstruction),
@@ -373,15 +462,21 @@ impl Machine {
     /// Runs until `max_steps` instructions have retired, a thread
     /// faults, or the machine goes idle. Returns the last outcome.
     ///
-    /// On the fast path, an installed assertion block reached by the
-    /// only runnable thread executes as one fused superstep instead of
-    /// instruction by instruction — with identical retired-step
-    /// accounting, register effects, and fault PCs.
+    /// On the fast engines, work reached by the only runnable thread
+    /// is dispatched in descending-granularity order — a compiled
+    /// superblock ([`Engine::Superblock`]), a fused assertion
+    /// superstep, a decoded batch — each declining to the next tier
+    /// whenever its exactness preconditions do not hold, with
+    /// identical retired-step accounting, register effects, and fault
+    /// PCs at every tier.
     pub fn run(&mut self, sys: &mut dyn SyscallHandler, max_steps: u64) -> StepOutcome {
         let mut last = StepOutcome::Idle;
         let mut remaining = max_steps;
         while remaining > 0 {
-            if let Some((out, retired)) = self.try_superstep(remaining) {
+            if let Some((out, retired)) = self.try_superblock(sys, remaining) {
+                remaining -= retired;
+                last = out;
+            } else if let Some((out, retired)) = self.try_superstep(remaining) {
                 remaining -= retired;
                 last = out;
             } else if let Some((out, retired)) = self.run_batch(sys, remaining) {
@@ -411,9 +506,13 @@ impl Machine {
         sys: &mut dyn SyscallHandler,
         remaining: u64,
     ) -> Option<(StepOutcome, u64)> {
-        if !self.config.fast_path {
+        if self.engine == Engine::Slow {
             return None;
         }
+        // The superblock engine also breaks batches after any control
+        // transfer, handing the dispatcher the targets it counts
+        // entries at (and the compiled blocks it enters there).
+        let track_transfers = self.engine == Engine::Superblock;
         let mut runnable =
             self.threads.iter().enumerate().filter(|(_, t)| t.state == ThreadState::Runnable);
         let (tid, _) = runnable.next()?;
@@ -447,6 +546,7 @@ impl Machine {
                 || !matches!(last, StepOutcome::Executed { .. })
                 || self.threads[tid].state != ThreadState::Runnable
                 || self.cache.region_starting_at(self.threads[tid].pc).is_some()
+                || (track_transfers && self.threads[tid].pc != pc.wrapping_add(1))
             {
                 return Some((last, retired));
             }
@@ -465,7 +565,7 @@ impl Machine {
     /// assertion's own divide-by-zero (e.g. a bad stack pointer under
     /// the `ret` block's load) bail out to the slow path.
     fn try_superstep(&mut self, remaining: u64) -> Option<(StepOutcome, u64)> {
-        if !self.config.fast_path || !self.cache.has_regions() {
+        if self.engine == Engine::Slow || !self.cache.has_regions() {
             return None;
         }
         let mut runnable =
@@ -524,6 +624,145 @@ impl Machine {
             th.pc = end - 1;
             Some((self.fault(tid, end - 1, ExceptionKind::DivideByZero), len))
         }
+    }
+
+    /// Attempts to execute compiled superblocks at the sole runnable
+    /// thread's PC, compiling them on the fly once entries are hot.
+    /// Returns the outcome and retired-step count, or `None` to fall
+    /// through to the superstep/batch/step tiers.
+    ///
+    /// Blocks chain: when a block exits with the thread still runnable
+    /// and the next PC has (or earns) a compiled entry that fits the
+    /// remaining budget, the next block runs in the same dispatch —
+    /// whole loops execute without returning to the `run` cascade.
+    /// Chaining is invisible to callers because ops cannot change
+    /// thread states (syscall handlers never see the machine), so the
+    /// sole-runnable precondition holds across the whole chain and the
+    /// intermediate outcomes it skips are exactly the ones `run`
+    /// overwrites anyway.
+    ///
+    /// The exactness preconditions mirror [`Machine::try_superstep`]:
+    /// only the sole runnable thread enters blocks (round-robin
+    /// interleaving unaffected), the remaining budget must cover each
+    /// block's whole weight (budget cutoffs land on the same
+    /// instruction), and an op that cannot reproduce the slow path's
+    /// exception deopts with nothing of it retired.
+    fn try_superblock(
+        &mut self,
+        sys: &mut dyn SyscallHandler,
+        remaining: u64,
+    ) -> Option<(StepOutcome, u64)> {
+        if self.engine != Engine::Superblock {
+            return None;
+        }
+        let mut runnable =
+            self.threads.iter().enumerate().filter(|(_, t)| t.state == ThreadState::Runnable);
+        let (tid, th) = runnable.next()?;
+        if runnable.next().is_some() {
+            return None;
+        }
+        let mut pc = th.pc;
+        let n = self.threads.len();
+        let data_words = self.config.data_words as i64;
+        let mut total_retired: u64 = 0;
+        let mut fused: u64 = 0;
+        let mut entered: u64 = 0;
+        let mut last = StepOutcome::Idle;
+        'chain: loop {
+            if !self.sblocks.has_entry(pc) {
+                if pc as usize >= self.text.len() || !self.sblocks.note_miss(pc) {
+                    break;
+                }
+                let block = superblock::compile(
+                    &mut self.cache,
+                    &self.text,
+                    pc,
+                    self.config.max_pckt_table,
+                    self.sblocks.generation(),
+                );
+                self.sblocks.insert(block);
+            }
+            let Some(block) = self.sblocks.entry_for_exec(pc) else { break };
+            if remaining - total_retired < block.total_steps {
+                break;
+            }
+            let th = &mut self.threads[tid];
+            let mut ctx = OpCtx {
+                regs: &mut th.regs,
+                data: &mut th.data,
+                text: &self.text,
+                sys: &mut *sys,
+                tid,
+                data_words,
+                aux: &block.aux,
+                pc: 0,
+                supersteps: 0,
+            };
+            let mut retired: u64 = 0;
+            let mut ended = false;
+            for op in block.ops.iter() {
+                match (op.exec)(&mut ctx, op) {
+                    Flow::Next => {
+                        retired += u64::from(op.weight);
+                        last = StepOutcome::Executed { thread: tid, pc: op.out_pc };
+                    }
+                    Flow::Done => {
+                        retired += u64::from(op.weight);
+                        last = StepOutcome::Executed { thread: tid, pc: op.out_pc };
+                        th.pc = ctx.pc;
+                        ended = true;
+                        break;
+                    }
+                    Flow::Halt => {
+                        retired += u64::from(op.weight);
+                        last = StepOutcome::Executed { thread: tid, pc: op.out_pc };
+                        th.pc = op.pc;
+                        th.state = ThreadState::Halted;
+                        ended = true;
+                        break;
+                    }
+                    Flow::Fault(fpc, kind) => {
+                        retired += u64::from(op.weight);
+                        last = StepOutcome::Exception(ExceptionInfo { thread: tid, pc: fpc, kind });
+                        th.pc = fpc;
+                        th.state = ThreadState::Faulted(kind);
+                        ended = true;
+                        break;
+                    }
+                    Flow::Deopt => {
+                        // Nothing of this op retired; the word-at-a-time
+                        // path takes over at its PC.
+                        th.pc = op.pc;
+                        fused += ctx.supersteps;
+                        total_retired += retired;
+                        if retired > 0 {
+                            entered += 1;
+                        }
+                        break 'chain;
+                    }
+                }
+            }
+            if !ended {
+                th.pc = block.fallthrough;
+            }
+            fused += ctx.supersteps;
+            total_retired += retired;
+            entered += 1;
+            if th.state != ThreadState::Runnable || !matches!(last, StepOutcome::Executed { .. }) {
+                break;
+            }
+            pc = th.pc;
+        }
+        if total_retired == 0 {
+            return None; // first op of the first block deopted, or cold entry
+        }
+        self.threads[tid].steps += total_retired;
+        self.next = (tid + 1) % n;
+        self.total_steps += total_retired;
+        self.supersteps += fused;
+        self.sblocks.entered += entered;
+        self.sblocks.block_steps += total_retired;
+        Some((last, total_retired))
     }
 
     /// Membership result for a fused table check, or `None` when the
@@ -713,7 +952,7 @@ impl Machine {
             }
             Inst::Pckt { rs, table } => {
                 let value = r(&th!(), rs) as u32;
-                if self.config.fast_path {
+                if self.engine != Engine::Slow {
                     // Binary search over the materialized sorted table;
                     // build-time faults were cached in slow-path order.
                     let entry = self.cache.table(&self.text, table, self.config.max_pckt_table);
@@ -992,5 +1231,124 @@ mod tests {
         assert_eq!(m.step(&mut NoSyscalls), StepOutcome::Idle);
         assert!(!m.has_runnable());
         assert_eq!(m.peek_next(), None);
+    }
+
+    const LOOP_SRC: &str = "
+    start:
+        movi r9, 5
+    loop:
+        addi r9, r9, -1
+        add  r1, r1, r9
+        bne  r9, r0, loop
+        halt
+    ";
+
+    /// The breakpoint contract under superblock batching: between
+    /// `run` batches of any size, `peek_next` must observe the same
+    /// (thread, pc) sequence on every engine — the injector arms its
+    /// breakpoints on exactly this view.
+    #[test]
+    fn peek_next_sequence_identical_across_engines_between_run_batches() {
+        let p = assemble_source(LOOP_SRC).unwrap();
+        let budgets = [1u64, 2, 3, 5, 7, 16, 31, 4, 9];
+        for threads in [1usize, 2] {
+            let drive = |engine: Engine| {
+                let mut m = Machine::load(
+                    &p,
+                    MachineConfig { engine: Some(engine), ..MachineConfig::default() },
+                );
+                for _ in 0..threads {
+                    m.spawn_thread(0);
+                }
+                let mut seq = Vec::new();
+                let mut i = 0;
+                loop {
+                    seq.push(m.peek_next());
+                    let out = m.run(&mut NoSyscalls, budgets[i % budgets.len()]);
+                    if matches!(out, StepOutcome::Idle) {
+                        break;
+                    }
+                    i += 1;
+                    assert!(i < 10_000, "runaway run: {out:?}");
+                }
+                seq.push(m.peek_next());
+                (seq, m.total_steps())
+            };
+            let slow = drive(Engine::Slow);
+            assert_eq!(drive(Engine::Decoded), slow, "decoded diverged ({threads} threads)");
+            assert_eq!(drive(Engine::Superblock), slow, "superblock diverged ({threads} threads)");
+        }
+    }
+
+    #[test]
+    fn superblock_stats_report_compiled_blocks() {
+        let p = assemble_source(LOOP_SRC).unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        assert_eq!(m.engine(), Engine::Superblock, "fast_path default resolves to superblock");
+        m.spawn_thread(0);
+        m.run(&mut NoSyscalls, 1_000);
+        let stats = m.superblock_stats();
+        assert!(stats.compiled > 0, "hot loop must compile");
+        assert!(stats.entered > 0 && stats.block_steps > 0);
+        assert!(!stats.blocks.is_empty());
+        assert!(stats.blocks.iter().all(|b| b.ops > 0 && b.steps > 0 && !b.exit.is_empty()));
+    }
+
+    #[test]
+    fn store_text_invalidates_overlapping_superblocks() {
+        let p = assemble_source(LOOP_SRC).unwrap();
+        let mut m = Machine::load(&p, MachineConfig::default());
+        m.spawn_thread(0);
+        // Warm enough for the loop-head entry to get hot, compile and
+        // enter (two batch dispatches reach it twice, the third enters
+        // the compiled block), without finishing the program.
+        m.run(&mut NoSyscalls, 10);
+        let warm = m.superblock_stats();
+        assert!(!warm.blocks.is_empty(), "warm phase must leave resident blocks");
+        let covered = warm.blocks[0].entry as usize; // entry word overlaps its own block
+        m.store_text(covered, p.text[covered]);
+        let after = m.superblock_stats();
+        assert!(after.invalidated > warm.invalidated, "overlapping block must be discarded");
+        assert!(!after.blocks.iter().any(|b| b.entry as usize == covered));
+        // The machine recompiles and still finishes correctly.
+        let out = m.run(&mut NoSyscalls, 1_000);
+        assert_eq!(out, StepOutcome::Idle);
+        assert_eq!(m.reg(0, 1).unwrap(), 4 + 3 + 2 + 1);
+        assert!(m.superblock_stats().compiled > after.compiled);
+    }
+
+    #[test]
+    fn seed_superblocks_compiles_on_first_dispatch() {
+        let p = assemble_source(LOOP_SRC).unwrap();
+        // Unseeded: the entry must get hot first, so nothing compiles
+        // at the very first dispatch.
+        let mut cold = Machine::load(&p, MachineConfig::default());
+        cold.spawn_thread(0);
+        cold.run(&mut NoSyscalls, 1);
+        assert_eq!(cold.superblock_stats().compiled, 0);
+        // Seeded: compiled and entered on the very first dispatch (the
+        // budget exactly covers the 4-step entry block).
+        let mut hot = Machine::load(&p, MachineConfig::default());
+        hot.seed_superblocks(&[0]);
+        hot.spawn_thread(0);
+        hot.run(&mut NoSyscalls, 4);
+        let stats = hot.superblock_stats();
+        assert_eq!(stats.compiled, 1);
+        assert!(stats.entered >= 1);
+    }
+
+    #[test]
+    fn engine_parse_names_and_precedence() {
+        for engine in Engine::ALL {
+            assert_eq!(Engine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(Engine::parse("warp"), None);
+        let explicit =
+            MachineConfig { fast_path: true, engine: Some(Engine::Slow), ..Default::default() };
+        assert_eq!(explicit.effective_engine(), Engine::Slow, "explicit engine wins");
+        let legacy_fast = MachineConfig { fast_path: true, engine: None, ..Default::default() };
+        assert_eq!(legacy_fast.effective_engine(), Engine::Superblock);
+        let legacy_slow = MachineConfig { fast_path: false, engine: None, ..Default::default() };
+        assert_eq!(legacy_slow.effective_engine(), Engine::Slow);
     }
 }

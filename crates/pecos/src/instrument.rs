@@ -90,11 +90,15 @@ impl PecosMeta {
     }
 
     /// Installs the machine-side PECOS fast path: registers every
-    /// assertion block as a fused-superstep candidate. Purely an
-    /// optimization — detection semantics are identical with or
-    /// without it.
+    /// assertion block as a fused-superstep candidate and seeds the
+    /// superblock compiler at every CFI-block head, so the hot
+    /// instrumented regions compile on first execution instead of
+    /// after the warm-up threshold. Purely an optimization — detection
+    /// semantics are identical with or without it.
     pub fn install_fast_path(&self, machine: &mut Machine) {
         machine.install_fused_regions(&self.assertion_ranges);
+        let heads: Vec<u16> = self.assertion_ranges.iter().map(|&(start, _)| start).collect();
+        machine.seed_superblocks(&heads);
     }
 
     /// Fractional size overhead of the instrumentation.
