@@ -48,12 +48,19 @@ USAGE:
     wtnc supervise                         hang/crash -> detect -> steal
                                            locks -> warm-restart demo
     wtnc store checkpoint [--dir D] [--seed N] [--mutations N]
+                          [--delta] [--full-every N]
                                            journal a seeded workload and
-                                           cut a golden checkpoint
+                                           cut a checkpoint; --delta
+                                           writes dirty-block deltas
+                                           against a periodic full image
     wtnc store replay [--dir D]            warm recovery: newest valid
-                                           checkpoint + journal tail
+                                           checkpoint, folded deltas,
+                                           journal tail
     wtnc store verify [--dir D]            read-only integrity screen of
                                            a store directory
+    wtnc store compact [--dir D]           rotate the journal, dropping
+                                           records the newest checkpoint
+                                           already covers
     wtnc campaign db [--runs N] [--no-audit] [--no-incremental]
                      [--audit-workers N]
     wtnc campaign text [--runs N] [--directed]
@@ -561,13 +568,20 @@ fn print_store_findings(findings: &[wtnc::store::StoreFinding]) {
     }
 }
 
-/// `wtnc store <checkpoint|replay|verify> [--dir D] [--seed N]
-/// [--mutations N]`
+/// `wtnc store <checkpoint|replay|verify|compact> [--dir D] [--seed N]
+/// [--mutations N] [--delta] [--full-every N]`
 pub fn store(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse(args)?;
     let seed: u64 = flag_num(&flags, "seed", 0x00C0_FFEE)?;
     let mutations: usize = flag_num(&flags, "mutations", 64)?;
-    let config = StoreConfig::default();
+    // `--delta` switches on incremental checkpoints (every 4th full by
+    // default); `--full-every N` picks the full-image period directly.
+    let default_period = if flags.contains_key("delta") { 4 } else { 1 };
+    let full_every: u32 = flag_num(&flags, "full-every", default_period)?;
+    if full_every == 0 {
+        return Err("--full-every expects a period of at least 1".into());
+    }
+    let config = StoreConfig { full_every, ..StoreConfig::default() };
     // Without --dir the command runs against a scratch directory that
     // is seeded with a small history and removed on exit.
     let scratch;
@@ -609,12 +623,43 @@ pub fn store(args: &[String]) -> Result<(), String> {
             println!("journaled {mutations} mutation step(s), cut checkpoint at generation {gen}");
             println!("golden history ({} checkpoint(s)):", store.chain().len());
             for entry in store.chain() {
-                println!("  gen {:>6}  digest {:016x}", entry.gen, entry.digest);
+                match entry.kind {
+                    wtnc::store::CheckpointKind::Full => {
+                        println!("  gen {:>6}  full   digest {:016x}", entry.gen, entry.digest)
+                    }
+                    wtnc::store::CheckpointKind::Delta => println!(
+                        "  gen {:>6}  delta  digest {:016x}  (base gen {})",
+                        entry.gen, entry.digest, entry.base_gen
+                    ),
+                }
             }
+            let stats = store.stats();
             println!(
-                "journal: {} record(s), {} byte(s)",
-                store.journal_records(),
-                store.journal_bytes()
+                "journal: {} record(s), {} byte(s); checkpoints this session: {} full, {} delta",
+                stats.journal_records,
+                stats.journal_bytes,
+                stats.full_checkpoints,
+                stats.delta_checkpoints
+            );
+            Ok(())
+        }
+        ["compact"] => {
+            let mut store = Store::open(&dir, config).map_err(|e| e.to_string())?;
+            if !store.has_state() {
+                return Err(format!("{} holds no checkpoints or journal", dir.display()));
+            }
+            let before = store.journal_bytes();
+            let reclaimed = store.compact().map_err(|e| e.to_string())?;
+            let stats = store.stats();
+            println!(
+                "journal compaction: {reclaimed} byte(s) reclaimed ({before} -> {} byte(s)), \
+                 records at or below generation {} dropped",
+                stats.journal_bytes, stats.compacted_through
+            );
+            println!(
+                "journal now holds {} record(s); the retained suffix only replays onto \
+                 checkpoints at or past the horizon",
+                stats.journal_records
             );
             Ok(())
         }
@@ -654,8 +699,8 @@ pub fn store(args: &[String]) -> Result<(), String> {
             print_store_findings(&findings);
             Ok(())
         }
-        _ => Err("usage: wtnc store <checkpoint|replay|verify> [--dir D] [--seed N] \
-             [--mutations N]"
+        _ => Err("usage: wtnc store <checkpoint|replay|verify|compact> [--dir D] [--seed N] \
+             [--mutations N] [--delta] [--full-every N]"
             .into()),
     }
 }
@@ -929,6 +974,28 @@ mod tests {
         let scratch = ScratchDir::new("cli-store-empty");
         let dir = scratch.path().to_str().unwrap().to_string();
         assert!(store(&strings(&["replay", "--dir", &dir])).is_err());
+        assert!(store(&strings(&["compact", "--dir", &dir])).is_err());
+    }
+
+    #[test]
+    fn store_delta_checkpoints_compact_and_replay() {
+        let scratch = ScratchDir::new("cli-store-delta");
+        let dir = scratch.path().to_str().unwrap().to_string();
+        // Four checkpoints under --delta: the first cuts the full base
+        // image, the rest ride as dirty-block deltas (recovery re-warms
+        // the lineage across invocations).
+        for _ in 0..4 {
+            store(&strings(&["checkpoint", "--dir", &dir, "--delta", "--mutations", "8"])).unwrap();
+        }
+        let deltas = std::fs::read_dir(scratch.path())
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "delta"))
+            .count();
+        assert_eq!(deltas, 3, "--delta writes incremental checkpoints");
+        store(&strings(&["compact", "--dir", &dir])).unwrap();
+        store(&strings(&["replay", "--dir", &dir, "--delta"])).unwrap();
+        store(&strings(&["verify", "--dir", &dir])).unwrap();
+        assert!(store(&strings(&["checkpoint", "--dir", &dir, "--full-every", "0"])).is_err());
     }
 
     #[test]

@@ -61,7 +61,20 @@ use wtnc_audit::{AuditElementKind, Finding, FindingTarget, RecoveryAction};
 use wtnc_db::{Database, DbApi, DbError, TableDef, TaintEntry, TaintFate};
 use wtnc_recovery::{CycleOutcome, RecoveryConfig, RecoveryEngine};
 use wtnc_sim::{Pid, ProcessRegistry, SimTime};
-use wtnc_store::{RecoveryInfo, Store, StoreConfig, StoreError, StoreFindingKind};
+use wtnc_store::{RecoveryInfo, Store, StoreConfig, StoreError, StoreFindingKind, StoreStats};
+
+/// One store sync's outcome plus the store's running size counters —
+/// the durable layer's analogue of the audit executor's `ExecSummary`:
+/// a small copy-out struct the harness can log every cycle without
+/// poking at store internals.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreSyncReport {
+    /// Journal records persisted by this sync.
+    pub records: usize,
+    /// The store's journal size and checkpoint/compaction counters
+    /// after the sync.
+    pub stats: StoreStats,
+}
 
 /// The assembled controller node: database, client API, process
 /// registry, and (optionally) the manager-supervised audit process.
@@ -196,15 +209,34 @@ impl Controller {
         self.last_recovery.as_ref()
     }
 
-    /// Drains captured mutations into the journal. Returns the number
-    /// of records persisted, or `None` when no store is attached.
+    /// Drains captured mutations into the journal. Returns how many
+    /// records were persisted plus the store's running size and
+    /// compaction counters (the durable layer's analogue of the audit
+    /// executor's `ExecSummary`), or `None` when no store is attached.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] if the journal append fails.
-    pub fn sync_store(&mut self) -> Result<Option<usize>, StoreError> {
+    pub fn sync_store(&mut self) -> Result<Option<StoreSyncReport>, StoreError> {
         match self.durable.as_mut() {
-            Some(store) => Ok(Some(store.sync(&mut self.db)?)),
+            Some(store) => {
+                let records = store.sync(&mut self.db)?;
+                Ok(Some(StoreSyncReport { records, stats: store.stats() }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Compacts the attached store's journal past the newest
+    /// checkpoint. Returns the bytes reclaimed, or `None` when no
+    /// store is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the rotation fails.
+    pub fn compact_store(&mut self) -> Result<Option<u64>, StoreError> {
+        match self.durable.as_mut() {
+            Some(store) => Ok(Some(store.compact()?)),
             None => Ok(None),
         }
     }
@@ -241,21 +273,34 @@ impl Controller {
         };
         store.sync(&mut self.db)?;
         let store_findings = store.storage_audit(&self.db)?;
-        let durable_golden = store.durable_golden()?;
+        let durable_golden = store.durable_golden_detail()?;
         let block = store.config().block_size.max(1);
         let mut findings = Vec::with_capacity(store_findings.len());
         for f in store_findings {
             let mut action = RecoveryAction::Flagged;
             let mut target = None;
+            let mut detail = f.to_string();
             if f.kind == StoreFindingKind::GoldenDivergence {
-                if let (Some(offset), Some((_, golden))) = (f.offset, durable_golden.as_ref()) {
+                if let (Some(offset), Some(durable)) = (f.offset, durable_golden.as_ref()) {
                     let offset = offset as usize;
-                    let end = (offset + block).min(golden.len());
+                    let end = (offset + block).min(durable.golden.len());
                     if offset < end
-                        && self.db.restore_golden_range(offset, &golden[offset..end]).is_ok()
+                        && self
+                            .db
+                            .restore_golden_range(offset, &durable.golden[offset..end])
+                            .is_ok()
                     {
                         action = RecoveryAction::ReloadedRange { offset, len: end - offset };
                         target = Some(FindingTarget::Range { offset, len: end - offset });
+                        // How the repair bytes were authenticated:
+                        // checkpoint-pure blocks carry a Merkle path to
+                        // the sealed root; journal-overlaid blocks are
+                        // vouched only by their records' CRC framing.
+                        detail.push_str(if durable.is_attested(offset) {
+                            " [repair source merkle-attested]"
+                        } else {
+                            " [repair source journal-overlaid]"
+                        });
                     }
                 }
             }
@@ -264,7 +309,7 @@ impl Controller {
                 at: now,
                 table: None,
                 record: None,
-                detail: f.to_string(),
+                detail,
                 action,
                 target,
                 caught: Vec::new(),
@@ -401,10 +446,17 @@ impl Controller {
         if let Some(store) = self.durable.as_mut() {
             let source = store
                 .sync(&mut self.db)
-                .and_then(|_| store.durable_golden())
+                .and_then(|_| store.durable_golden_detail())
                 .ok()
                 .flatten()
-                .map(|(gen, golden)| wtnc_recovery::DiskGoldenSource::new(gen, golden));
+                .map(|d| {
+                    wtnc_recovery::DiskGoldenSource::with_attestation(
+                        d.base_gen,
+                        d.golden,
+                        d.attested,
+                        d.block_size,
+                    )
+                });
             if let Some(engine) = self.recovery.as_mut() {
                 engine.set_disk_source(source);
             }

@@ -128,6 +128,14 @@ pub struct Database {
     alloc_hints: Vec<u32>,
     /// Per-block dirty bitmap, marked by every region mutation.
     dirty: DirtyTracker,
+    /// Checkpoint-dirty bitmap over `region ‖ golden` (golden bytes at
+    /// offset `region_len`). Unlike [`Database::dirty`], whose bits
+    /// audits clear as blocks *verify* clean, these bits accumulate
+    /// every mutation since the last checkpoint and are cleared only
+    /// by [`Database::clear_checkpoint_dirty`] once a checkpoint has
+    /// durably sealed them — the consumption hook for delta
+    /// checkpoints.
+    ckpt_dirty: DirtyTracker,
     /// Monotonic mutation counter; bumped once per region mutation.
     global_gen: u64,
     /// Per-table generation: `global_gen` at the table's last mutation.
@@ -184,6 +192,10 @@ impl Database {
         let golden = region.clone();
         let alloc_hints = vec![0; catalog.table_count()];
         let dirty = DirtyTracker::new(region.len(), DIRTY_BLOCK_SIZE);
+        // A freshly built image has never been checkpointed: everything
+        // is checkpoint-dirty until the first (full) checkpoint seals it.
+        let mut ckpt_dirty = DirtyTracker::new(region.len() * 2, DIRTY_BLOCK_SIZE);
+        ckpt_dirty.mark_all();
         let table_gen = vec![0u64; catalog.table_count()];
         let record_gen =
             catalog.tables().map(|tm| vec![0u64; tm.def.record_count as usize]).collect();
@@ -196,6 +208,7 @@ impl Database {
             taint: TaintMap::new(),
             alloc_hints,
             dirty,
+            ckpt_dirty,
             global_gen: 0,
             table_gen,
             record_gen,
@@ -267,6 +280,7 @@ impl Database {
             return;
         }
         self.dirty.mark_range(offset, len);
+        self.ckpt_dirty.mark_range(offset, len);
         self.global_gen += 1;
         let gen = self.global_gen;
         let end = offset.saturating_add(len);
@@ -328,6 +342,8 @@ impl Database {
         self.check_bounds(m.offset, m.bytes.len())?;
         let target = if m.golden { &mut self.golden } else { &mut self.region };
         target[m.offset..m.offset + m.bytes.len()].copy_from_slice(&m.bytes);
+        let ckpt_off = if m.golden { self.region.len() + m.offset } else { m.offset };
+        self.ckpt_dirty.mark_range(ckpt_off, m.bytes.len());
         if !m.golden {
             self.dirty.mark_range(m.offset, m.bytes.len());
             let end = m.offset + m.bytes.len();
@@ -376,6 +392,9 @@ impl Database {
         self.region.copy_from_slice(region);
         self.golden.copy_from_slice(golden);
         self.dirty.mark_range(0, self.region.len());
+        // The loaded image may differ arbitrarily from whatever the
+        // last checkpoint sealed.
+        self.ckpt_dirty.mark_all();
         self.global_gen = gen;
         for t in &mut self.table_gen {
             *t = gen;
@@ -401,6 +420,21 @@ impl Database {
     /// else should clear them.
     pub fn dirty_mut(&mut self) -> &mut DirtyTracker {
         &mut self.dirty
+    }
+
+    /// The checkpoint-dirty bitmap over `region ‖ golden` (golden
+    /// bytes at offset [`Database::region_len`]): every block mutated
+    /// since the last [`Database::clear_checkpoint_dirty`]. Delta
+    /// checkpoints persist exactly these blocks.
+    pub fn checkpoint_dirty(&self) -> &DirtyTracker {
+        &self.ckpt_dirty
+    }
+
+    /// Clears the checkpoint-dirty bitmap. Called by the store only
+    /// after a checkpoint covering the dirty blocks is durably on disk
+    /// (written, synced, renamed into place).
+    pub fn clear_checkpoint_dirty(&mut self) {
+        self.ckpt_dirty.clear_all();
     }
 
     /// The global mutation generation: bumped once per region
@@ -529,6 +563,7 @@ impl Database {
     /// would resurrect pre-reconfiguration values.
     pub(crate) fn commit_golden(&mut self, offset: usize, len: usize) {
         self.golden[offset..offset + len].copy_from_slice(&self.region[offset..offset + len]);
+        self.ckpt_dirty.mark_range(self.region.len() + offset, len);
         if let Some(buf) = self.capture.as_mut() {
             buf.push(CapturedMutation {
                 gen: self.global_gen,
@@ -553,6 +588,7 @@ impl Database {
     pub fn restore_golden_range(&mut self, offset: usize, bytes: &[u8]) -> Result<(), DbError> {
         self.check_bounds(offset, bytes.len())?;
         self.golden[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.ckpt_dirty.mark_range(self.region.len() + offset, bytes.len());
         if let Some(buf) = self.capture.as_mut() {
             buf.push(CapturedMutation {
                 gen: self.global_gen,

@@ -50,16 +50,27 @@ pub enum PowerFailModel {
     /// A historical checkpoint is deleted, breaking the golden-image
     /// hash chain.
     ChainBreak,
+    /// Power fails while a *delta* checkpoint is being written: the
+    /// workload runs with `full_every = 3` and the newest `.delta`
+    /// file is truncated at a random byte. Recovery must fall back to
+    /// an earlier candidate and let the journal carry it forward.
+    TornDeltaCheckpoint,
+    /// Power fails in the middle of a journal compaction: the store is
+    /// compacted mid-run, then the crash leaves a half-written
+    /// rotation tmp file next to a journal torn inside a record.
+    CompactionCrash,
 }
 
 impl PowerFailModel {
     /// Every model, in campaign-table order.
-    pub const ALL: [PowerFailModel; 5] = [
+    pub const ALL: [PowerFailModel; 7] = [
         PowerFailModel::TornCheckpoint,
         PowerFailModel::JournalTruncation,
         PowerFailModel::JournalCorruption,
         PowerFailModel::StaleCheckpoint,
         PowerFailModel::ChainBreak,
+        PowerFailModel::TornDeltaCheckpoint,
+        PowerFailModel::CompactionCrash,
     ];
 
     /// Stable snake_case name (JSON column key).
@@ -70,6 +81,21 @@ impl PowerFailModel {
             PowerFailModel::JournalCorruption => "journal_corruption",
             PowerFailModel::StaleCheckpoint => "stale_checkpoint",
             PowerFailModel::ChainBreak => "chain_break",
+            PowerFailModel::TornDeltaCheckpoint => "torn_delta_checkpoint",
+            PowerFailModel::CompactionCrash => "compaction_crash",
+        }
+    }
+
+    /// Store configuration the model's workload runs under: the delta
+    /// and compaction models exercise the incremental checkpoint path
+    /// (`full_every = 3`), the original five keep the always-full
+    /// default.
+    fn store_config(self) -> StoreConfig {
+        match self {
+            PowerFailModel::TornDeltaCheckpoint | PowerFailModel::CompactionCrash => {
+                StoreConfig { full_every: 3, ..StoreConfig::default() }
+            }
+            _ => StoreConfig::default(),
         }
     }
 }
@@ -261,6 +287,40 @@ fn mutilate(dir: &std::path::Path, model: PowerFailModel, rng: &mut SimRng) {
                 if ckpts.len() > 1 { &ckpts[rng.index(ckpts.len() - 1)] } else { &ckpts[0] };
             std::fs::remove_file(victim).expect("delete checkpoint");
         }
+        PowerFailModel::TornDeltaCheckpoint => {
+            let mut deltas: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+                .expect("store dir")
+                .map(|e| e.expect("dir entry").path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .and_then(wtnc_store::parse_delta_file_name)
+                        .is_some()
+                })
+                .collect();
+            deltas.sort();
+            let path = deltas.last().expect("at least one delta checkpoint");
+            let bytes = std::fs::read(path).expect("read delta");
+            let cut = rng.index(bytes.len().max(1));
+            std::fs::write(path, &bytes[..cut]).expect("truncate delta");
+        }
+        PowerFailModel::CompactionCrash => {
+            // Crash mid-rotation: a half-written tmp journal stranded
+            // next to the live one, whose own tail is torn inside a
+            // record (the append that raced the rotation).
+            std::fs::write(dir.join(wtnc_store::JOURNAL_TMP_FILE), b"half-written rotation")
+                .expect("strand tmp journal");
+            let bytes = std::fs::read(&journal_path).expect("read journal");
+            let bounds = record_boundaries(&bytes);
+            if bounds.len() > 1 {
+                let rec = rng.index(bounds.len() - 1);
+                let (start, end) = (bounds[rec], bounds[rec + 1]);
+                let cut = start + 1 + rng.index(end - start - 1);
+                std::fs::write(&journal_path, &bytes[..cut]).expect("truncate journal");
+            } else {
+                std::fs::write(&journal_path, &bytes[..bytes.len() / 2]).expect("truncate journal");
+            }
+        }
     }
 }
 
@@ -269,7 +329,7 @@ fn mutilate(dir: &std::path::Path, model: PowerFailModel, rng: &mut SimRng) {
 pub fn run_once(config: &PowerFailConfig, seed: u64) -> PowerFailRunResult {
     let mut rng = SimRng::seed_from(seed);
     let scratch = ScratchDir::new(&format!("powerfail-{seed:016x}"));
-    let store_config = StoreConfig::default();
+    let store_config = config.model.store_config();
 
     // Phase 1: the journaled workload, with the harness shadow-applying
     // every captured record to build the timeline of consistent states.
@@ -301,6 +361,14 @@ pub fn run_once(config: &PowerFailConfig, seed: u64) -> PowerFailRunResult {
             if step % config.checkpoint_every.max(1) == 0 {
                 drain(&mut db, &mut store, &mut journal_records);
                 store.checkpoint(&mut db).expect("checkpoint");
+                // The compaction-crash model compacts mid-run (at the
+                // second checkpoint) so the later crash tears a journal
+                // that has already been rotated once.
+                if config.model == PowerFailModel::CompactionCrash
+                    && step == config.checkpoint_every.max(1) * 2
+                {
+                    store.compact().expect("compact");
+                }
             }
         }
         drain(&mut db, &mut store, &mut journal_records);
@@ -388,7 +456,7 @@ mod tests {
     fn no_model_produces_a_silent_corruption_across_100_runs() {
         let mut total = PowerFailCampaignResult::default();
         for model in PowerFailModel::ALL {
-            let r = run_campaign(&config(model), 20);
+            let r = run_campaign(&config(model), 15);
             assert_eq!(
                 r.outcomes.count(RunOutcome::FailSilenceViolation),
                 0,
@@ -397,8 +465,8 @@ mod tests {
             total.injected += r.injected;
             total.outcomes.merge(&r.outcomes);
         }
-        assert_eq!(total.injected, 100);
-        assert_eq!(total.outcomes.total(), 100);
+        assert_eq!(total.injected, 105);
+        assert_eq!(total.outcomes.total(), 105);
         assert_eq!(total.outcomes.count(RunOutcome::FailSilenceViolation), 0);
     }
 
@@ -408,6 +476,32 @@ mod tests {
         assert_eq!(r.exact_recoveries, 8, "the full journal carries an old golden forward");
         assert_eq!(r.outcomes.count(RunOutcome::AuditDetection), 8);
         assert!(r.findings >= 16, "MAC mismatch + stale fallback per run: {}", r.findings);
+    }
+
+    #[test]
+    fn torn_delta_checkpoints_fall_back_and_recover_exactly() {
+        let r = run_campaign(&config(PowerFailModel::TornDeltaCheckpoint), 8);
+        assert_eq!(r.outcomes.count(RunOutcome::FailSilenceViolation), 0);
+        assert_eq!(
+            r.exact_recoveries, 8,
+            "the intact journal carries the fallback base forward: {:?}",
+            r.outcomes
+        );
+        assert_eq!(r.outcomes.count(RunOutcome::AuditDetection), 8, "every torn delta reported");
+    }
+
+    #[test]
+    fn compaction_crashes_recover_a_reported_prefix() {
+        let r = run_campaign(&config(PowerFailModel::CompactionCrash), 8);
+        assert_eq!(r.outcomes.count(RunOutcome::FailSilenceViolation), 0);
+        assert_eq!(
+            r.outcomes.count(RunOutcome::DetectedRepaired)
+                + r.outcomes.count(RunOutcome::AuditDetection),
+            8,
+            "every mid-compaction crash is reported: {:?}",
+            r.outcomes
+        );
+        assert!(r.findings >= 8);
     }
 
     #[test]

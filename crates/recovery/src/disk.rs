@@ -18,17 +18,57 @@ use wtnc_db::Database;
 pub struct DiskGoldenSource {
     base_gen: u64,
     golden: Vec<u8>,
+    /// Per-block Merkle attestation from the store: `true` when the
+    /// block's bytes were authenticated against the checkpoint's
+    /// sealed root via an authentication path, `false` for blocks
+    /// overlaid from (CRC-framed but tree-external) journal records.
+    /// Empty when the source was built without attestation.
+    attested: Vec<bool>,
+    /// Block granularity of `attested` (0 = no attestation info).
+    block_size: usize,
 }
 
 impl DiskGoldenSource {
-    /// Wraps a durable golden image reconstructed at `base_gen`.
+    /// Wraps a durable golden image reconstructed at `base_gen`,
+    /// without per-block attestation info.
     pub fn new(base_gen: u64, golden: Vec<u8>) -> Self {
-        DiskGoldenSource { base_gen, golden }
+        DiskGoldenSource { base_gen, golden, attested: Vec::new(), block_size: 0 }
+    }
+
+    /// Wraps a durable golden image plus the store's per-block Merkle
+    /// attestation bitmap (`block_size`-byte granularity).
+    pub fn with_attestation(
+        base_gen: u64,
+        golden: Vec<u8>,
+        attested: Vec<bool>,
+        block_size: usize,
+    ) -> Self {
+        DiskGoldenSource { base_gen, golden, attested, block_size }
     }
 
     /// Generation of the checkpoint the image was reconstructed from.
     pub fn base_gen(&self) -> u64 {
         self.base_gen
+    }
+
+    /// Whether the block containing golden byte `offset` was
+    /// Merkle-path-verified against the checkpoint's sealed root
+    /// (`false` for journal-overlaid blocks or when the source carries
+    /// no attestation info).
+    pub fn is_attested(&self, offset: usize) -> bool {
+        if self.block_size == 0 {
+            return false;
+        }
+        self.attested.get(offset / self.block_size).copied().unwrap_or(false)
+    }
+
+    /// Fraction of blocks with a verified authentication path (0.0
+    /// when the source carries no attestation info).
+    pub fn attested_fraction(&self) -> f64 {
+        if self.attested.is_empty() {
+            return 0.0;
+        }
+        self.attested.iter().filter(|&&a| a).count() as f64 / self.attested.len() as f64
     }
 
     /// Length of the golden image in bytes.
@@ -87,5 +127,22 @@ mod tests {
         // Out of bounds: refused, not panicked.
         let len = db.region_len();
         assert_eq!(disk.refresh_range(&mut db, len, 8), 0);
+    }
+
+    #[test]
+    fn attestation_bitmap_answers_per_offset() {
+        let golden = vec![0u8; 1024];
+        let plain = DiskGoldenSource::new(1, golden.clone());
+        assert!(!plain.is_attested(0));
+        assert_eq!(plain.attested_fraction(), 0.0);
+
+        let disk =
+            DiskGoldenSource::with_attestation(1, golden, vec![true, false, true, true], 256);
+        assert!(disk.is_attested(0));
+        assert!(disk.is_attested(255));
+        assert!(!disk.is_attested(256));
+        assert!(disk.is_attested(512));
+        assert!(!disk.is_attested(4096), "past the bitmap reads unattested");
+        assert!((disk.attested_fraction() - 0.75).abs() < 1e-9);
     }
 }

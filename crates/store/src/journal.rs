@@ -9,11 +9,15 @@
 //!
 //! `kind` 1 is a region write, `kind` 2 a golden-image commit — the
 //! two mutation classes produced by `wtnc-db`'s unified capture hook
-//! ([`CapturedMutation`]). The framing makes the journal
-//! self-describing under power failure: a torn tail (fewer bytes than
-//! the frame claims) or a corrupt record (CRC mismatch) cuts replay at
-//! the last valid prefix, and the damage is reported instead of a
-//! partial record ever being applied.
+//! ([`CapturedMutation`]). `kind` 3 is a **compaction marker**: when
+//! the journal is rotated after a checkpoint seals generation G, the
+//! rotated file starts with a marker carrying `gen = G`, recording
+//! that records with `gen ≤ G` were reclaimed (recovery must not
+//! replay across that horizon from an older base image). The framing
+//! makes the journal self-describing under power failure: a torn tail
+//! (fewer bytes than the frame claims) or a corrupt record (CRC
+//! mismatch) cuts replay at the last valid prefix, and the damage is
+//! reported instead of a partial record ever being applied.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -22,6 +26,10 @@ use wtnc_db::{crc32, CapturedMutation};
 
 /// File name of the journal within a store directory.
 pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Temporary file used while rotating the journal during compaction;
+/// atomically renamed over [`JOURNAL_FILE`] once fully synced.
+pub const JOURNAL_TMP_FILE: &str = "journal.wal.tmp";
 
 /// Frame header size: length prefix + CRC.
 const FRAME_HEADER: usize = 8;
@@ -36,6 +44,7 @@ pub const MAX_PAYLOAD: usize = 16 << 20;
 
 const KIND_REGION: u8 = 1;
 const KIND_GOLDEN: u8 = 2;
+const KIND_COMPACTION: u8 = 3;
 
 /// Damage found while scanning a journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +71,10 @@ pub struct JournalScan {
     pub valid_bytes: u64,
     /// Damage that ended the scan, if any.
     pub damage: Option<JournalDamage>,
+    /// Highest compaction-marker generation in the valid prefix:
+    /// records with `gen ≤ compacted_through` were reclaimed by a
+    /// journal rotation (0 when the journal was never compacted).
+    pub compacted_through: u64,
 }
 
 /// Encodes one captured mutation as a framed journal record.
@@ -71,10 +84,23 @@ pub fn encode_record(m: &CapturedMutation) -> Vec<u8> {
     payload.extend_from_slice(&m.gen.to_le_bytes());
     payload.extend_from_slice(&(m.offset as u64).to_le_bytes());
     payload.extend_from_slice(&m.bytes);
+    frame(&payload)
+}
+
+/// Encodes a compaction marker sealing everything at `gen` and below.
+pub fn encode_compaction_marker(gen: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(PAYLOAD_PREFIX);
+    payload.push(KIND_COMPACTION);
+    payload.extend_from_slice(&gen.to_le_bytes());
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    frame(&payload)
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
     out
 }
 
@@ -93,7 +119,9 @@ fn decode_payload(payload: &[u8]) -> Option<CapturedMutation> {
 }
 
 /// Scans a journal file, returning the longest valid record prefix and
-/// any tail damage. A missing file scans as empty.
+/// any tail damage. A missing file scans as empty. The scan streams
+/// frame-by-frame through one reused payload buffer instead of
+/// slurping the file and slicing fresh buffers per record.
 ///
 /// # Errors
 ///
@@ -104,46 +132,54 @@ pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalScan::default()),
         Err(e) => return Err(e),
     };
-    let mut bytes = Vec::new();
-    file.read_to_end(&mut bytes)?;
+    let file_len = file.metadata()?.len();
 
     let mut scan = JournalScan::default();
-    let mut at = 0usize;
-    while at < bytes.len() {
-        let remaining = bytes.len() - at;
+    let mut header = [0u8; FRAME_HEADER];
+    let mut payload: Vec<u8> = Vec::new();
+    let mut at = 0u64;
+    while at < file_len {
+        let remaining = (file_len - at) as usize;
         if remaining < FRAME_HEADER {
-            scan.damage = Some(JournalDamage::TornTail { at: at as u64 });
+            scan.damage = Some(JournalDamage::TornTail { at });
             break;
         }
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        file.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
         if !(PAYLOAD_PREFIX..=MAX_PAYLOAD).contains(&len) {
             // An impossible length prefix: if the rest of the file
             // could not hold it anyway, call it a torn tail, else a
             // corrupt record.
             scan.damage = Some(if len > remaining - FRAME_HEADER {
-                JournalDamage::TornTail { at: at as u64 }
+                JournalDamage::TornTail { at }
             } else {
-                JournalDamage::CorruptRecord { at: at as u64 }
+                JournalDamage::CorruptRecord { at }
             });
             break;
         }
         if remaining - FRAME_HEADER < len {
-            scan.damage = Some(JournalDamage::TornTail { at: at as u64 });
+            scan.damage = Some(JournalDamage::TornTail { at });
             break;
         }
-        let payload = &bytes[at + FRAME_HEADER..at + FRAME_HEADER + len];
-        if crc32(payload) != crc {
-            scan.damage = Some(JournalDamage::CorruptRecord { at: at as u64 });
+        payload.resize(len, 0);
+        file.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            scan.damage = Some(JournalDamage::CorruptRecord { at });
             break;
         }
-        let Some(record) = decode_payload(payload) else {
-            scan.damage = Some(JournalDamage::CorruptRecord { at: at as u64 });
-            break;
-        };
-        scan.records.push(record);
-        at += FRAME_HEADER + len;
-        scan.valid_bytes = at as u64;
+        if payload[0] == KIND_COMPACTION {
+            let gen = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+            scan.compacted_through = scan.compacted_through.max(gen);
+        } else {
+            let Some(record) = decode_payload(&payload) else {
+                scan.damage = Some(JournalDamage::CorruptRecord { at });
+                break;
+            };
+            scan.records.push(record);
+        }
+        at += (FRAME_HEADER + len) as u64;
+        scan.valid_bytes = at;
     }
     Ok(scan)
 }
@@ -170,6 +206,38 @@ pub fn append_framed(
     Ok(written)
 }
 
+/// Rotates the journal for compaction: writes a fresh journal holding
+/// a compaction marker at `horizon` followed by `retained` records to
+/// [`JOURNAL_TMP_FILE`], syncs it, and atomically renames it over
+/// [`JOURNAL_FILE`]. A crash before the rename leaves the old journal
+/// intact (the stray tmp file is ignored and removed at open); a crash
+/// after it leaves the fully-synced rotated journal. Returns the new
+/// journal's byte length.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write, sync, or rename.
+pub fn rotate_journal(
+    dir: &Path,
+    horizon: u64,
+    retained: &[CapturedMutation],
+) -> std::io::Result<u64> {
+    let tmp = dir.join(JOURNAL_TMP_FILE);
+    let mut file = std::fs::File::create(&tmp)?;
+    let marker = encode_compaction_marker(horizon);
+    file.write_all(&marker)?;
+    let mut bytes = marker.len() as u64;
+    for m in retained {
+        let frame = encode_record(m);
+        file.write_all(&frame)?;
+        bytes += frame.len() as u64;
+    }
+    file.sync_data()?;
+    drop(file);
+    std::fs::rename(&tmp, dir.join(JOURNAL_FILE))?;
+    Ok(bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +260,7 @@ mod tests {
         assert_eq!(scan.records, records);
         assert_eq!(scan.valid_bytes, std::fs::metadata(&path).unwrap().len());
         assert!(scan.damage.is_none());
+        assert_eq!(scan.compacted_through, 0);
     }
 
     #[test]
@@ -251,5 +320,59 @@ mod tests {
         let scan = scan_journal(&path).unwrap();
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.damage, Some(JournalDamage::CorruptRecord { at: frame as u64 }));
+    }
+
+    #[test]
+    fn rotation_writes_a_marker_plus_the_retained_tail() {
+        let dir = ScratchDir::new("journal-rotate");
+        let path = dir.path().join(JOURNAL_FILE);
+        let records: Vec<_> = (1..=6).map(|g| sample(g, false)).collect();
+        let mut file = std::fs::File::create(&path).unwrap();
+        append_framed(&mut file, &records).unwrap();
+        drop(file);
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        let retained: Vec<_> = records.iter().filter(|m| m.gen > 4).cloned().collect();
+        let bytes = rotate_journal(dir.path(), 4, &retained).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert!(bytes < before);
+        assert!(!dir.path().join(JOURNAL_TMP_FILE).exists());
+
+        let scan = scan_journal(&path).unwrap();
+        assert!(scan.damage.is_none());
+        assert_eq!(scan.compacted_through, 4);
+        assert_eq!(scan.records, retained);
+
+        // Appends after rotation keep working on the renamed file.
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        append_framed(&mut file, &[sample(7, true)]).unwrap();
+        drop(file);
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.records.len(), retained.len() + 1);
+        assert_eq!(scan.compacted_through, 4);
+    }
+
+    #[test]
+    fn torn_rotated_journal_still_reports_its_marker_prefix() {
+        let dir = ScratchDir::new("journal-rotate-torn");
+        let path = dir.path().join(JOURNAL_FILE);
+        let retained: Vec<_> = (5..=6).map(|g| sample(g, false)).collect();
+        rotate_journal(dir.path(), 4, &retained).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let marker_len = encode_compaction_marker(4).len();
+
+        // Cut inside the first retained record: the marker survives.
+        std::fs::write(&path, &full[..marker_len + 3]).unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.compacted_through, 4);
+        assert!(scan.records.is_empty());
+        assert!(matches!(scan.damage, Some(JournalDamage::TornTail { .. })));
+
+        // Cut inside the marker itself: nothing valid at all.
+        std::fs::write(&path, &full[..marker_len - 2]).unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.compacted_through, 0);
+        assert_eq!(scan.valid_bytes, 0);
+        assert!(matches!(scan.damage, Some(JournalDamage::TornTail { .. })));
     }
 }

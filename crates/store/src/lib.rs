@@ -7,18 +7,25 @@
 //! - an append-only **mutation journal** ([`journal`]) — every
 //!   `DbApi` mutation path funnels through `wtnc-db`'s unified capture
 //!   hook into length-prefixed, CRC-framed records;
-//! - periodic **checkpoints** ([`checkpoint`]) — the full database
-//!   image behind a length-prefixed metadata header, each content
-//!   block sealed with a keyed integrity code ([`mac`], SipHash-2-4
-//!   over block bytes + generation) and each checkpoint recording its
-//!   predecessor's digest, so the golden-image history forms a
+//! - periodic **checkpoints** ([`checkpoint`]) — full images sealed by
+//!   a keyed **Merkle MAC tree** ([`merkle`]: leaf = SipHash-2-4 over
+//!   block bytes + generation + index, internal nodes fold children up
+//!   to a root), and **dirty-delta images** that persist only the
+//!   blocks changed since the last checkpoint plus their updated tree
+//!   paths (O(dirty · log n), not O(image)); each checkpoint records
+//!   its predecessor's digest, so the golden-image history forms a
 //!   verifiable hash chain;
+//! - **journal compaction** ([`Store::compact`]) — once a checkpoint
+//!   seals generation G, records with gen ≤ G are rotated out behind a
+//!   compaction marker so the WAL stops growing without bound;
 //! - **warm recovery** ([`Store::recover_into`]) — newest valid
-//!   checkpoint plus journal replay reproduces the exact pre-crash
-//!   image, falling back across torn or tampered checkpoints;
+//!   checkpoint (folding delta lineages onto their full base) plus
+//!   journal replay reproduces the exact pre-crash image, falling back
+//!   across torn or tampered checkpoints;
 //! - the disk side of the **storage audit**
 //!   ([`Store::storage_audit`]) — cross-checking the durable golden
-//!   image against the in-memory one, block by block.
+//!   image against the in-memory one, block by block, with per-block
+//!   Merkle authentication paths ([`Store::durable_golden_detail`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,19 +33,26 @@
 pub mod checkpoint;
 pub mod journal;
 pub mod mac;
+pub mod merkle;
 mod store;
 
 pub use checkpoint::{
-    checkpoint_file_name, decode_checkpoint, encode_checkpoint, parse_checkpoint_file_name,
-    Checkpoint, CheckpointError, CheckpointMeta, CKPT_MAGIC,
+    checkpoint_file_name, decode_checkpoint, decode_delta_checkpoint, delta_file_name,
+    encode_checkpoint, encode_checkpoint_with_tree, encode_delta_checkpoint,
+    parse_checkpoint_file_name, parse_delta_file_name, peek_chain, peek_delta_chain, Checkpoint,
+    CheckpointError, CheckpointMeta, DeltaCheckpoint, DeltaMeta, CKPT_MAGIC, DELTA_MAGIC,
 };
 pub use journal::{
-    encode_record, scan_journal, JournalDamage, JournalScan, JOURNAL_FILE, MAX_PAYLOAD,
+    encode_compaction_marker, encode_record, rotate_journal, scan_journal, JournalDamage,
+    JournalScan, JOURNAL_FILE, JOURNAL_TMP_FILE, MAX_PAYLOAD,
 };
 pub use mac::{siphash24, SipHasher24};
+pub use merkle::{
+    leaf_mac, total_nodes, verify_proof, MerkleError, MerkleTree, NodeUpdate, SplitContent,
+};
 pub use store::{
-    ChainEntry, ImagePair, RecoveryInfo, Store, StoreConfig, StoreError, StoreFinding,
-    StoreFindingKind, DEFAULT_KEY,
+    ChainEntry, CheckpointKind, DurableGolden, ImagePair, RecoveryInfo, Store, StoreConfig,
+    StoreError, StoreFinding, StoreFindingKind, StoreStats, DEFAULT_KEY,
 };
 
 use std::path::{Path, PathBuf};

@@ -1,0 +1,549 @@
+//! Keyed Merkle MAC tree over checkpoint content blocks.
+//!
+//! The flat per-block MAC table of the v1 checkpoint format made every
+//! checkpoint re-MAC the whole image. This module replaces it with a
+//! keyed Merkle tree:
+//!
+//! - **leaf** `i` = `SipHash24(key, block_i ‖ gen ‖ i)` — byte-for-byte
+//!   the same keyed code the flat table used, so full-image leaves are
+//!   unchanged on disk;
+//! - **internal** node `(level, index)` = `SipHash24(key, tag ‖ level ‖
+//!   index ‖ children)` — the level/index binding means a lone odd
+//!   child is re-MACed rather than promoted, so a single-leaf image has
+//!   an unambiguous root and subtrees cannot be transplanted;
+//! - the **root** seals the whole image: a single-block mutation
+//!   updates one leaf and its `O(log n)` ancestor path instead of
+//!   re-MACing the image, and any block can be verified against the
+//!   root with an authentication path of sibling MACs.
+//!
+//! Content is addressed as the concatenation `region ‖ golden` without
+//! ever materializing that concatenation: [`SplitContent`] assembles
+//! only the (possibly boundary-straddling) blocks actually touched.
+
+use crate::mac::SipHasher24;
+
+/// Domain tag separating internal-node MACs from leaf MACs.
+const NODE_TAG: &[u8; 16] = b"WTNC-merkle-node";
+
+/// The keyed per-block leaf MAC: `SipHash24(key, block ‖ gen ‖ index)`.
+/// Identical to the v1 flat-table block MAC, so full checkpoints keep
+/// their leaf encoding across the format upgrade.
+pub fn leaf_mac(key: &[u8; 16], block: &[u8], gen: u64, index: u64) -> u64 {
+    let mut h = SipHasher24::new(key);
+    h.write(block);
+    h.write_u64(gen);
+    h.write_u64(index);
+    h.finish()
+}
+
+/// Internal-node MAC over one or two child MACs, bound to the node's
+/// position so lone children and subtrees cannot be relocated.
+fn node_mac(key: &[u8; 16], level: u32, index: u64, children: &[u64]) -> u64 {
+    let mut h = SipHasher24::new(key);
+    h.write(NODE_TAG);
+    h.write_u64(level as u64);
+    h.write_u64(index);
+    for &c in children {
+        h.write_u64(c);
+    }
+    h.finish()
+}
+
+/// One recomputed tree node, as persisted in delta checkpoints and
+/// applied to cached trees during recovery folds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeUpdate {
+    /// Tree level (0 = leaves).
+    pub level: u32,
+    /// Node index within its level.
+    pub index: u32,
+    /// The new keyed MAC.
+    pub mac: u64,
+}
+
+/// Content viewed as `region ‖ golden` without concatenating the two.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitContent<'a> {
+    region: &'a [u8],
+    golden: &'a [u8],
+}
+
+impl<'a> SplitContent<'a> {
+    /// Wraps the two image halves.
+    pub fn new(region: &'a [u8], golden: &'a [u8]) -> Self {
+        SplitContent { region, golden }
+    }
+
+    /// Total content length.
+    pub fn len(&self) -> usize {
+        self.region.len() + self.golden.len()
+    }
+
+    /// Whether the content is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies block `i` (of `block_size`) into `scratch` and returns
+    /// it. Blocks may straddle the region/golden boundary; the final
+    /// block may be short.
+    pub fn block<'b>(&self, i: usize, block_size: usize, scratch: &'b mut Vec<u8>) -> &'b [u8] {
+        scratch.clear();
+        let start = i * block_size;
+        let end = (start + block_size).min(self.len());
+        debug_assert!(start < end, "block {i} out of content range");
+        let r = self.region.len();
+        if start < r {
+            scratch.extend_from_slice(&self.region[start..end.min(r)]);
+        }
+        if end > r {
+            scratch.extend_from_slice(&self.golden[start.max(r) - r..end - r]);
+        }
+        scratch
+    }
+}
+
+/// Sizes of every tree level for `leaf_count` leaves, bottom-up. A
+/// single leaf is its own root; an empty image has one empty level.
+pub fn level_sizes(leaf_count: usize) -> Vec<usize> {
+    let mut sizes = vec![leaf_count];
+    let mut n = leaf_count;
+    while n > 1 {
+        n = n.div_ceil(2);
+        sizes.push(n);
+    }
+    sizes
+}
+
+/// Total node count across all levels for `leaf_count` leaves.
+pub fn total_nodes(leaf_count: usize) -> usize {
+    level_sizes(leaf_count).iter().sum()
+}
+
+/// Why a serialized node table failed to reconstruct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MerkleError {
+    /// The flat table length does not match the leaf count.
+    WrongNodeCount {
+        /// Nodes expected for the claimed leaf count.
+        expected: usize,
+        /// Nodes actually present.
+        got: usize,
+    },
+    /// An internal node does not equal the MAC of its children —
+    /// interior tampering.
+    InconsistentNode {
+        /// Tree level of the bad node.
+        level: u32,
+        /// Index of the bad node within its level.
+        index: u32,
+    },
+}
+
+/// The keyed Merkle tree over one checkpoint image, kept in memory
+/// between checkpoints so delta checkpoints update `O(dirty · log n)`
+/// nodes instead of re-MACing the image.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    key: [u8; 16],
+    gen: u64,
+    block_size: usize,
+    /// `levels[0]` = leaves; the last level holds the single root
+    /// (for non-empty content).
+    levels: Vec<Vec<u64>>,
+}
+
+impl MerkleTree {
+    /// Builds the full tree over `region ‖ golden`, leaves keyed at
+    /// `gen` (the generation of the full image the tree roots).
+    pub fn build(
+        key: &[u8; 16],
+        region: &[u8],
+        golden: &[u8],
+        gen: u64,
+        block_size: usize,
+    ) -> MerkleTree {
+        assert!(block_size > 0, "block size must be positive");
+        let content = SplitContent::new(region, golden);
+        let leaf_count = content.len().div_ceil(block_size);
+        let mut scratch = Vec::with_capacity(block_size);
+        let leaves: Vec<u64> = (0..leaf_count)
+            .map(|i| leaf_mac(key, content.block(i, block_size, &mut scratch), gen, i as u64))
+            .collect();
+        let mut tree = MerkleTree { key: *key, gen, block_size, levels: vec![leaves] };
+        tree.rebuild_internal_from(0);
+        tree
+    }
+
+    /// Reconstructs a tree from the flat bottom-up node table of a
+    /// checkpoint file, verifying every internal node against its
+    /// children.
+    ///
+    /// # Errors
+    ///
+    /// [`MerkleError::WrongNodeCount`] on a malformed table,
+    /// [`MerkleError::InconsistentNode`] on interior tampering.
+    pub fn from_flat(
+        key: &[u8; 16],
+        gen: u64,
+        block_size: usize,
+        leaf_count: usize,
+        nodes: &[u64],
+    ) -> Result<MerkleTree, MerkleError> {
+        let sizes = level_sizes(leaf_count);
+        let expected: usize = sizes.iter().sum();
+        if nodes.len() != expected {
+            return Err(MerkleError::WrongNodeCount { expected, got: nodes.len() });
+        }
+        let mut levels = Vec::with_capacity(sizes.len());
+        let mut at = 0;
+        for &size in &sizes {
+            levels.push(nodes[at..at + size].to_vec());
+            at += size;
+        }
+        let tree = MerkleTree { key: *key, gen, block_size, levels };
+        for level in 1..tree.levels.len() {
+            for index in 0..tree.levels[level].len() {
+                let children = &tree.levels[level - 1]
+                    [index * 2..(index * 2 + 2).min(tree.levels[level - 1].len())];
+                if node_mac(&tree.key, level as u32, index as u64, children)
+                    != tree.levels[level][index]
+                {
+                    return Err(MerkleError::InconsistentNode {
+                        level: level as u32,
+                        index: index as u32,
+                    });
+                }
+            }
+        }
+        Ok(tree)
+    }
+
+    /// The generation the leaves are keyed at.
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// The content block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Number of levels (1 for a single-leaf tree).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The sealed root MAC. An empty tree roots to a keyed constant.
+    pub fn root(&self) -> u64 {
+        match self.levels.last().and_then(|l| l.last()) {
+            Some(&root) => root,
+            None => node_mac(&self.key, 0, 0, &[]),
+        }
+    }
+
+    /// A specific node, if in range.
+    pub fn node(&self, level: u32, index: u32) -> Option<u64> {
+        self.levels.get(level as usize)?.get(index as usize).copied()
+    }
+
+    /// All nodes as one flat table, bottom-up (leaves first, root
+    /// last) — the checkpoint-file serialization order.
+    pub fn flatten(&self) -> Vec<u64> {
+        self.levels.iter().flatten().copied().collect()
+    }
+
+    /// Recomputes the leaves in `dirty` from the current content and
+    /// their ancestor paths up to the root. Returns every touched node
+    /// (deduplicated, bottom-up, index-ordered within a level) — the
+    /// node set a delta checkpoint persists.
+    pub fn update_blocks(
+        &mut self,
+        region: &[u8],
+        golden: &[u8],
+        dirty: &[usize],
+    ) -> Vec<NodeUpdate> {
+        let content = SplitContent::new(region, golden);
+        debug_assert_eq!(
+            content.len().div_ceil(self.block_size),
+            self.leaf_count(),
+            "content shape changed under the tree"
+        );
+        let mut scratch = Vec::with_capacity(self.block_size);
+        let mut touched: Vec<usize> = Vec::new();
+        for &i in dirty {
+            if i >= self.leaf_count() {
+                continue;
+            }
+            self.levels[0][i] = leaf_mac(
+                &self.key,
+                content.block(i, self.block_size, &mut scratch),
+                self.gen,
+                i as u64,
+            );
+            touched.push(i);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        let mut updates: Vec<NodeUpdate> = touched
+            .iter()
+            .map(|&i| NodeUpdate { level: 0, index: i as u32, mac: self.levels[0][i] })
+            .collect();
+        let mut frontier = touched;
+        for level in 1..self.levels.len() {
+            let mut parents: Vec<usize> = frontier.iter().map(|&i| i / 2).collect();
+            parents.sort_unstable();
+            parents.dedup();
+            for &p in &parents {
+                let children =
+                    &self.levels[level - 1][p * 2..(p * 2 + 2).min(self.levels[level - 1].len())];
+                let mac = node_mac(&self.key, level as u32, p as u64, children);
+                self.levels[level][p] = mac;
+                updates.push(NodeUpdate { level: level as u32, index: p as u32, mac });
+            }
+            frontier = parents;
+        }
+        updates
+    }
+
+    /// Applies persisted node updates (from a delta checkpoint) to
+    /// this tree. Returns `false` if any update is out of range.
+    pub fn apply_updates(&mut self, updates: &[NodeUpdate]) -> bool {
+        for u in updates {
+            match self.levels.get_mut(u.level as usize).and_then(|l| l.get_mut(u.index as usize)) {
+                Some(slot) => *slot = u.mac,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// The authentication path for leaf `index`: the sibling MAC at
+    /// each level where one exists, bottom-up. Verified by
+    /// [`verify_proof`] against the root.
+    pub fn proof(&self, index: usize) -> Option<Vec<u64>> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.depth());
+        let mut i = index;
+        for level in 0..self.levels.len().saturating_sub(1) {
+            let sibling = i ^ 1;
+            if sibling < self.levels[level].len() {
+                path.push(self.levels[level][sibling]);
+            }
+            i /= 2;
+        }
+        Some(path)
+    }
+
+    fn rebuild_internal_from(&mut self, level: usize) {
+        self.levels.truncate(level + 1);
+        while self.levels.last().map(Vec::len).unwrap_or(0) > 1 {
+            let below = self.levels.last().expect("non-empty levels");
+            let level = self.levels.len() as u32;
+            let parent: Vec<u64> = (0..below.len().div_ceil(2))
+                .map(|p| {
+                    node_mac(
+                        &self.key,
+                        level,
+                        p as u64,
+                        &below[p * 2..(p * 2 + 2).min(below.len())],
+                    )
+                })
+                .collect();
+            self.levels.push(parent);
+        }
+    }
+}
+
+/// Verifies an authentication path: recomputes the leaf MAC from the
+/// block bytes and folds the sibling MACs up to the root. The level
+/// sizes are derived from `leaf_count`, which determines at which
+/// levels the walked node is a lone child (no sibling consumed).
+pub fn verify_proof(
+    key: &[u8; 16],
+    gen: u64,
+    leaf_count: usize,
+    index: usize,
+    block: &[u8],
+    proof: &[u64],
+    root: u64,
+) -> bool {
+    if index >= leaf_count {
+        return false;
+    }
+    let sizes = level_sizes(leaf_count);
+    let mut mac = leaf_mac(key, block, gen, index as u64);
+    let mut i = index;
+    let mut proof = proof.iter();
+    for (level, &level_size) in sizes.iter().enumerate().take(sizes.len() - 1) {
+        let sibling = i ^ 1;
+        let children: Vec<u64> = if sibling < level_size {
+            let Some(&s) = proof.next() else { return false };
+            if i.is_multiple_of(2) {
+                vec![mac, s]
+            } else {
+                vec![s, mac]
+            }
+        } else {
+            vec![mac]
+        };
+        i /= 2;
+        mac = node_mac(key, (level + 1) as u32, i as u64, &children);
+    }
+    proof.next().is_none() && mac == root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = *b"merkle-test-key0";
+
+    fn content(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 249) as u8).collect()
+    }
+
+    #[test]
+    fn tree_matches_rebuild_after_path_update() {
+        let mut region = content(1000);
+        let golden = content(700);
+        let mut tree = MerkleTree::build(&KEY, &region, &golden, 7, 64);
+        region[130] ^= 0xA5;
+        region[131] ^= 0x5A;
+        let updates = tree.update_blocks(&region, &golden, &[2]);
+        let rebuilt = MerkleTree::build(&KEY, &region, &golden, 7, 64);
+        assert_eq!(tree.root(), rebuilt.root(), "path update must equal a full rebuild");
+        assert_eq!(tree.flatten(), rebuilt.flatten());
+        // The update set is one leaf plus its ancestor path.
+        assert_eq!(updates.len(), tree.depth());
+        assert_eq!(updates[0], NodeUpdate { level: 0, index: 2, mac: tree.node(0, 2).unwrap() });
+        assert_eq!(updates.last().unwrap().mac, tree.root());
+    }
+
+    #[test]
+    fn proofs_verify_and_reject_tampered_blocks() {
+        let region = content(2000);
+        let golden = content(500);
+        let bs = 128;
+        let tree = MerkleTree::build(&KEY, &region, &golden, 42, bs);
+        let split = SplitContent::new(&region, &golden);
+        let mut scratch = Vec::new();
+        for i in 0..tree.leaf_count() {
+            let proof = tree.proof(i).unwrap();
+            let block = split.block(i, bs, &mut scratch).to_vec();
+            assert!(
+                verify_proof(&KEY, 42, tree.leaf_count(), i, &block, &proof, tree.root()),
+                "leaf {i}"
+            );
+            let mut bad = block.clone();
+            bad[0] ^= 1;
+            assert!(!verify_proof(&KEY, 42, tree.leaf_count(), i, &bad, &proof, tree.root()));
+            // The path is position-bound: it must not verify a
+            // different index, and the gen is part of the leaf key.
+            let j = (i + 1) % tree.leaf_count();
+            assert!(
+                j == i
+                    || !verify_proof(&KEY, 42, tree.leaf_count(), j, &block, &proof, tree.root())
+            );
+            assert!(!verify_proof(&KEY, 43, tree.leaf_count(), i, &block, &proof, tree.root()));
+        }
+    }
+
+    #[test]
+    fn odd_leaf_counts_round_trip_through_the_flat_table() {
+        for blocks in [1usize, 2, 3, 5, 7, 8, 9, 13] {
+            let region = content(blocks * 64 - 10);
+            let golden = content(0);
+            let tree = MerkleTree::build(&KEY, &region, &golden, 3, 64);
+            assert_eq!(tree.leaf_count(), blocks);
+            let flat = tree.flatten();
+            assert_eq!(flat.len(), total_nodes(blocks));
+            let back = MerkleTree::from_flat(&KEY, 3, 64, blocks, &flat).unwrap();
+            assert_eq!(back.root(), tree.root());
+            for i in 0..blocks {
+                let split = SplitContent::new(&region, &golden);
+                let mut scratch = Vec::new();
+                let block = split.block(i, 64, &mut scratch).to_vec();
+                assert!(verify_proof(
+                    &KEY,
+                    3,
+                    blocks,
+                    i,
+                    &block,
+                    &tree.proof(i).unwrap(),
+                    tree.root()
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_image_roots_to_its_leaf() {
+        let region = content(40);
+        let tree = MerkleTree::build(&KEY, &region, &[], 9, 256);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.root(), leaf_mac(&KEY, &region, 9, 0));
+        let proof = tree.proof(0).unwrap();
+        assert!(proof.is_empty());
+        assert!(verify_proof(&KEY, 9, 1, 0, &region, &proof, tree.root()));
+    }
+
+    #[test]
+    fn interior_node_tamper_is_detected() {
+        let region = content(1500);
+        let tree = MerkleTree::build(&KEY, &region, &[], 5, 128);
+        assert!(tree.depth() > 2, "need a real interior level");
+        let mut flat = tree.flatten();
+        // Tamper an interior (non-leaf, non-root) node.
+        let interior_at = tree.leaf_count(); // first node of level 1
+        flat[interior_at] ^= 1;
+        match MerkleTree::from_flat(&KEY, 5, 128, tree.leaf_count(), &flat) {
+            Err(MerkleError::InconsistentNode { level, .. }) => {
+                // Either the tampered node fails against its children
+                // or its parent fails against it — both are detection.
+                assert!(level >= 1);
+            }
+            other => panic!("interior tamper must be detected, got {other:?}"),
+        }
+        // A wrong node count is also rejected.
+        let flat = tree.flatten();
+        assert!(matches!(
+            MerkleTree::from_flat(&KEY, 5, 128, tree.leaf_count(), &flat[..flat.len() - 1]),
+            Err(MerkleError::WrongNodeCount { .. })
+        ));
+    }
+
+    #[test]
+    fn lone_children_are_position_bound() {
+        // 3 leaves: level 1 has a lone child at index 1. Its re-MAC
+        // must differ from the child itself (no promotion).
+        let region = content(3 * 64);
+        let tree = MerkleTree::build(&KEY, &region, &[], 1, 64);
+        assert_eq!(tree.leaf_count(), 3);
+        assert_ne!(tree.node(1, 1).unwrap(), tree.node(0, 2).unwrap());
+    }
+
+    #[test]
+    fn blocks_straddle_the_region_golden_boundary() {
+        let region = content(100);
+        let golden: Vec<u8> = (0..100).map(|i| (i % 13) as u8).collect();
+        let split = SplitContent::new(&region, &golden);
+        let mut scratch = Vec::new();
+        let b = split.block(1, 64, &mut scratch).to_vec();
+        assert_eq!(b.len(), 64);
+        assert_eq!(&b[..36], &region[64..100]);
+        assert_eq!(&b[36..], &golden[..28]);
+        // And the tail block is short.
+        let tail = split.block(3, 64, &mut scratch).to_vec();
+        assert_eq!(tail.len(), 200 - 3 * 64);
+    }
+}

@@ -3,12 +3,18 @@
 //! verification, warm recovery, and the disk side of the storage
 //! audit.
 //!
-//! Recovery = newest *valid* checkpoint + replay of every journal
-//! record with a newer generation. The journal is never truncated at a
-//! checkpoint — the full mutation history is kept — so when the newest
-//! checkpoint is torn or tampered, recovery falls back to an older
-//! golden image and the journal still carries it forward to the exact
-//! pre-crash state (reported as [`StoreFindingKind::StaleCheckpointRecovered`]).
+//! Recovery = newest *valid* checkpoint image + replay of every
+//! journal record with a newer generation. A checkpoint image is
+//! either a full file or a **fold**: the lineage's full image plus
+//! every delta up to the candidate, verified by recomputing the Merkle
+//! root of the folded content against the root the deltas sealed. When
+//! the newest image is torn or tampered, recovery falls back to an
+//! older one and the journal still carries it forward to the exact
+//! pre-crash state (reported as
+//! [`StoreFindingKind::StaleCheckpointRecovered`]) — unless the
+//! journal was compacted past that base, in which case replay would
+//! skip reclaimed mutations and recovery honestly stops at the base
+//! image instead ([`StoreFindingKind::CompactionGap`]).
 
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -17,31 +23,40 @@ use std::path::{Path, PathBuf};
 use wtnc_db::{crc32, CapturedMutation, Database, DbError, DIRTY_BLOCK_SIZE};
 
 use crate::checkpoint::{
-    checkpoint_file_name, decode_checkpoint, encode_checkpoint, parse_checkpoint_file_name,
-    peek_chain, CheckpointError,
+    checkpoint_file_name, decode_checkpoint, decode_delta_checkpoint, delta_file_name,
+    encode_checkpoint_with_tree, encode_delta_checkpoint, parse_checkpoint_file_name,
+    parse_delta_file_name, peek_chain, peek_delta_chain, CheckpointError,
 };
-use crate::journal::{append_framed, scan_journal, JournalDamage, JournalScan, JOURNAL_FILE};
+use crate::journal::{
+    append_framed, rotate_journal, scan_journal, JournalDamage, JournalScan, JOURNAL_FILE,
+    JOURNAL_TMP_FILE,
+};
+use crate::merkle::{verify_proof, MerkleTree, SplitContent};
 
 /// Default 128-bit MAC key. Deployments supply their own via
 /// [`StoreConfig`]; the default keeps fixtures and tooling
 /// deterministic.
 pub const DEFAULT_KEY: [u8; 16] = *b"wtnc-store-mac-k";
 
-/// Store tuning: the MAC key and the content block size used for the
-/// per-block keyed integrity codes.
+/// Store tuning: the MAC key, the content block size used for the
+/// Merkle leaves, and the full-image checkpoint period.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
     /// 128-bit key for the keyed integrity codes and chain digests.
     pub key: [u8; 16],
-    /// Content block size for the checkpoint MAC table. Defaults to
-    /// the audit dirty-tracker block size so disk blocks line up with
-    /// in-memory CRC blocks.
+    /// Content block size for the checkpoint Merkle leaves. Defaults
+    /// to the audit dirty-tracker block size so disk blocks line up
+    /// with in-memory CRC blocks.
     pub block_size: usize,
+    /// Cut a full image every `full_every`-th checkpoint and dirty
+    /// deltas in between. `1` (the default) writes a full image every
+    /// time — the v1 behavior.
+    pub full_every: u32,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { key: DEFAULT_KEY, block_size: DIRTY_BLOCK_SIZE }
+        StoreConfig { key: DEFAULT_KEY, block_size: DIRTY_BLOCK_SIZE, full_every: 1 }
     }
 }
 
@@ -52,14 +67,15 @@ pub enum StoreFindingKind {
     /// A checkpoint file is truncated or structurally inconsistent
     /// (power failed mid-write).
     TornCheckpoint,
-    /// A checkpoint's header or MAC table does not match its stored
-    /// digest (metadata tampering).
+    /// A checkpoint's header or Merkle node table does not match its
+    /// stored digest (metadata tampering).
     CheckpointDigestMismatch,
-    /// Checkpoint content blocks fail their keyed MACs (image
+    /// Checkpoint content blocks fail their keyed leaf MACs (image
     /// tampering or bit rot).
     BlockMacMismatch,
-    /// A checkpoint's `prev_digest` does not match its predecessor —
-    /// the golden-image history is not verifiable across this point.
+    /// A checkpoint's `prev_digest` does not match its predecessor, or
+    /// a delta references a missing/invalid base image — the
+    /// golden-image history is not verifiable across this point.
     ChainBreak,
     /// A checkpoint file's name generation disagrees with its header
     /// generation (files renamed or swapped).
@@ -71,6 +87,10 @@ pub enum StoreFindingKind {
     /// Recovery had to fall back past newer-but-invalid checkpoints to
     /// an older golden image.
     StaleCheckpointRecovered,
+    /// The journal was compacted past the recovered base image, so the
+    /// surviving journal suffix is disjoint and was not replayed —
+    /// recovery stopped honestly at the base image.
+    CompactionGap,
     /// The durable golden image disagrees with the in-memory golden
     /// image (storage audit cross-check).
     GoldenDivergence,
@@ -88,6 +108,7 @@ impl StoreFindingKind {
             StoreFindingKind::JournalTornTail => "journal-torn-tail",
             StoreFindingKind::JournalCorruptRecord => "journal-corrupt-record",
             StoreFindingKind::StaleCheckpointRecovered => "stale-checkpoint-recovered",
+            StoreFindingKind::CompactionGap => "compaction-gap",
             StoreFindingKind::GoldenDivergence => "golden-divergence",
         }
     }
@@ -170,6 +191,15 @@ pub struct RecoveryInfo {
     pub findings: Vec<StoreFinding>,
 }
 
+/// Whether a chain entry is a full image or a dirty delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// A full region+golden image (`.img`).
+    Full,
+    /// A dirty-block delta against a full base image (`.delta`).
+    Delta,
+}
+
 /// One valid checkpoint in the on-disk chain.
 #[derive(Debug, Clone)]
 pub struct ChainEntry {
@@ -179,6 +209,33 @@ pub struct ChainEntry {
     pub digest: u64,
     /// Path of the checkpoint file.
     pub path: PathBuf,
+    /// Full image or delta.
+    pub kind: CheckpointKind,
+    /// The lineage's full-image generation (equals `gen` for a full
+    /// checkpoint).
+    pub base_gen: u64,
+}
+
+/// Size and compaction counters surfaced on [`Store::stats`] — the
+/// store's side of the controller's execution summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Valid journal length in bytes.
+    pub journal_bytes: u64,
+    /// Live journal records (markers excluded).
+    pub journal_records: u64,
+    /// Highest generation reclaimed by compaction (0 = never).
+    pub compacted_through: u64,
+    /// Compactions performed by this store handle.
+    pub compactions: u64,
+    /// Journal bytes reclaimed by those compactions.
+    pub reclaimed_bytes: u64,
+    /// Valid checkpoints on disk.
+    pub chain_len: usize,
+    /// Full checkpoints cut by this store handle.
+    pub full_checkpoints: u64,
+    /// Delta checkpoints cut by this store handle.
+    pub delta_checkpoints: u64,
 }
 
 struct DirScan {
@@ -198,60 +255,84 @@ fn checkpoint_finding(gen: u64, err: &CheckpointError) -> StoreFinding {
 }
 
 fn scan_dir(dir: &Path, config: &StoreConfig) -> std::io::Result<DirScan> {
-    let mut files: Vec<(u64, PathBuf)> = Vec::new();
+    let mut files: Vec<(u64, CheckpointKind, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
-        if let Some(gen) = entry.file_name().to_str().and_then(parse_checkpoint_file_name) {
-            files.push((gen, entry.path()));
+        let Some(name) = entry.file_name().to_str().map(str::to_owned) else { continue };
+        if let Some(gen) = parse_checkpoint_file_name(&name) {
+            files.push((gen, CheckpointKind::Full, entry.path()));
+        } else if let Some(gen) = parse_delta_file_name(&name) {
+            files.push((gen, CheckpointKind::Delta, entry.path()));
         }
     }
-    files.sort();
+    files.sort_by_key(|(gen, kind, _)| (*gen, matches!(kind, CheckpointKind::Delta)));
 
     let mut findings = Vec::new();
-    let mut chain = Vec::new();
+    let mut chain: Vec<ChainEntry> = Vec::new();
     let mut invalid_gens = Vec::new();
     // Chain continuity is tracked over the *stored* digests of every
     // framing-consistent file, so a content-tampered checkpoint reads
     // as exactly one MAC finding rather than also breaking the chain.
     let mut expected_prev = 0u64;
-    for (name_gen, path) in files {
+    for (name_gen, kind, path) in files {
         let bytes = std::fs::read(&path)?;
-        let peek = peek_chain(&bytes);
-        match decode_checkpoint(&bytes, &config.key) {
-            Ok(ckpt) if ckpt.meta.gen != name_gen => {
+        let (peek_digest, header) = match kind {
+            CheckpointKind::Full => {
+                let peek = peek_chain(&bytes);
+                (peek.map(|(_, _, d)| d), peek.map(|(g, p, _)| (g, p, g)))
+            }
+            CheckpointKind::Delta => {
+                let peek = peek_delta_chain(&bytes);
+                (peek.map(|(_, _, _, d)| d), peek.map(|(g, p, b, _)| (g, p, b)))
+            }
+        };
+        let decoded = match kind {
+            CheckpointKind::Full => decode_checkpoint(&bytes, &config.key).map(|c| c.meta.gen),
+            CheckpointKind::Delta => {
+                decode_delta_checkpoint(&bytes, &config.key).map(|d| d.meta.gen)
+            }
+        };
+        match decoded {
+            Ok(header_gen) if header_gen != name_gen => {
                 findings.push(StoreFinding {
                     kind: StoreFindingKind::ReorderedCheckpoint,
                     detail: format!(
                         "file {} carries header generation {}",
                         path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
-                        ckpt.meta.gen
+                        header_gen
                     ),
                     gen: Some(name_gen),
                     offset: None,
                 });
                 invalid_gens.push(name_gen);
             }
-            Ok(ckpt) => {
-                if ckpt.meta.prev_digest != expected_prev {
+            Ok(_) => {
+                let (_, prev_digest, base_gen) = header.expect("decoded file peeks");
+                if prev_digest != expected_prev {
                     findings.push(StoreFinding {
                         kind: StoreFindingKind::ChainBreak,
                         detail: format!(
-                            "prev digest {:#018x} does not match the preceding checkpoint \
-                             ({:#018x})",
-                            ckpt.meta.prev_digest, expected_prev
+                            "prev digest {prev_digest:#018x} does not match the preceding \
+                             checkpoint ({expected_prev:#018x})"
                         ),
                         gen: Some(name_gen),
                         offset: None,
                     });
                 }
-                chain.push(ChainEntry { gen: name_gen, digest: ckpt.digest, path });
+                chain.push(ChainEntry {
+                    gen: name_gen,
+                    digest: peek_digest.expect("decoded file peeks"),
+                    path,
+                    kind,
+                    base_gen,
+                });
             }
             Err(e) => {
                 findings.push(checkpoint_finding(name_gen, &e));
                 invalid_gens.push(name_gen);
             }
         }
-        if let Some((_, _, digest)) = peek {
+        if let Some(digest) = peek_digest {
             expected_prev = digest;
         }
     }
@@ -279,6 +360,20 @@ fn scan_dir(dir: &Path, config: &StoreConfig) -> std::io::Result<DirScan> {
     Ok(DirScan { findings, chain, invalid_gens, journal })
 }
 
+/// A verified image reconstructed from the chain: a full checkpoint,
+/// or a full base folded with its deltas.
+struct FoldedImage {
+    region: Vec<u8>,
+    golden: Vec<u8>,
+    /// Generation of the reconstructed image (the candidate's gen).
+    gen: u64,
+    /// Generation the Merkle leaves are keyed at (the lineage base).
+    base_gen: u64,
+    /// The tree over the reconstructed content, rebuilt and verified
+    /// against the sealed root.
+    tree: MerkleTree,
+}
+
 /// A durable store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
@@ -291,14 +386,26 @@ pub struct Store {
     chain: Vec<ChainEntry>,
     open_findings: Vec<StoreFinding>,
     invalid_gens: Vec<u64>,
+    compacted_through: u64,
+    /// In-memory Merkle tree of the current checkpoint lineage
+    /// (leaves keyed at `lineage_base`). Session state: a cold-opened
+    /// store has no tree, so its first checkpoint is forced full.
+    tree: Option<MerkleTree>,
+    lineage_base: u64,
+    since_full: u32,
+    compactions: u64,
+    reclaimed_bytes: u64,
+    full_checkpoints: u64,
+    delta_checkpoints: u64,
 }
 
 impl Store {
     /// Opens (creating if needed) the store at `dir`: decodes and
-    /// chain-verifies every checkpoint, scans the journal, truncates
-    /// any damaged journal tail to the last valid record boundary, and
-    /// opens the journal for appending. Everything detected is kept in
-    /// [`Store::open_findings`].
+    /// chain-verifies every checkpoint (full and delta), scans the
+    /// journal, truncates any damaged journal tail to the last valid
+    /// record boundary, removes a stray rotation temp file from a
+    /// crashed compaction, and opens the journal for appending.
+    /// Everything detected is kept in [`Store::open_findings`].
     ///
     /// # Errors
     ///
@@ -306,6 +413,9 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<Store, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // A crash between a compaction's tmp write and its rename
+        // leaves the old journal authoritative; drop the leftovers.
+        let _ = std::fs::remove_file(dir.join(JOURNAL_TMP_FILE));
         let scan = scan_dir(&dir, &config)?;
         let journal = OpenOptions::new().create(true).append(true).open(dir.join(JOURNAL_FILE))?;
         journal.set_len(scan.journal.valid_bytes)?;
@@ -320,6 +430,14 @@ impl Store {
             chain: scan.chain,
             open_findings: scan.findings,
             invalid_gens: scan.invalid_gens,
+            compacted_through: scan.journal.compacted_through,
+            tree: None,
+            lineage_base: 0,
+            since_full: 0,
+            compactions: 0,
+            reclaimed_bytes: 0,
+            full_checkpoints: 0,
+            delta_checkpoints: 0,
         })
     }
 
@@ -364,6 +482,26 @@ impl Store {
         &self.open_findings
     }
 
+    /// Highest generation reclaimed from the journal by compaction
+    /// (0 when the journal was never compacted).
+    pub fn compacted_through(&self) -> u64 {
+        self.compacted_through
+    }
+
+    /// Journal size and checkpoint/compaction counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            journal_bytes: self.journal_bytes,
+            journal_records: self.journal_records,
+            compacted_through: self.compacted_through,
+            compactions: self.compactions,
+            reclaimed_bytes: self.reclaimed_bytes,
+            chain_len: self.chain.len(),
+            full_checkpoints: self.full_checkpoints,
+            delta_checkpoints: self.delta_checkpoints,
+        }
+    }
+
     /// Whether any durable state exists to recover from.
     pub fn has_state(&self) -> bool {
         !self.chain.is_empty() || !self.journal_cache.is_empty() || !self.invalid_gens.is_empty()
@@ -403,11 +541,16 @@ impl Store {
         Ok(records.len())
     }
 
-    /// Takes a checkpoint: syncs pending captures, serializes the full
-    /// region + golden image behind the metadata header with per-block
-    /// keyed MACs and the chained digest, writes it to a temporary
-    /// file, and renames it into place. Returns the checkpoint
-    /// generation.
+    /// Takes a checkpoint: syncs pending captures, then either seals a
+    /// **full image** (serializing region+golden behind the Merkle
+    /// node table) or a **dirty delta** (persisting only the blocks
+    /// the database's checkpoint-dirty tracker accumulated since the
+    /// last checkpoint, plus their updated tree paths). The choice
+    /// follows [`StoreConfig::full_every`]; the first checkpoint after
+    /// a cold open is always full (the lineage tree is session state).
+    /// Either way the file is written to a temp name, synced, and
+    /// renamed into place, and the sealed digest chains from the
+    /// predecessor. Returns the checkpoint generation.
     ///
     /// # Errors
     ///
@@ -416,36 +559,298 @@ impl Store {
         self.sync(db)?;
         let gen = db.mutation_generation();
         // Re-checkpointing at an unchanged generation replaces the
-        // previous file of the same name; drop its chain entry so the
-        // new digest chains from the one before it.
+        // previous file of the same generation; drop its chain entry
+        // so the new digest chains from the one before it.
+        let mut replaced_kinds = Vec::new();
         while self.chain.last().is_some_and(|e| e.gen == gen) {
-            self.chain.pop();
+            replaced_kinds.push(self.chain.pop().expect("checked non-empty").kind);
         }
         let prev = self.chain.last().map_or(0, |e| e.digest);
-        let bytes = encode_checkpoint(
-            db.region(),
-            db.golden(),
-            gen,
-            prev,
-            self.config.block_size,
-            &self.config.key,
-        );
+
+        let content_len = db.region().len() + db.golden().len();
+        let tracker = db.checkpoint_dirty();
+        // A same-gen re-checkpoint (`replaced_kinds` non-empty) is
+        // always written full: a delta replacing the full image of its
+        // own lineage would orphan every sibling delta.
+        let write_delta = self.config.full_every > 1
+            && replaced_kinds.is_empty()
+            && self.since_full + 1 < self.config.full_every
+            && tracker.n_blocks() == content_len.div_ceil(tracker.block_size())
+            && self.tree.as_ref().is_some_and(|t| {
+                t.block_size() == self.config.block_size
+                    && t.leaf_count() == content_len.div_ceil(self.config.block_size)
+            });
+
+        let (bytes, file_name, kind) = if write_delta {
+            let leaf_count = content_len.div_ceil(self.config.block_size);
+            let mut dirty: Vec<usize> = Vec::new();
+            for i in 0..leaf_count {
+                let start = i * self.config.block_size;
+                let len = (content_len - start).min(self.config.block_size);
+                if tracker.any_dirty_in(start, len) {
+                    dirty.push(i);
+                }
+            }
+            let tree = self.tree.as_mut().expect("delta requires a cached tree");
+            let updates = tree.update_blocks(db.region(), db.golden(), &dirty);
+            let bytes = encode_delta_checkpoint(
+                db.region(),
+                db.golden(),
+                gen,
+                prev,
+                self.lineage_base,
+                self.config.block_size,
+                &dirty,
+                &updates,
+                &self.config.key,
+            );
+            (bytes, delta_file_name(gen), CheckpointKind::Delta)
+        } else {
+            let (bytes, tree) = encode_checkpoint_with_tree(
+                db.region(),
+                db.golden(),
+                gen,
+                prev,
+                self.config.block_size,
+                &self.config.key,
+            );
+            self.tree = Some(tree);
+            self.lineage_base = gen;
+            (bytes, checkpoint_file_name(gen), CheckpointKind::Full)
+        };
+
         let digest = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
-        let path = self.dir.join(checkpoint_file_name(gen));
-        let tmp = self.dir.join(format!("{}.tmp", checkpoint_file_name(gen)));
+        let path = self.dir.join(&file_name);
+        let tmp = self.dir.join(format!("{file_name}.tmp"));
         let mut file = File::create(&tmp)?;
         file.write_all(&bytes)?;
         file.sync_data()?;
         drop(file);
         std::fs::rename(&tmp, &path)?;
-        self.chain.push(ChainEntry { gen, digest, path });
+        // A same-gen re-checkpoint that switched kinds leaves the old
+        // file of the other extension behind; remove it.
+        for old in replaced_kinds {
+            if old != kind {
+                let other = match old {
+                    CheckpointKind::Full => checkpoint_file_name(gen),
+                    CheckpointKind::Delta => delta_file_name(gen),
+                };
+                let _ = std::fs::remove_file(self.dir.join(other));
+            }
+        }
+        match kind {
+            CheckpointKind::Full => {
+                self.since_full = 0;
+                self.full_checkpoints += 1;
+            }
+            CheckpointKind::Delta => {
+                self.since_full += 1;
+                self.delta_checkpoints += 1;
+            }
+        }
+        let base_gen = if kind == CheckpointKind::Full { gen } else { self.lineage_base };
+        self.chain.push(ChainEntry { gen, digest, path, kind, base_gen });
+        // Only after the rename: the dirty blocks are now durably part
+        // of the checkpoint history.
+        db.clear_checkpoint_dirty();
         Ok(gen)
     }
 
-    /// Warm recovery: loads the newest valid checkpoint image into the
-    /// database and replays every journal record with a newer
-    /// generation on top. With no usable checkpoint, the journal is
-    /// replayed from the database's freshly built state.
+    /// Compacts the journal: once the newest checkpoint seals
+    /// generation G, records with `gen ≤ G` are redundant with the
+    /// checkpoint history. Rotates the journal to a compaction marker
+    /// plus the retained suffix (write-temp, sync, atomic rename) and
+    /// reopens the append handle. Returns the bytes reclaimed (0 when
+    /// there is nothing to compact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the rotation fails.
+    pub fn compact(&mut self) -> Result<u64, StoreError> {
+        let Some(horizon) = self.chain.last().map(|e| e.gen) else {
+            return Ok(0);
+        };
+        if horizon <= self.compacted_through && self.journal_cache.iter().all(|m| m.gen > horizon) {
+            return Ok(0);
+        }
+        let retained: Vec<CapturedMutation> =
+            self.journal_cache.iter().filter(|m| m.gen > horizon).cloned().collect();
+        let old_bytes = self.journal_bytes;
+        let new_bytes = rotate_journal(&self.dir, horizon, &retained)?;
+        self.journal =
+            OpenOptions::new().create(true).append(true).open(self.dir.join(JOURNAL_FILE))?;
+        self.journal_bytes = new_bytes;
+        self.journal_records = retained.len() as u64;
+        self.journal_cache = retained;
+        self.compacted_through = horizon;
+        self.compactions += 1;
+        let reclaimed = old_bytes.saturating_sub(new_bytes);
+        self.reclaimed_bytes += reclaimed;
+        Ok(reclaimed)
+    }
+
+    /// Reconstructs and verifies the image of chain entry `i`: decodes
+    /// a full checkpoint directly, or folds a delta's lineage (full
+    /// base + every delta up to it) and checks the folded content's
+    /// recomputed Merkle root against the root the deltas sealed.
+    /// Failures push findings and return `None` so the caller can fall
+    /// back to an older candidate.
+    fn fold_candidate(
+        &self,
+        i: usize,
+        findings: &mut Vec<StoreFinding>,
+    ) -> Result<Option<FoldedImage>, StoreError> {
+        let entry = &self.chain[i];
+        match entry.kind {
+            CheckpointKind::Full => {
+                let bytes = std::fs::read(&entry.path)?;
+                match decode_checkpoint(&bytes, &self.config.key) {
+                    Ok(ckpt) => {
+                        let tree = MerkleTree::build(
+                            &self.config.key,
+                            &ckpt.region,
+                            &ckpt.golden,
+                            ckpt.meta.gen,
+                            ckpt.meta.block_size,
+                        );
+                        Ok(Some(FoldedImage {
+                            region: ckpt.region,
+                            golden: ckpt.golden,
+                            gen: ckpt.meta.gen,
+                            base_gen: ckpt.meta.gen,
+                            tree,
+                        }))
+                    }
+                    // The file changed since the open-time scan.
+                    Err(e) => {
+                        findings.push(checkpoint_finding(entry.gen, &e));
+                        Ok(None)
+                    }
+                }
+            }
+            CheckpointKind::Delta => {
+                let base = entry.base_gen;
+                let Some(base_entry) =
+                    self.chain.iter().find(|e| e.kind == CheckpointKind::Full && e.gen == base)
+                else {
+                    findings.push(StoreFinding {
+                        kind: StoreFindingKind::ChainBreak,
+                        detail: format!(
+                            "delta checkpoint references missing or invalid base image {base}"
+                        ),
+                        gen: Some(entry.gen),
+                        offset: None,
+                    });
+                    return Ok(None);
+                };
+                let bytes = std::fs::read(&base_entry.path)?;
+                let ckpt = match decode_checkpoint(&bytes, &self.config.key) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        findings.push(checkpoint_finding(base_entry.gen, &e));
+                        return Ok(None);
+                    }
+                };
+                let (mut region, mut golden) = (ckpt.region, ckpt.golden);
+                let block_size = ckpt.meta.block_size;
+                let mut claimed_root = {
+                    let tree =
+                        MerkleTree::build(&self.config.key, &region, &golden, base, block_size);
+                    tree.root()
+                };
+                // Fold every delta of this lineage up to the candidate.
+                for d in self.chain.iter().filter(|e| {
+                    e.kind == CheckpointKind::Delta
+                        && e.base_gen == base
+                        && e.gen > base
+                        && e.gen <= entry.gen
+                }) {
+                    let bytes = std::fs::read(&d.path)?;
+                    let delta = match decode_delta_checkpoint(&bytes, &self.config.key) {
+                        Ok(x) => x,
+                        Err(e) => {
+                            findings.push(checkpoint_finding(d.gen, &e));
+                            return Ok(None);
+                        }
+                    };
+                    if delta.meta.region_len != region.len()
+                        || delta.meta.golden_len != golden.len()
+                        || delta.meta.block_size != block_size
+                    {
+                        findings.push(StoreFinding {
+                            kind: StoreFindingKind::ChainBreak,
+                            detail: "delta image shape disagrees with its base".to_string(),
+                            gen: Some(d.gen),
+                            offset: None,
+                        });
+                        return Ok(None);
+                    }
+                    let content_len = region.len() + golden.len();
+                    for (index, block) in &delta.blocks {
+                        let start = *index as usize * block_size;
+                        let end = (start + block.len()).min(content_len);
+                        let r = region.len();
+                        if start < r {
+                            let take = end.min(r) - start;
+                            region[start..start + take].copy_from_slice(&block[..take]);
+                        }
+                        if end > r {
+                            let from = start.max(r);
+                            golden[from - r..end - r]
+                                .copy_from_slice(&block[from - start..end - start]);
+                        }
+                    }
+                    if let Some(root) =
+                        delta.nodes.iter().filter(|u| u.level > 0).max_by_key(|u| u.level)
+                    {
+                        claimed_root = root.mac;
+                    } else if let Some(leaf_root) =
+                        delta.nodes.iter().find(|u| u.level == 0 && delta.meta.leaf_count == 1)
+                    {
+                        claimed_root = leaf_root.mac;
+                    }
+                }
+                // The folded content must recompute to exactly the
+                // root the delta lineage sealed — this is what catches
+                // a silently missing middle delta.
+                let tree = MerkleTree::build(&self.config.key, &region, &golden, base, block_size);
+                if tree.root() != claimed_root {
+                    findings.push(StoreFinding {
+                        kind: StoreFindingKind::BlockMacMismatch,
+                        detail: format!(
+                            "folded delta lineage root {:#018x} does not match the sealed root \
+                             {claimed_root:#018x}",
+                            tree.root()
+                        ),
+                        gen: Some(entry.gen),
+                        offset: None,
+                    });
+                    return Ok(None);
+                }
+                Ok(Some(FoldedImage { region, golden, gen: entry.gen, base_gen: base, tree }))
+            }
+        }
+    }
+
+    /// The newest usable image, folding deltas as needed. Findings
+    /// from skipped candidates are discarded.
+    fn newest_image(&self) -> Result<Option<FoldedImage>, StoreError> {
+        let mut scratch = Vec::new();
+        for i in (0..self.chain.len()).rev() {
+            if let Some(img) = self.fold_candidate(i, &mut scratch)? {
+                return Ok(Some(img));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Warm recovery: loads the newest valid checkpoint image (folding
+    /// delta lineages) into the database and replays every journal
+    /// record with a newer generation on top. With no usable
+    /// checkpoint, the journal is replayed from the database's freshly
+    /// built state. If the journal was compacted past the recovered
+    /// base, the disjoint suffix is *not* replayed and the gap is
+    /// reported ([`StoreFindingKind::CompactionGap`]).
     ///
     /// # Errors
     ///
@@ -455,21 +860,38 @@ impl Store {
         let mut findings = self.open_findings.clone();
         let mut base_gen = 0u64;
         let mut recovered = false;
+        let mut skipped_newer = false;
         for i in (0..self.chain.len()).rev() {
-            let entry = &self.chain[i];
-            let bytes = std::fs::read(&entry.path)?;
-            match decode_checkpoint(&bytes, &self.config.key) {
-                Ok(ckpt) => {
-                    db.load_image(&ckpt.region, &ckpt.golden, ckpt.meta.gen)?;
-                    base_gen = ckpt.meta.gen;
+            match self.fold_candidate(i, &mut findings)? {
+                Some(img) => {
+                    db.load_image(&img.region, &img.golden, img.gen)?;
+                    // The loaded image is durably on disk: start the
+                    // checkpoint-dirty tracker clean so the next delta
+                    // covers only replayed + new mutations. When the
+                    // newest candidate recovered cleanly, its folded
+                    // tree also re-warms the session lineage, letting
+                    // a reopened store keep writing deltas.
+                    db.clear_checkpoint_dirty();
+                    if i == self.chain.len() - 1 {
+                        self.lineage_base = img.base_gen;
+                        self.since_full = self
+                            .chain
+                            .iter()
+                            .filter(|e| {
+                                e.kind == CheckpointKind::Delta && e.base_gen == img.base_gen
+                            })
+                            .count() as u32;
+                        self.tree = Some(img.tree);
+                    }
+                    base_gen = img.gen;
                     recovered = true;
                     break;
                 }
-                // The file changed since the open-time scan.
-                Err(e) => findings.push(checkpoint_finding(entry.gen, &e)),
+                None => skipped_newer = true,
             }
         }
         if self.invalid_gens.iter().any(|&g| g > base_gen)
+            || skipped_newer
             || (!recovered && !self.invalid_gens.is_empty())
         {
             findings.push(StoreFinding {
@@ -482,72 +904,127 @@ impl Store {
             });
         }
         let mut replayed = 0usize;
-        for m in &self.journal_cache {
-            if m.gen > base_gen {
-                db.apply_captured(m)?;
-                replayed += 1;
+        if self.compacted_through > base_gen {
+            findings.push(StoreFinding {
+                kind: StoreFindingKind::CompactionGap,
+                detail: format!(
+                    "journal compacted through generation {}; records between the recovered base \
+                     {base_gen} and the horizon were reclaimed, suffix not replayed",
+                    self.compacted_through
+                ),
+                gen: Some(base_gen),
+                offset: None,
+            });
+        } else {
+            for m in &self.journal_cache {
+                if m.gen > base_gen {
+                    db.apply_captured(m)?;
+                    replayed += 1;
+                }
             }
         }
         Ok(RecoveryInfo { base_gen, replayed, findings })
     }
 
-    /// Reconstructs the durable golden image: the newest decodable
-    /// checkpoint's golden plus every journaled golden commit with a
-    /// newer generation. Returns `None` when no checkpoint is usable
-    /// (the journal alone cannot seed the initial golden image).
+    /// Reconstructs the durable golden image: the newest usable
+    /// checkpoint image's golden plus every journaled golden commit
+    /// with a newer generation. Returns `None` when no checkpoint is
+    /// usable (the journal alone cannot seed the initial golden
+    /// image).
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] on read failure.
     pub fn durable_golden(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
-        let mut base = None;
-        for entry in self.chain.iter().rev() {
-            let bytes = std::fs::read(&entry.path)?;
-            if let Ok(ckpt) = decode_checkpoint(&bytes, &self.config.key) {
-                base = Some((ckpt.meta.gen, ckpt.golden));
-                break;
-            }
-        }
-        let Some((base_gen, mut golden)) = base else {
+        Ok(self.durable_golden_detail()?.map(|d| (d.base_gen, d.golden)))
+    }
+
+    /// [`Store::durable_golden`] plus per-block Merkle attestation:
+    /// for each `block_size` block of the golden image, whether its
+    /// bytes come straight from Merkle-path-verified checkpoint
+    /// content (`true`) or were overlaid by journaled golden commits,
+    /// which are CRC-framed but outside the tree (`false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on read failure.
+    pub fn durable_golden_detail(&self) -> Result<Option<DurableGolden>, StoreError> {
+        let Some(img) = self.newest_image()? else {
             return Ok(None);
         };
-        for m in &self.journal_cache {
-            if m.golden && m.gen > base_gen && m.offset < golden.len() {
-                let end = (m.offset + m.bytes.len()).min(golden.len());
-                golden[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+        let region_len = img.region.len();
+        let block = self.config.block_size.max(1);
+        let n_blocks = img.golden.len().div_ceil(block);
+        let mut golden = img.golden.clone();
+        let mut overlaid = vec![false; n_blocks];
+        if self.compacted_through <= img.gen {
+            for m in &self.journal_cache {
+                if m.golden && m.gen > img.gen && m.offset < golden.len() {
+                    let end = (m.offset + m.bytes.len()).min(golden.len());
+                    golden[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+                    overlaid[m.offset / block..end.div_ceil(block)].fill(true);
+                }
             }
         }
-        Ok(Some((base_gen, golden)))
+        // Blocks untouched by the journal overlay are authenticated
+        // against the sealed root via their Merkle paths.
+        let content = SplitContent::new(&img.region, &img.golden);
+        let leaf_count = img.tree.leaf_count();
+        let mut scratch = Vec::new();
+        let mut attested = vec![false; n_blocks];
+        for (b, slot) in attested.iter_mut().enumerate() {
+            if overlaid[b] {
+                continue;
+            }
+            let start = region_len + b * block;
+            let end = (start + block).min(region_len + img.golden.len());
+            let first_leaf = start / block;
+            let last_leaf = (end - 1) / block;
+            *slot = (first_leaf..=last_leaf).all(|leaf| {
+                let proof = img.tree.proof(leaf).unwrap_or_default();
+                verify_proof(
+                    &self.config.key,
+                    img.base_gen,
+                    leaf_count,
+                    leaf,
+                    content.block(leaf, block, &mut scratch),
+                    &proof,
+                    img.tree.root(),
+                )
+            });
+        }
+        Ok(Some(DurableGolden { base_gen: img.gen, golden, attested, block_size: block }))
     }
 
     /// The disk side of the storage audit: re-reads and re-verifies
-    /// the newest checkpoint from disk (catching tampering that
-    /// happened *after* open), reconstructs the durable golden image,
-    /// and cross-checks it block-by-block (CRC32 per block) against
-    /// the in-memory golden image. Call [`Store::sync`] first so
-    /// pending golden commits are on disk.
+    /// the newest checkpoint image from disk (catching tampering that
+    /// happened *after* open, and authenticating checkpoint-pure
+    /// blocks via their Merkle paths), reconstructs the durable golden
+    /// image, and cross-checks it block-by-block (CRC32 per block)
+    /// against the in-memory golden image. Call [`Store::sync`] first
+    /// so pending golden commits are on disk.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] on read failure.
     pub fn storage_audit(&self, db: &Database) -> Result<Vec<StoreFinding>, StoreError> {
         let mut findings = Vec::new();
-        let Some(entry) = self.chain.last() else {
+        if self.chain.is_empty() {
+            return Ok(findings);
+        }
+        // Reconstruct via the newest candidate only — a failure here
+        // is a finding, not a silent fallback.
+        let last = self.chain.len() - 1;
+        let Some(img) = self.fold_candidate(last, &mut findings)? else {
             return Ok(findings);
         };
-        let bytes = std::fs::read(&entry.path)?;
-        let ckpt = match decode_checkpoint(&bytes, &self.config.key) {
-            Ok(c) => c,
-            Err(e) => {
-                findings.push(checkpoint_finding(entry.gen, &e));
-                return Ok(findings);
-            }
-        };
-        let mut durable = ckpt.golden;
-        for m in &self.journal_cache {
-            if m.golden && m.gen > ckpt.meta.gen && m.offset < durable.len() {
-                let end = (m.offset + m.bytes.len()).min(durable.len());
-                durable[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+        let mut durable = img.golden.clone();
+        if self.compacted_through <= img.gen {
+            for m in &self.journal_cache {
+                if m.golden && m.gen > img.gen && m.offset < durable.len() {
+                    let end = (m.offset + m.bytes.len()).min(durable.len());
+                    durable[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+                }
             }
         }
         let mem = db.golden();
@@ -559,7 +1036,7 @@ impl Store {
                     durable.len(),
                     mem.len()
                 ),
-                gen: Some(ckpt.meta.gen),
+                gen: Some(img.gen),
                 offset: None,
             });
             return Ok(findings);
@@ -570,7 +1047,7 @@ impl Store {
                 findings.push(StoreFinding {
                     kind: StoreFindingKind::GoldenDivergence,
                     detail: format!("golden block {i} differs between disk and memory"),
-                    gen: Some(ckpt.meta.gen),
+                    gen: Some(img.gen),
                     offset: Some((i * block) as u64),
                 });
             }
@@ -585,27 +1062,55 @@ impl Store {
     ///
     /// Returns [`StoreError::Io`] on read failure.
     pub fn recovered_image_preview(&self) -> Result<Option<ImagePair>, StoreError> {
-        let mut base = None;
-        for entry in self.chain.iter().rev() {
-            let bytes = std::fs::read(&entry.path)?;
-            if let Ok(ckpt) = decode_checkpoint(&bytes, &self.config.key) {
-                base = Some((ckpt.meta.gen, ckpt.region, ckpt.golden));
-                break;
-            }
-        }
-        let Some((base_gen, mut region, mut golden)) = base else {
+        let Some(img) = self.newest_image()? else {
             return Ok(None);
         };
-        for m in &self.journal_cache {
-            if m.gen <= base_gen {
-                continue;
-            }
-            let target = if m.golden { &mut golden } else { &mut region };
-            if m.offset < target.len() {
-                let end = (m.offset + m.bytes.len()).min(target.len());
-                target[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+        let (mut region, mut golden) = (img.region, img.golden);
+        if self.compacted_through <= img.gen {
+            for m in &self.journal_cache {
+                if m.gen <= img.gen {
+                    continue;
+                }
+                let target = if m.golden { &mut golden } else { &mut region };
+                if m.offset < target.len() {
+                    let end = (m.offset + m.bytes.len()).min(target.len());
+                    target[m.offset..end].copy_from_slice(&m.bytes[..end - m.offset]);
+                }
             }
         }
         Ok(Some((region, golden)))
+    }
+}
+
+/// The durable golden image plus per-block Merkle attestation, from
+/// [`Store::durable_golden_detail`].
+#[derive(Debug, Clone)]
+pub struct DurableGolden {
+    /// Generation of the checkpoint image the golden is based on.
+    pub base_gen: u64,
+    /// The reconstructed golden bytes (journal overlay applied).
+    pub golden: Vec<u8>,
+    /// Per-block: `true` when the block's bytes were authenticated
+    /// against the checkpoint's sealed Merkle root (no journal
+    /// overlay touched it).
+    pub attested: Vec<bool>,
+    /// The block granularity of `attested`.
+    pub block_size: usize,
+}
+
+impl DurableGolden {
+    /// Whether the block containing golden byte `offset` is
+    /// Merkle-attested.
+    pub fn is_attested(&self, offset: usize) -> bool {
+        self.attested.get(offset / self.block_size.max(1)).copied().unwrap_or(false)
+    }
+
+    /// Fraction of golden blocks that are Merkle-attested (1.0 for an
+    /// empty image).
+    pub fn attested_fraction(&self) -> f64 {
+        if self.attested.is_empty() {
+            return 1.0;
+        }
+        self.attested.iter().filter(|&&a| a).count() as f64 / self.attested.len() as f64
     }
 }

@@ -231,6 +231,135 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tearing the newest *delta* checkpoint at an arbitrary byte
+    /// offset never loses state: the journal holds every record, so
+    /// recovery falls back to the surviving lineage prefix and replays
+    /// forward to the exact pre-crash image. Any actual truncation
+    /// must be reported.
+    #[test]
+    fn truncated_delta_checkpoints_recover_exactly(
+        seed in any::<u64>(),
+        bursts in prop::collection::vec(3usize..12, 3..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let scratch = ScratchDir::new("crash-prop-delta");
+        let mut rng = SimRng::seed_from(seed);
+        let config = StoreConfig { full_every: 3, ..StoreConfig::default() };
+
+        let mut db = Database::build(schema::standard_schema()).expect("standard schema");
+        {
+            let mut store = Store::open(scratch.path(), config).expect("open");
+            store.attach(&mut db);
+            let mut live = Vec::new();
+            for &burst in &bursts {
+                for _ in 0..burst {
+                    step(&mut db, &mut rng, &mut live);
+                }
+                store.checkpoint(&mut db).expect("checkpoint");
+            }
+            // A journaled tail past the newest checkpoint.
+            for _ in 0..4 {
+                step(&mut db, &mut rng, &mut live);
+            }
+            store.sync(&mut db).expect("sync");
+        }
+
+        // Tear the newest delta at an arbitrary byte offset (>= 3
+        // checkpoint bursts under full_every=3 guarantee one exists).
+        let mut deltas: Vec<std::path::PathBuf> = std::fs::read_dir(scratch.path())
+            .expect("store dir")
+            .map(|e| e.expect("entry").path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(wtnc::store::parse_delta_file_name)
+                    .is_some()
+            })
+            .collect();
+        deltas.sort();
+        let newest = deltas.last().expect("delta checkpoint exists");
+        let bytes = std::fs::read(newest).expect("read delta");
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        std::fs::write(newest, &bytes[..cut]).expect("truncate delta");
+
+        let mut store = Store::open(scratch.path(), config).expect("reopen");
+        let mut recovered = Database::build(schema::standard_schema()).expect("standard schema");
+        let info = store.recover_into(&mut recovered).expect("recover");
+
+        prop_assert_eq!(recovered.region(), db.region(), "exact pre-crash region");
+        prop_assert_eq!(recovered.golden(), db.golden(), "exact pre-crash golden");
+        prop_assert_eq!(
+            info.findings.is_empty(),
+            cut == bytes.len(),
+            "cut {} of {} found {:?}",
+            cut,
+            bytes.len(),
+            info.findings
+        );
+    }
+
+    /// A crash at any point of the journal-compaction rename protocol
+    /// leaves one of two on-disk states — the pre-rotation journal
+    /// (rename not reached) or the rotated one — possibly with a
+    /// partially-written tmp file stranded alongside. Every such state
+    /// recovers the exact pre-crash image with no findings: both
+    /// journals carry every record past the newest checkpoint, and the
+    /// tmp file is swept at open.
+    #[test]
+    fn mid_compaction_crash_states_recover_exactly(
+        seed in any::<u64>(),
+        before in 4usize..24,
+        after in 4usize..24,
+        rename_done in any::<bool>(),
+        tmp_frac in 0.0f64..1.0,
+    ) {
+        let scratch = ScratchDir::new("crash-prop-compact");
+        let mut rng = SimRng::seed_from(seed);
+        let journal_path = scratch.path().join(JOURNAL_FILE);
+
+        let mut db = Database::build(schema::standard_schema()).expect("standard schema");
+        let (pre_rotation, post_rotation) = {
+            let mut store = Store::open(scratch.path(), StoreConfig::default()).expect("open");
+            store.attach(&mut db);
+            let mut live = Vec::new();
+            for _ in 0..before {
+                step(&mut db, &mut rng, &mut live);
+            }
+            store.checkpoint(&mut db).expect("checkpoint");
+            for _ in 0..after {
+                step(&mut db, &mut rng, &mut live);
+            }
+            store.sync(&mut db).expect("sync");
+            let pre = std::fs::read(&journal_path).expect("pre-rotation journal");
+            store.compact().expect("compact");
+            let post = std::fs::read(&journal_path).expect("post-rotation journal");
+            (pre, post)
+        };
+
+        // Reconstruct the crash state: the live journal is whichever
+        // side of the rename the crash landed on, and the stranded tmp
+        // is an arbitrary prefix of the rotation in progress.
+        if !rename_done {
+            std::fs::write(&journal_path, &pre_rotation).expect("restore pre-rotation journal");
+        }
+        let tmp_cut = (post_rotation.len() as f64 * tmp_frac) as usize;
+        let tmp_path = scratch.path().join(wtnc::store::JOURNAL_TMP_FILE);
+        std::fs::write(&tmp_path, &post_rotation[..tmp_cut]).expect("strand tmp journal");
+
+        let mut store = Store::open(scratch.path(), StoreConfig::default()).expect("reopen");
+        let mut recovered = Database::build(schema::standard_schema()).expect("standard schema");
+        let info = store.recover_into(&mut recovered).expect("recover");
+
+        prop_assert!(!tmp_path.exists(), "the stranded tmp file is swept at open");
+        prop_assert!(info.findings.is_empty(), "clean recovery: {:?}", info.findings);
+        prop_assert_eq!(recovered.region(), db.region(), "exact pre-crash region");
+        prop_assert_eq!(recovered.golden(), db.golden(), "exact pre-crash golden");
+    }
+}
+
 /// The scratch directories every store test and campaign run creates
 /// are removed on drop — nothing leaks into the system temp dir.
 #[test]
