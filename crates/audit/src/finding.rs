@@ -25,6 +25,10 @@ pub enum AuditElementKind {
     /// journal (keyed per-block integrity codes, chained digests)
     /// verified against the in-memory golden image.
     Storage,
+    /// The audit CPU budget ran dry mid-cycle and table screens were
+    /// shed (to be re-queued ahead of the next cycle). An honest
+    /// marker that coverage degraded, never silent cycle stretching.
+    DegradedCycle,
 }
 
 /// The precise locus of an anomaly, attached to findings so a
@@ -174,6 +178,14 @@ pub struct AuditReport {
     /// Which execution engine ran the cycle and how the work was
     /// batched (serial, parallel, or governor-chosen serial fallback).
     pub exec: crate::executor::ExecSummary,
+    /// Tables actually screened this cycle, in execution order.
+    pub tables_audited: Vec<TableId>,
+    /// Tables shed because the CPU budget ran dry; they are re-queued
+    /// at the head of the next cycle.
+    pub tables_shed: Vec<TableId>,
+    /// True when the budget forced shedding this cycle (a
+    /// [`AuditElementKind::DegradedCycle`] finding accompanies it).
+    pub degraded: bool,
 }
 
 impl AuditReport {
@@ -192,6 +204,9 @@ impl AuditReport {
         self.findings.extend(other.findings);
         self.records_checked += other.records_checked;
         self.tables_checked += other.tables_checked;
+        self.tables_audited.extend(other.tables_audited);
+        self.tables_shed.extend(other.tables_shed);
+        self.degraded |= other.degraded;
     }
 }
 
@@ -220,6 +235,9 @@ mod tests {
             tables_checked: 2,
             restart_requested: false,
             exec: Default::default(),
+            tables_audited: vec![TableId(1), TableId(2)],
+            tables_shed: Vec::new(),
+            degraded: false,
         };
         let b = AuditReport {
             findings: vec![finding(AuditElementKind::Range)],
@@ -227,6 +245,9 @@ mod tests {
             tables_checked: 1,
             restart_requested: false,
             exec: Default::default(),
+            tables_audited: vec![TableId(3)],
+            tables_shed: vec![TableId(4)],
+            degraded: true,
         };
         a.merge(b);
         assert_eq!(a.findings.len(), 3);
@@ -234,5 +255,8 @@ mod tests {
         assert_eq!(a.records_checked, 15);
         assert_eq!(a.tables_checked, 3);
         assert_eq!(a.caught_count(), 0);
+        assert_eq!(a.tables_audited, vec![TableId(1), TableId(2), TableId(3)]);
+        assert_eq!(a.tables_shed, vec![TableId(4)]);
+        assert!(a.degraded);
     }
 }

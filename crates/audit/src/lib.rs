@@ -68,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod escalation;
 mod executor;
 mod finding;
@@ -84,6 +85,7 @@ mod static_data;
 mod structural;
 mod supervisor;
 
+pub use budget::{BudgetConfig, TokenBucket};
 pub use escalation::{EscalationConfig, EscalationPolicy};
 pub use executor::{ExecSummary, ExecutorMode, ParallelConfig};
 pub use finding::{AuditElementKind, AuditReport, Finding, FindingTarget, RecoveryAction};

@@ -29,6 +29,7 @@ use std::sync::Arc;
 use wtnc_db::{crc32, Database, DbApi, DbRead, RecordRef, TableId, TaintEntry};
 use wtnc_sim::{ProcessRegistry, SimDuration, SimTime};
 
+use crate::budget::{BudgetConfig, TokenBucket};
 use crate::executor::{
     coalesce_weights, shard_count, split_range, ExecSummary, Executor, ExecutorMode,
     ParallelConfig, Task,
@@ -141,6 +142,14 @@ pub struct AuditConfig {
     /// worker pool has independent work. `1` (the default) preserves
     /// the classic one-table-per-tick behavior.
     pub coschedule_tables: u32,
+    /// CPU isolation: a token-bucket budget on virtual time (one token
+    /// per record screened). When set, a cycle whose planned tables
+    /// exceed the available tokens sheds the excess
+    /// highest-dirty-density-last, records an honest
+    /// [`AuditElementKind::DegradedCycle`] finding and re-queues the
+    /// shed tables at the head of the next cycle. `None` (the default)
+    /// keeps the classic unbudgeted engine.
+    pub budget: Option<BudgetConfig>,
 }
 
 impl Default for AuditConfig {
@@ -156,6 +165,7 @@ impl Default for AuditConfig {
             full_rescan_period: 8,
             parallel: ParallelConfig::default(),
             coschedule_tables: 1,
+            budget: None,
         }
     }
 }
@@ -178,6 +188,10 @@ pub struct AuditProcess {
     executor: Executor,
     cycles: u64,
     deferred: bool,
+    bucket: Option<TokenBucket>,
+    shed_backlog: Vec<TableId>,
+    starved_for: std::collections::BTreeMap<TableId, u32>,
+    degraded_cycles: u64,
 }
 
 impl std::fmt::Debug for AuditProcess {
@@ -223,6 +237,10 @@ impl AuditProcess {
             executor: Executor::default(),
             cycles: 0,
             deferred: false,
+            bucket: config.budget.map(TokenBucket::new),
+            shed_backlog: Vec::new(),
+            starved_for: std::collections::BTreeMap::new(),
+            degraded_cycles: 0,
         }
     }
 
@@ -346,6 +364,7 @@ impl AuditProcess {
         now: SimTime,
     ) -> AuditReport {
         self.cycles += 1;
+        let pending_events = api.events().len() as u64;
         self.drain_events(api);
         let mut findings: Vec<Finding> = Vec::new();
 
@@ -354,7 +373,7 @@ impl AuditProcess {
         self.progress.check(api.locks_mut(), registry, now, &mut findings);
 
         // Decide coverage.
-        let tables: Vec<TableId> = match self.config.scope {
+        let fresh: Vec<TableId> = match self.config.scope {
             AuditScope::Full => db.catalog().tables().map(|t| t.id).collect(),
             AuditScope::OneTable => {
                 let mut set: BTreeSet<TableId> = std::mem::take(&mut self.event_tables);
@@ -365,6 +384,13 @@ impl AuditProcess {
                 set.into_iter().collect()
             }
         };
+
+        // Level-1 admission: charge the planned table screens against
+        // the CPU budget, shedding the lowest-priority tail when the
+        // bucket runs dry. Everything above this point — IPC drain,
+        // progress check, heartbeat availability — is level-0 work and
+        // never charged, so supervision preempts bulk screens.
+        let (tables, shed) = self.plan_budget(db, fresh, pending_events, now);
 
         let mut records_checked = 0u64;
         let exec = if self.config.parallel.workers > 1 {
@@ -392,6 +418,29 @@ impl AuditProcess {
                 }
             }
         }
+
+        // A degraded cycle is never silent: the shed tables surface as
+        // an explicit finding and are re-queued at the head of the
+        // next cycle.
+        if !shed.is_empty() {
+            self.degraded_cycles += 1;
+            findings.push(Finding {
+                element: AuditElementKind::DegradedCycle,
+                at: now,
+                table: None,
+                record: None,
+                detail: format!(
+                    "audit CPU budget exhausted: shed {} of {} planned table screen(s); \
+                     re-queued for the next cycle",
+                    shed.len(),
+                    shed.len() + tables.len(),
+                ),
+                action: RecoveryAction::Flagged,
+                target: None,
+                caught: Vec::new(),
+            });
+        }
+        self.shed_backlog.clone_from(&shed);
 
         // Hierarchical escalation: repeated churn in a table reloads it
         // wholesale; sustained churn requests a controller restart. In
@@ -423,7 +472,113 @@ impl AuditProcess {
             tables_checked: tables.len() as u64,
             restart_requested,
             exec,
+            degraded: !shed.is_empty(),
+            tables_audited: tables,
+            tables_shed: shed,
         }
+    }
+
+    /// Plans the cycle's table screens against the CPU budget.
+    ///
+    /// Without a budget the fresh list passes through untouched (the
+    /// classic engine). With one, the level-0 IPC drain is charged
+    /// first (mandatory — it already ran — so a storm of events eats
+    /// directly into the screen budget, at [`Self::EVENTS_PER_TOKEN`]
+    /// drained events per token), then the candidates (previously shed
+    /// tables plus this cycle's fresh scope) are ordered
+    /// highest-dirty-density first, with one *starvation promotion*:
+    /// the table that has been shed for the most consecutive cycles —
+    /// at least [`Self::STARVATION_BOUND`] — jumps to the front, so a
+    /// quiet table is audited at least every
+    /// `STARVATION_BOUND + table_count` cycles no matter how dirty the
+    /// others stay. Each table is charged its record count before it
+    /// may run; the first planned table always runs — a starved cycle
+    /// still makes forward progress — and once one charge is refused
+    /// *every* remaining table is shed, so a degraded cycle's work is
+    /// an exact prefix of the full cycle's plan (the ordering never
+    /// depends on the bucket's balance).
+    fn plan_budget(
+        &mut self,
+        db: &Database,
+        fresh: Vec<TableId>,
+        pending_events: u64,
+        now: SimTime,
+    ) -> (Vec<TableId>, Vec<TableId>) {
+        let Some(bucket) = self.bucket.as_mut() else {
+            return (fresh, Vec::new());
+        };
+        bucket.refill(now);
+        bucket.charge_saturating(pending_events.div_ceil(Self::EVENTS_PER_TOKEN));
+        let mut candidates: Vec<TableId> = std::mem::take(&mut self.shed_backlog);
+        for t in fresh {
+            if !candidates.contains(&t) {
+                candidates.push(t);
+            }
+        }
+        candidates.sort_by(|&a, &b| {
+            db.dirty_density(b)
+                .partial_cmp(&db.dirty_density(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let promoted = candidates
+            .iter()
+            .copied()
+            .filter(|t| self.starved_for.get(t).copied().unwrap_or(0) >= Self::STARVATION_BOUND)
+            .max_by_key(|&t| (self.starved_for[&t], std::cmp::Reverse(t)));
+        if let Some(t) = promoted {
+            let pos = candidates.iter().position(|&c| c == t).expect("promoted candidate");
+            candidates.remove(pos);
+            candidates.insert(0, t);
+        }
+        let mut kept = Vec::new();
+        let mut shed = Vec::new();
+        for (i, table) in candidates.into_iter().enumerate() {
+            let cost = db
+                .catalog()
+                .table(table)
+                .map(|tm| u64::from(tm.def.record_count))
+                .unwrap_or(1)
+                .max(1);
+            if i == 0 {
+                bucket.charge_saturating(cost);
+                kept.push(table);
+            } else if !shed.is_empty() || !bucket.try_charge(cost) {
+                shed.push(table);
+            } else {
+                kept.push(table);
+            }
+        }
+        for t in &kept {
+            self.starved_for.remove(t);
+        }
+        for &t in &shed {
+            *self.starved_for.entry(t).or_insert(0) += 1;
+        }
+        (kept, shed)
+    }
+
+    /// Drained IPC events that cost one budget token (routing an event
+    /// is much cheaper than screening a record).
+    pub const EVENTS_PER_TOKEN: u64 = 8;
+
+    /// Consecutive shed cycles after which a table jumps the
+    /// dirty-density ordering (the anti-starvation promotion).
+    pub const STARVATION_BOUND: u32 = 4;
+
+    /// Cycles that shed table screens because the budget ran dry.
+    pub fn degraded_cycles(&self) -> u64 {
+        self.degraded_cycles
+    }
+
+    /// Tables shed by the last cycle, awaiting the next one.
+    pub fn shed_backlog(&self) -> &[TableId] {
+        &self.shed_backlog
+    }
+
+    /// The CPU-budget bucket, when isolation is configured.
+    pub fn budget(&self) -> Option<&TokenBucket> {
+        self.bucket.as_ref()
     }
 
     /// Serial element execution: the classic engine, byte-for-byte.

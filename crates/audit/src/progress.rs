@@ -42,17 +42,34 @@ pub struct ProgressIndicator {
     config: ProgressConfig,
     counter: u64,
     last_change: SimTime,
+    starved: u64,
 }
 
 impl ProgressIndicator {
     /// Creates the element.
     pub fn new(config: ProgressConfig) -> Self {
-        ProgressIndicator { config, counter: 0, last_change: SimTime::ZERO }
+        ProgressIndicator { config, counter: 0, last_change: SimTime::ZERO, starved: 0 }
     }
 
     /// Messages observed so far.
     pub fn counter(&self) -> u64 {
         self.counter
+    }
+
+    /// "No budget" is not "no progress": a supervised process that was
+    /// denied CPU (a budget-shed audit cycle under storm) is healthy
+    /// but starved, so the watermark is refreshed **without** inflating
+    /// the activity counter. This keeps the escalation ladder from
+    /// condemning a starved-but-healthy process as livelocked, while a
+    /// genuinely wedged process — starved of nothing — still times out.
+    pub fn note_starved(&mut self, at: SimTime) {
+        self.starved += 1;
+        self.last_change = at;
+    }
+
+    /// Starvation notices recorded so far.
+    pub fn starved(&self) -> u64 {
+        self.starved
     }
 
     /// Feeds one API-activity message ("these messages are used to
@@ -230,6 +247,20 @@ mod tests {
         assert_eq!(p.counter(), 1);
         assert!(!p.timed_out(SimTime::from_secs(100)));
         assert!(p.timed_out(SimTime::from_secs(151)));
+    }
+
+    #[test]
+    fn starvation_refreshes_the_watermark_without_inflating_the_counter() {
+        let mut p = ProgressIndicator::new(ProgressConfig::default());
+        p.observe(&event(SimTime::from_secs(10)));
+        assert_eq!(p.counter(), 1);
+        // A storm starves the process of budget for 140 s, but it keeps
+        // reporting "alive, no budget".
+        p.note_starved(SimTime::from_secs(150));
+        assert_eq!(p.counter(), 1, "starvation is not activity");
+        assert_eq!(p.starved(), 1);
+        assert!(!p.timed_out(SimTime::from_secs(200)), "starved-but-healthy is not condemned");
+        assert!(p.timed_out(SimTime::from_secs(251)), "true silence still times out");
     }
 
     #[test]

@@ -162,6 +162,11 @@ pub struct AvailabilityLedger {
     /// Controller restarts actually executed
     /// ([`Supervisor::execute_controller_restart`]).
     pub controller_restarts_executed: u64,
+    /// Starvation notices: cycles where a supervised process was denied
+    /// CPU budget but reported itself healthy
+    /// ([`Supervisor::note_starved`]). These refresh liveness
+    /// watermarks without counting as progress.
+    pub starved_notes: u64,
 }
 
 impl AvailabilityLedger {
@@ -317,6 +322,20 @@ impl Supervisor {
     /// Counts calls dropped because their owning process went down.
     pub fn note_dropped_calls(&mut self, n: u64) {
         self.ledger.dropped_calls += n;
+    }
+
+    /// Records that `pid` was alive but denied CPU budget (a
+    /// budget-shed audit cycle under storm). Distinguishes "no budget"
+    /// from "no progress": the liveness watermark is refreshed so the
+    /// escalation ladder does not condemn a starved-but-healthy process
+    /// as livelocked, but no activity is counted — a genuinely wedged
+    /// process still times out.
+    pub fn note_starved(&mut self, pid: Pid, now: SimTime) {
+        if let Some(s) = self.procs.get_mut(&pid) {
+            s.last_progress = now;
+        }
+        self.progress.note_starved(now);
+        self.ledger.starved_notes += 1;
     }
 
     /// The availability ledger.

@@ -14,6 +14,9 @@ use wtnc::inject::process_campaign::{
 use wtnc::inject::recovery_campaign::{
     run_campaign as run_recovery_campaign, RecoveryCampaignConfig,
 };
+use wtnc::inject::storm_campaign::{
+    run_campaign as run_storm_campaign, run_once as run_storm_once, StormCampaignConfig, StormModel,
+};
 use wtnc::inject::text_campaign::{four_column_table, InjectionTarget};
 use wtnc::inject::RunOutcome;
 use wtnc::isa::{asm::Assembly, Engine, Machine, MachineConfig, NoSyscalls, StepOutcome};
@@ -43,6 +46,10 @@ USAGE:
                                            steady-state audit cycles with
                                            executor mode / batch / CRC-
                                            kernel bookkeeping per cycle
+    wtnc audit --storm [--load X] [--model NAME]
+                                           overload walkthrough: one
+                                           traffic-storm run with and
+                                           without resource isolation
     wtnc recover [--budget N]              detect -> diagnose -> repair
                                            -> verify walkthrough
     wtnc supervise                         hang/crash -> detect -> steal
@@ -68,6 +75,8 @@ USAGE:
     wtnc campaign recovery [--runs N] [--budget N]
     wtnc campaign process [--runs N] [--model NAME]
     wtnc campaign powerfail [--runs N] [--model NAME]
+    wtnc campaign storm [--runs N] [--model NAME] [--load X]
+                        [--no-isolation]
     wtnc help                              this text
 
 `wtnc store` commands operate on a durable store directory (--dir);
@@ -338,6 +347,9 @@ pub fn audit_demo(_args: &[String]) -> Result<(), String> {
 /// which CRC kernel hashed the bytes.
 pub fn audit(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse(args)?;
+    if flags.contains_key("storm") {
+        return audit_storm_demo(&flags);
+    }
     let workers: usize = flag_num(&flags, "workers", ParallelConfig::from_env().workers)?;
     let cycles: u64 = flag_num(&flags, "cycles", 3u64)?;
     let dirty_pct: f64 = flag_num(&flags, "dirty-pct", 25.0)?;
@@ -394,6 +406,60 @@ pub fn audit(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `wtnc audit --storm [--load X] [--model NAME]`: one traffic-storm
+/// run with and without the resource-isolation layer, side by side —
+/// the overload walkthrough behind `wtnc campaign storm`.
+fn audit_storm_demo(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let load: f64 = flag_num(flags, "load", 2.0)?;
+    let model = match flags.get("model") {
+        Some(name) => parse_storm_model(name)?,
+        None => StormModel::SuperProducer,
+    };
+    println!(
+        "storm walkthrough: {} at {load}x the auditor's saturation rate, one corruption \
+         planted mid-storm\n",
+        model.name()
+    );
+    for isolation in [true, false] {
+        let config = StormCampaignConfig { model, load, isolation, ..Default::default() };
+        let r = run_storm_once(&config, 1);
+        println!(
+            "isolation {}: bounded fair IPC + audit CPU token bucket {}",
+            if isolation { "ON " } else { "OFF" },
+            if isolation { "guard the detector" } else { "disabled — historical behavior" },
+        );
+        println!(
+            "  storm events: {} offered, {} accepted, {} shed at lane bounds, {} backpressured",
+            r.offered_events, r.accepted_events, r.shed_events, r.backpressured_events
+        );
+        println!(
+            "  audit: {} cycles completed (mean {:.2} s), {} aborted, {} degraded \
+             ({} explicit findings, {} table screens shed)",
+            r.cycles_completed,
+            r.mean_cycle_s,
+            r.cycles_aborted,
+            r.degraded_cycles,
+            r.degraded_findings,
+            r.tables_shed
+        );
+        println!(
+            "  corruption {} (latency {:.2} s); {} false audit restart(s), {} escalation(s)\n",
+            if r.detected { "DETECTED" } else { "NOT detected" },
+            r.detection_latency_s,
+            r.false_restarts,
+            r.escalations
+        );
+    }
+    Ok(())
+}
+
+fn parse_storm_model(name: &str) -> Result<StormModel, String> {
+    StormModel::ALL.into_iter().find(|m| m.name() == name).ok_or_else(|| {
+        let names: Vec<&str> = StormModel::ALL.iter().map(|m| m.name()).collect();
+        format!("unknown storm model {name:?}; expected one of {}", names.join(", "))
+    })
 }
 
 /// `wtnc recover [--budget N]`: a walkthrough of the staged
@@ -881,8 +947,42 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        _ => Err("usage: wtnc campaign <db|text|priority|recovery|process|powerfail> [--runs N] \
-             [--no-audit|--directed|--proportional|--budget N|--model NAME]"
+        ["storm"] => {
+            let runs: usize = flag_num(&flags, "runs", 3)?;
+            let load: f64 = flag_num(&flags, "load", 2.0)?;
+            let models: Vec<StormModel> = match flags.get("model") {
+                Some(name) => vec![parse_storm_model(name)?],
+                None => StormModel::ALL.to_vec(),
+            };
+            let arms: &[bool] =
+                if flags.contains_key("no-isolation") { &[false] } else { &[true, false] };
+            for model in models {
+                for &isolation in arms {
+                    let config =
+                        StormCampaignConfig { model, load, isolation, ..Default::default() };
+                    let r = run_storm_campaign(&config, runs);
+                    println!(
+                        "{:<15} {:>4.1}x isolation {:<3} detected {:>2}/{:<2} \
+                         latency {:>6.2} s, cycle {:>5.2} s, degraded {:>4}, \
+                         shed {:>8}, aborted {:>3}, false restarts {:>3}",
+                        model.name(),
+                        load,
+                        if isolation { "on" } else { "off" },
+                        r.detected_runs,
+                        r.runs,
+                        r.detection_latency_s,
+                        r.mean_cycle_s,
+                        r.degraded_cycles,
+                        r.shed_events,
+                        r.cycles_aborted,
+                        r.false_restarts
+                    );
+                }
+            }
+            Ok(())
+        }
+        _ => Err("usage: wtnc campaign <db|text|priority|recovery|process|powerfail|storm> \
+             [--runs N] [--no-audit|--directed|--proportional|--budget N|--model NAME|--load X]"
             .into()),
     }
 }
@@ -1002,6 +1102,23 @@ mod tests {
     fn campaign_powerfail_runs() {
         campaign(&strings(&["powerfail", "--runs", "1", "--model", "chain_break"])).unwrap();
         assert!(campaign(&strings(&["powerfail", "--model", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn campaign_storm_runs() {
+        campaign(&strings(&["storm", "--runs", "1", "--model", "ipc_flood"])).unwrap();
+        campaign(&strings(&["storm", "--runs", "1", "--model", "super_producer", "--load", "0.5"]))
+            .unwrap();
+        campaign(&strings(&["storm", "--runs", "1", "--model", "ipc_flood", "--no-isolation"]))
+            .unwrap();
+        assert!(campaign(&strings(&["storm", "--model", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn audit_storm_walkthrough_runs() {
+        audit(&strings(&["--storm", "--load", "1.0"])).unwrap();
+        audit(&strings(&["--storm", "--model", "diurnal_burst"])).unwrap();
+        assert!(audit(&strings(&["--storm", "--model", "bogus"])).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
-use wtnc_sim::{MessageQueue, Pid, SimDuration, SimTime};
+use wtnc_sim::{Enqueue, FairQueue, Pid, SimDuration, SimTime};
 
 use crate::catalog::{Catalog, FieldId, TableId};
 use crate::database::{Database, RecordRef};
@@ -194,13 +194,47 @@ impl LockTable {
     }
 }
 
+/// Sizing of the IPC event queue between the database API and the
+/// audit process.
+///
+/// The queue is a [`FairQueue`]: `capacity` bounds the total backlog
+/// the audit process can ever face, and `lane_capacity` bounds any one
+/// client's share of it, so a super-producer saturates only its own
+/// lane. Producers rejected by global congestion are told to retry
+/// after `retry_after`.
+///
+/// Both capacities must be non-zero: the underlying queue constructors
+/// (like [`wtnc_sim::MessageQueue::with_capacity`]) **panic** on a
+/// zero capacity rather than silently misbehave as an always-full or
+/// always-dropping queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpcConfig {
+    /// Total undelivered-event bound across all producers.
+    pub capacity: usize,
+    /// Per-producer bound (a single client's maximum share).
+    pub lane_capacity: usize,
+    /// Retry delay suggested to backpressured producers.
+    pub retry_after: SimDuration,
+}
+
+impl Default for IpcConfig {
+    fn default() -> Self {
+        // The historical queue size, now split into four fair lanes.
+        IpcConfig {
+            capacity: 65_536,
+            lane_capacity: 16_384,
+            retry_after: SimDuration::from_millis(10),
+        }
+    }
+}
+
 /// The database API instance shared by all clients of one controller
 /// node.
 #[derive(Debug)]
 pub struct DbApi {
     connections: BTreeSet<Pid>,
     locks: LockTable,
-    events: MessageQueue<DbEvent>,
+    events: FairQueue<DbEvent>,
     costs: ApiCosts,
     instrumented: bool,
     cost_accum: SimDuration,
@@ -214,18 +248,42 @@ impl Default for DbApi {
 }
 
 impl DbApi {
-    /// Creates an API instance with audit instrumentation enabled and
-    /// default costs.
+    /// Creates an API instance with audit instrumentation enabled,
+    /// default costs and the default event-queue sizing.
     pub fn new() -> Self {
+        Self::with_ipc(IpcConfig::default())
+    }
+
+    /// Creates an API instance with an explicit event-queue sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ipc.capacity` or `ipc.lane_capacity` is zero (see
+    /// [`IpcConfig`]).
+    pub fn with_ipc(ipc: IpcConfig) -> Self {
         DbApi {
             connections: BTreeSet::new(),
             locks: LockTable::new(),
-            events: MessageQueue::with_capacity(65_536),
+            events: FairQueue::new(ipc.capacity, ipc.lane_capacity, ipc.retry_after),
             costs: ApiCosts::default(),
             instrumented: true,
             cost_accum: SimDuration::ZERO,
             ops_performed: 0,
         }
+    }
+
+    /// Creates an API instance with the given total event-queue
+    /// capacity, keeping the default 4-lane fairness split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (see [`IpcConfig`]).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self::with_ipc(IpcConfig {
+            capacity,
+            lane_capacity: (capacity / 4).max(1),
+            ..IpcConfig::default()
+        })
     }
 
     /// Creates the "original" API with all audit instrumentation
@@ -248,15 +306,42 @@ impl DbApi {
 
     /// The event queue towards the audit process. The audit main
     /// thread drains this.
-    pub fn events_mut(&mut self) -> &mut MessageQueue<DbEvent> {
+    pub fn events_mut(&mut self) -> &mut FairQueue<DbEvent> {
         &mut self.events
     }
 
     /// Read-only view of the event queue. A supervision tier taps the
     /// pending traffic through this without stealing messages from the
     /// audit process, which remains the queue's consumer.
-    pub fn events(&self) -> &MessageQueue<DbEvent> {
+    pub fn events(&self) -> &FairQueue<DbEvent> {
         &self.events
+    }
+
+    /// Posts a raw event on behalf of a client, returning the explicit
+    /// [`Enqueue`] verdict. This is the client-visible IPC path: a
+    /// flooding client sees `Shed` once its own lane is full and
+    /// `Backpressure` when the queue as a whole is congested, and the
+    /// caller decides whether to retry. Internal API notifications use
+    /// the same queue, so its drop/shed accounting covers both paths.
+    pub fn post_event(
+        &mut self,
+        pid: Pid,
+        op: DbOp,
+        table: Option<TableId>,
+        record: Option<u32>,
+        at: SimTime,
+    ) -> Enqueue {
+        self.events.try_send(pid, DbEvent { at, pid, op, table, record })
+    }
+
+    /// Events shed at a producer's lane bound since construction.
+    pub fn events_shed(&self) -> u64 {
+        self.events.shed()
+    }
+
+    /// Enqueue attempts rejected with a retry hint since construction.
+    pub fn events_backpressured(&self) -> u64 {
+        self.events.backpressured()
     }
 
     /// The lock table (progress indicator reads it; recovery releases
@@ -295,7 +380,10 @@ impl DbApi {
         at: SimTime,
     ) {
         if self.instrumented {
-            self.events.send(DbEvent { at, pid, op, table, record });
+            // The fair queue accounts for every rejected event (shed
+            // or backpressured), so nothing is lost silently even when
+            // a storm saturates the audit IPC path.
+            let _ = self.events.try_send(pid, DbEvent { at, pid, op, table, record });
         }
     }
 
@@ -968,6 +1056,34 @@ mod tests {
         let idx2 = raw.alloc_record(&mut db, pid, t, at).unwrap();
         raw.write_fld(&mut db, pid, t, idx2, connection::STATE, 1, at).unwrap();
         assert!(raw.events_mut().is_empty());
+    }
+
+    #[test]
+    fn post_event_sheds_a_flooding_lane_but_admits_quiet_clients() {
+        use wtnc_sim::Enqueue;
+        let mut api = DbApi::with_ipc(IpcConfig {
+            capacity: 8,
+            lane_capacity: 2,
+            retry_after: SimDuration::from_millis(5),
+        });
+        let spammer = Pid(9);
+        let quiet = Pid(10);
+        let at = SimTime::ZERO;
+        assert!(api.post_event(spammer, DbOp::WriteFld, None, None, at).accepted());
+        assert!(api.post_event(spammer, DbOp::WriteFld, None, None, at).accepted());
+        // Third message from the same producer exceeds its lane.
+        assert_eq!(api.post_event(spammer, DbOp::WriteFld, None, None, at), Enqueue::Shed);
+        // A quieter client still gets through.
+        assert!(api.post_event(quiet, DbOp::ReadRec, None, None, at).accepted());
+        assert_eq!(api.events_shed(), 1);
+        assert_eq!(api.events().len(), 3);
+    }
+
+    #[test]
+    fn event_capacity_is_configurable() {
+        let api = DbApi::with_event_capacity(16);
+        assert_eq!(api.events().capacity(), 16);
+        assert_eq!(api.events().lane_capacity(), 4);
     }
 
     #[test]

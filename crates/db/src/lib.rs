@@ -70,7 +70,7 @@ pub mod schema;
 mod snapshot;
 mod taint;
 
-pub use api::{ApiCosts, DbApi, LockTable};
+pub use api::{ApiCosts, DbApi, IpcConfig, LockTable};
 pub use catalog::{
     Catalog, FieldDef, FieldId, FieldKind, FieldWidth, TableDef, TableId, TableNature,
 };

@@ -36,6 +36,15 @@
 //! detection latency, unavailability and the run-level
 //! [`OutcomeCounts::availability`] figure.
 //!
+//! A sixth family ([`storm_campaign`]) injects *overload* rather than
+//! corruption: super-producer, IPC-flood and diurnal-burst traffic
+//! storms push offered load past the auditor's saturation point while
+//! a single mid-storm corruption waits to be found. The campaign
+//! measures detection latency, audit-cycle stretch, shed/backpressure
+//! accounting and watermark-driven false restarts with and without the
+//! resource-isolation layer (bounded fair IPC, the audit CPU token
+//! bucket, starvation-aware supervision).
+//!
 //! A fifth family ([`powerfail_campaign`]) attacks the *durable* state
 //! kept by `wtnc-store`: after a seeded journaled workload, the store
 //! directory suffers a simulated power failure or tampering event
@@ -58,6 +67,7 @@ pub mod powerfail_campaign;
 pub mod priority_campaign;
 pub mod process_campaign;
 pub mod recovery_campaign;
+pub mod storm_campaign;
 pub mod text_campaign;
 
 pub use models::ErrorModel;

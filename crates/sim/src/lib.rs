@@ -16,7 +16,10 @@
 //!   distributions the paper uses (exponential inter-arrival times,
 //!   uniform placement, weighted choice).
 //! * [`MessageQueue`] — an in-simulation stand-in for the POSIX IPC
-//!   message queue between the database API and the audit process.
+//!   message queue between the database API and the audit process,
+//!   plus [`FairQueue`], its bounded per-producer variant with
+//!   explicit [`Enqueue`] verdicts (accepted / backpressured / shed)
+//!   for the overload experiments.
 //! * [`ProcessRegistry`] — bookkeeping for simulated processes and
 //!   threads, including the kill/restart actions the manager and the
 //!   progress-indicator element perform.
@@ -51,7 +54,7 @@ pub mod stats;
 mod time;
 
 pub use events::{EventQueue, ScheduledEvent};
-pub use ipc::MessageQueue;
+pub use ipc::{Enqueue, FairQueue, LaneStats, MessageQueue};
 pub use process::{Pid, ProcessRegistry, ProcessState, Responsiveness, Tid};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
